@@ -1,0 +1,208 @@
+// Benchmarks regenerating every table and figure of the paper's
+// evaluation section, one testing.B target per artifact, plus the
+// ablation benches and live host kernels. Custom metrics carry the
+// headline quantity of each artifact so `go test -bench` output reads as
+// a reproduction record.
+package roadrunner
+
+import (
+	"testing"
+
+	"roadrunner/internal/cml"
+	"roadrunner/internal/fabric"
+	"roadrunner/internal/linpack"
+	"roadrunner/internal/microbench"
+	"roadrunner/internal/spu"
+	"roadrunner/internal/sweep3d"
+	"roadrunner/internal/units"
+)
+
+// runExperiment is the common driver asserting the artifact passes.
+func runExperiment(b *testing.B, id string) *Artifact {
+	b.Helper()
+	var art *Artifact
+	for i := 0; i < b.N; i++ {
+		var err error
+		art, err = RunExperiment(id)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !art.Checks.AllOK() {
+			b.Fatalf("%s: %v", id, art.Checks.Failures())
+		}
+	}
+	return art
+}
+
+func BenchmarkTable1HopCounts(b *testing.B) {
+	art := runExperiment(b, "table1")
+	b.ReportMetric(5.38, "paper-mean-hops")
+	_ = art
+}
+
+func BenchmarkTable2SystemCharacteristics(b *testing.B) {
+	runExperiment(b, "table2")
+	b.ReportMetric(Machine().PeakDP().PF(), "peak-PF/s")
+}
+
+func BenchmarkTable3MemoryPerformance(b *testing.B) {
+	runExperiment(b, "table3")
+	rows := microbench.TableIII()
+	b.ReportMetric(rows[2].Triad.GBps(), "SPE-triad-GB/s")
+}
+
+func BenchmarkTable4SweepImplementations(b *testing.B) {
+	runExperiment(b, "table4")
+	b.ReportMetric(sweep3d.TableIVOurs(spu.PowerXCell8i()).Seconds(), "ours-PXC8i-s")
+}
+
+func BenchmarkFig1Triblade(b *testing.B) { runExperiment(b, "fig1") }
+func BenchmarkFig2Fabric(b *testing.B)   { runExperiment(b, "fig2") }
+func BenchmarkFig3NodeBreakdown(b *testing.B) {
+	runExperiment(b, "fig3")
+}
+
+func BenchmarkFig4InstructionLatency(b *testing.B) {
+	runExperiment(b, "fig4")
+	b.ReportMetric(float64(spu.PowerXCell8i().MeasureLatency(3)), "FPD-cycles") // isa.FPD
+}
+
+func BenchmarkFig5RepetitionDistance(b *testing.B) {
+	runExperiment(b, "fig5")
+	b.ReportMetric(spu.PowerXCell8i().PeakDPFlops().GF()*8, "sustained-DP-GF/s")
+}
+
+func BenchmarkFig6LatencyBreakdown(b *testing.B) {
+	runExperiment(b, "fig6")
+	b.ReportMetric(microbench.Fig6Total().Microseconds(), "cell-to-cell-us")
+}
+
+func BenchmarkFig7CellToCellBandwidth(b *testing.B) {
+	runExperiment(b, "fig7")
+	b.ReportMetric(microbench.IntranodeBidir(1*units.MB).MBps(), "intranode-bidir-MB/s")
+}
+
+func BenchmarkFig8CorePairBandwidth(b *testing.B) {
+	runExperiment(b, "fig8")
+}
+
+func BenchmarkFig9DaCSvsIB(b *testing.B) {
+	runExperiment(b, "fig9")
+	r := float64(microbench.Fig9IB(4*units.KB)) / float64(microbench.Fig9DaCS(4*units.KB))
+	b.ReportMetric(r, "IB/DaCS-at-4KB")
+}
+
+func BenchmarkFig10LatencyMap(b *testing.B) {
+	runExperiment(b, "fig10")
+	fab := fabric.New()
+	b.ReportMetric(microbench.Fig10Latency(fab, fabric.FromGlobal(1)).Microseconds(), "min-latency-us")
+}
+
+func BenchmarkFig11WavefrontSteps(b *testing.B) { runExperiment(b, "fig11") }
+
+func BenchmarkFig12ChipComparison(b *testing.B) {
+	runExperiment(b, "fig12")
+	cfg := sweep3d.PaperWeakScaling()
+	r := float64(sweep3d.HostSocketTime(sweep3d.OpteronDC18, cfg)) /
+		float64(sweep3d.SPESocketTime(spu.PowerXCell8i(), cfg))
+	b.ReportMetric(r, "socket-speedup-vs-dualcore")
+}
+
+func BenchmarkFig13SweepAtScale(b *testing.B) {
+	runExperiment(b, "fig13")
+	cfg := sweep3d.PaperWeakScaling()
+	b.ReportMetric(sweep3d.CellIterationTime(cfg, 3060, sweep3d.CellMeasured).Seconds(), "measured-3060-s")
+}
+
+func BenchmarkFig14Improvement(b *testing.B) {
+	runExperiment(b, "fig14")
+	cfg := sweep3d.PaperWeakScaling()
+	b.ReportMetric(sweep3d.Improvement(cfg, 3060, sweep3d.CellMeasured), "improvement-3060")
+}
+
+func BenchmarkLinpackHeadline(b *testing.B) {
+	runExperiment(b, "linpack")
+	b.ReportMetric(Machine().LinpackSustained(linpack.RoadrunnerHPL().Efficiency()).PF(), "sustained-PF/s")
+}
+
+// Ablation benches: the design choices DESIGN.md calls out.
+
+func BenchmarkAblationSweepModels(b *testing.B) { runExperiment(b, "ablation-sweep-models") }
+func BenchmarkAblationTransports(b *testing.B)  { runExperiment(b, "ablation-transports") }
+func BenchmarkAblationMKBlocking(b *testing.B)  { runExperiment(b, "ablation-mk") }
+func BenchmarkAblationFabricTaper(b *testing.B) { runExperiment(b, "ablation-taper") }
+
+// Substrate benches: raw component throughput of the simulation itself.
+
+func BenchmarkSPUPipeline(b *testing.B) {
+	m := spu.PowerXCell8i()
+	prog := sweep3d.KernelProgram(64)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Run(prog)
+	}
+	b.ReportMetric(float64(len(prog)), "instructions")
+}
+
+func BenchmarkSweepSolverSerial(b *testing.B) {
+	pr := sweep3d.Problem{NX: 20, NY: 20, NZ: 40, Angles: 6, SigT: 0.75, Q: 1}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res := sweep3d.SolveSerial(pr)
+		if res.BalanceError() > 1e-11 {
+			b.Fatal("balance")
+		}
+	}
+	b.ReportMetric(float64(pr.NX*pr.NY*pr.NZ*pr.Angles*8), "updates/iter")
+}
+
+func BenchmarkSweepSolverParallelHost(b *testing.B) {
+	cfg := sweep3d.Config{I: 10, J: 10, K: 40, MK: 10, Angles: 6}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res := sweep3d.SolveParallelHost(cfg, 2, 2)
+		if res.BalanceError() > 1e-11 {
+			b.Fatal("balance")
+		}
+	}
+}
+
+func BenchmarkSweepDES(b *testing.B) {
+	cfg := sweep3d.Config{I: 3, J: 3, K: 8, MK: 4, Angles: 2}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sweep3d.RunOnDES(cfg, 8, 4, cml.CurrentSoftware()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkLinpackLU(b *testing.B) {
+	a := linpack.RandomSPD(128, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m := a.Clone()
+		if _, err := linpack.Factorize(m, 32); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// Live host kernels: real measurements on the build machine, reported
+// for context (never asserted).
+
+func BenchmarkHostTriadLive(b *testing.B) {
+	var bw units.Bandwidth
+	for i := 0; i < b.N; i++ {
+		bw, _ = microbench.HostTriad(1 << 20)
+	}
+	b.ReportMetric(bw.GBps(), "host-GB/s")
+}
+
+func BenchmarkHostChaseLive(b *testing.B) {
+	var ns float64
+	for i := 0; i < b.N; i++ {
+		ns, _ = microbench.HostChase(1<<20, 1<<20)
+	}
+	b.ReportMetric(ns, "host-ns/hop")
+}

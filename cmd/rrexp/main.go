@@ -1,0 +1,95 @@
+// Command rrexp runs the paper-reproduction experiments: every table and
+// figure of the evaluation section, the LINPACK headline, and the
+// ablations. Output is the rendered artifact plus its paper-vs-measured
+// checks; -csv writes each table/figure as CSV files.
+//
+// Usage:
+//
+//	rrexp -list
+//	rrexp -run fig13
+//	rrexp -run all [-csv out/]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"roadrunner"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list experiments and exit")
+	run := flag.String("run", "all", "experiment ID to run, or 'all'")
+	csvDir := flag.String("csv", "", "directory to write CSV artifacts into")
+	quiet := flag.Bool("quiet", false, "print only the check summaries")
+	flag.Parse()
+
+	if *list {
+		for _, e := range roadrunner.Experiments() {
+			fmt.Printf("%-22s %-45s %s\n", e.ID, e.Title, e.PaperRef)
+		}
+		return
+	}
+
+	var ids []string
+	if *run == "all" {
+		for _, e := range roadrunner.Experiments() {
+			ids = append(ids, e.ID)
+		}
+	} else {
+		ids = strings.Split(*run, ",")
+	}
+
+	failures := 0
+	for _, id := range ids {
+		art, err := roadrunner.RunExperiment(strings.TrimSpace(id))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		if *quiet {
+			status := "PASS"
+			if !art.Checks.AllOK() {
+				status = "FAIL"
+			}
+			fmt.Printf("[%s] %-22s %s (%d checks)\n", status, art.ID, art.Title, len(art.Checks.Items))
+		} else {
+			fmt.Println(art)
+		}
+		if !art.Checks.AllOK() {
+			failures++
+		}
+		if *csvDir != "" {
+			if err := writeCSVs(*csvDir, art); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(2)
+			}
+		}
+	}
+	if failures > 0 {
+		fmt.Fprintf(os.Stderr, "%d experiment(s) failed checks\n", failures)
+		os.Exit(1)
+	}
+}
+
+func writeCSVs(dir string, art *roadrunner.Artifact) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	for i, t := range art.Tables {
+		name := filepath.Join(dir, fmt.Sprintf("%s-table%d.csv", art.ID, i))
+		if err := os.WriteFile(name, []byte(t.CSV()), 0o644); err != nil {
+			return err
+		}
+	}
+	for i, f := range art.Figures {
+		name := filepath.Join(dir, fmt.Sprintf("%s-fig%d.csv", art.ID, i))
+		if err := os.WriteFile(name, []byte(f.CSV()), 0o644); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,77 @@
+// Command rrsim explores the simulated Roadrunner machine: topology
+// queries over the InfiniBand fat tree, chip microbenchmarks, and the
+// communication path composition between any two SPEs.
+//
+// Usage:
+//
+//	rrsim -hops 0 2000          # crossbar hops and latency between nodes
+//	rrsim -census               # Table I census from node 0
+//	rrsim -audit                # fabric structural audit
+//	rrsim -chip                 # SPU pipeline microbenchmarks
+//	rrsim -memory               # Table III memory characterisation
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"roadrunner/internal/fabric"
+	"roadrunner/internal/isa"
+	"roadrunner/internal/microbench"
+	"roadrunner/internal/spu"
+)
+
+func main() {
+	census := flag.Bool("census", false, "print the Table I hop census")
+	audit := flag.Bool("audit", false, "print the fabric structural audit")
+	chip := flag.Bool("chip", false, "print SPU pipeline microbenchmarks")
+	memory := flag.Bool("memory", false, "print the Table III memory characterisation")
+	flag.Parse()
+
+	fab := fabric.New()
+	args := flag.Args()
+	if len(args) == 2 {
+		var a, b int
+		if _, err := fmt.Sscanf(args[0]+" "+args[1], "%d %d", &a, &b); err != nil {
+			fmt.Fprintln(os.Stderr, "usage: rrsim <nodeA> <nodeB>")
+			os.Exit(2)
+		}
+		na, nb := fabric.FromGlobal(a), fabric.FromGlobal(b)
+		fmt.Printf("%v -> %v: %d crossbar hops, %v switch latency, %v MPI zero-byte\n",
+			na, nb, fab.Hops(na, nb), fab.HopLatency(na, nb),
+			microbench.Fig10Latency(fab, nb))
+		return
+	}
+
+	if *census {
+		c := fab.Census(fabric.NodeID{})
+		fmt.Printf("self=%d sameXbar=%d sameCU=%d near(same/other xbar)=%d/%d far=%d/%d total=%d mean=%.2f\n",
+			c.Self, c.SameXbar, c.SameCU, c.NearCUsSameXbar, c.NearCUsOtherXbar,
+			c.FarCUsSameXbar, c.FarCUsOtherXbar, c.Total, c.MeanHops)
+	}
+	if *audit {
+		a := fab.Audit()
+		fmt.Printf("%+v\n", a)
+	}
+	if *chip {
+		for _, m := range []*spu.Model{spu.CellBE(), spu.PowerXCell8i()} {
+			fmt.Printf("%s:\n", m)
+			for _, g := range isa.Groups() {
+				fmt.Printf("  %-5s latency %2d cycles, repetition %d\n",
+					g, m.MeasureLatency(g), m.MeasureRepetition(g))
+			}
+			fmt.Printf("  sustained DP %v x8 SPEs, SP %v x8\n",
+				m.PeakDPFlops(), m.PeakSPFlops())
+		}
+	}
+	if *memory {
+		for _, r := range microbench.TableIII() {
+			fmt.Printf("%-22s triad %8.2f GB/s   latency %6.1f ns\n",
+				r.Processor, r.Triad.GBps(), r.Latency.Nanoseconds())
+		}
+	}
+	if !*census && !*audit && !*chip && !*memory && len(args) == 0 {
+		flag.Usage()
+	}
+}

@@ -1,0 +1,78 @@
+// Command sweep3d runs the Sweep3D reproduction: the real solver
+// (serial, host-parallel, or on the simulated machine) or the at-scale
+// performance model.
+//
+// Usage:
+//
+//	sweep3d -mode solve -i 5 -j 5 -k 400 -mk 20 -px 4 -py 4
+//	sweep3d -mode des -i 3 -j 3 -k 8 -mk 4 -px 8 -py 4
+//	sweep3d -mode model -nodes 3060
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"roadrunner/internal/cml"
+	"roadrunner/internal/sweep3d"
+)
+
+func main() {
+	mode := flag.String("mode", "solve", "solve | des | model")
+	i := flag.Int("i", 5, "per-rank I")
+	j := flag.Int("j", 5, "per-rank J")
+	k := flag.Int("k", 400, "per-rank K")
+	mk := flag.Int("mk", 20, "K blocking factor")
+	angles := flag.Int("angles", 6, "angles per octant")
+	px := flag.Int("px", 2, "processor array X")
+	py := flag.Int("py", 2, "processor array Y")
+	nodes := flag.Int("nodes", 3060, "node count for -mode model")
+	best := flag.Bool("best", false, "use the peak-PCIe transports")
+	flag.Parse()
+
+	cfg := sweep3d.Config{I: *i, J: *j, K: *k, MK: *mk, Angles: *angles}
+	if err := cfg.Validate(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+
+	switch *mode {
+	case "solve":
+		res := sweep3d.SolveParallelHost(cfg, *px, *py)
+		fmt.Printf("grid %dx%dx%d on %dx%d ranks\n", res.NX, res.NY, res.NZ, *px, *py)
+		fmt.Printf("balance error   %.3e\n", res.BalanceError())
+		fmt.Printf("centre flux     %.6f\n", res.PhiAt(res.NX/2, res.NY/2, res.NZ/2))
+		fmt.Printf("corner flux     %.6f\n", res.PhiAt(0, 0, 0))
+	case "des":
+		cmlCfg := cml.CurrentSoftware()
+		if *best {
+			cmlCfg = cml.PeakPCIe()
+		}
+		res, err := sweep3d.RunOnDES(cfg, *px, *py, cmlCfg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("grid %dx%dx%d on %d SPE ranks (simulated machine)\n",
+			res.NX, res.NY, res.NZ, *px**py)
+		fmt.Printf("simulated iteration time  %v\n", res.IterationTime)
+		fmt.Printf("balance error             %.3e\n", res.BalanceError())
+	case "model":
+		fmt.Printf("%-10s %-16s %-16s %-16s %-10s\n",
+			"nodes", "Opteron only", "Cell (measured)", "Cell (best)", "improve")
+		for _, n := range sweep3d.PaperNodeCounts() {
+			if n > *nodes {
+				break
+			}
+			o := sweep3d.OpteronIterationTime(cfg, n)
+			m := sweep3d.CellIterationTime(cfg, n, sweep3d.CellMeasured)
+			b := sweep3d.CellIterationTime(cfg, n, sweep3d.CellBest)
+			fmt.Printf("%-10d %-16v %-16v %-16v %-10.2f\n",
+				n, o, m, b, sweep3d.Improvement(cfg, n, sweep3d.CellMeasured))
+		}
+	default:
+		fmt.Fprintf(os.Stderr, "unknown mode %q\n", *mode)
+		os.Exit(2)
+	}
+}

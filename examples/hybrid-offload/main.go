@@ -1,0 +1,60 @@
+// Hybrid offload: the three Roadrunner usage models of §III, quantified.
+// A host-only run, an accelerator-model run (hotspot pushed to the
+// Cells), and the SPE-centric run, all over the same Sweep3D workload —
+// plus the LINPACK hybrid, where Opterons and Cells compute at once.
+package main
+
+import (
+	"fmt"
+
+	"roadrunner/internal/linpack"
+	"roadrunner/internal/machine"
+	"roadrunner/internal/spu"
+	"roadrunner/internal/sweep3d"
+)
+
+func main() {
+	cfg := sweep3d.PaperWeakScaling()
+	nodes := 256
+
+	fmt.Println("== Three usage models (§III), Sweep3D at", nodes, "nodes ==")
+	opt := sweep3d.OpteronIterationTime(cfg, nodes)
+	fmt.Printf("1. unmodified cluster code (Opterons only): %v\n", opt)
+	meas := sweep3d.CellIterationTime(cfg, nodes, sweep3d.CellMeasured)
+	fmt.Printf("2. SPE-centric CML port (measured stack):   %v (%.2fx)\n",
+		meas, float64(opt)/float64(meas))
+	best := sweep3d.CellIterationTime(cfg, nodes, sweep3d.CellBest)
+	fmt.Printf("3. same port on matured software:           %v (%.2fx)\n",
+		best, float64(opt)/float64(best))
+
+	fmt.Println("\n== The hybrid LINPACK (both processor types at once) ==")
+	// Run the real kernel small, then the machine-scale model.
+	n := 128
+	a := linpack.RandomSPD(n, 7)
+	orig := a.Clone()
+	lu, err := linpack.Factorize(a, 32)
+	if err != nil {
+		panic(err)
+	}
+	b := make([]float64, n)
+	for i := range b {
+		b[i] = 1
+	}
+	x := lu.Solve(b)
+	fmt.Printf("blocked LU (n=%d): residual %.2e, %d flops\n",
+		n, linpack.Residual(orig, x, b), lu.Flops)
+
+	sys := machine.New(machine.Full())
+	model := linpack.RoadrunnerHPL()
+	sustained := sys.LinpackSustained(model.Efficiency())
+	fmt.Printf("machine model: %v sustained of %v peak (%.1f%%), %.0f MFlops/W\n",
+		sustained, sys.PeakDP(), 100*model.Efficiency(), sys.MFlopsPerWatt(sustained))
+
+	fmt.Println("\n== Why offload pays: the chip-level gap ==")
+	cbe, pxc := spu.CellBE(), spu.PowerXCell8i()
+	fmt.Printf("Sweep3D socket times (10x20x400): CBE %v, PXC8i %v\n",
+		sweep3d.SPESocketTime(cbe, cfg), sweep3d.SPESocketTime(pxc, cfg))
+	fmt.Printf("host sockets: dual-core Opteron %v, Tigerton %v\n",
+		sweep3d.HostSocketTime(sweep3d.OpteronDC18, cfg),
+		sweep3d.HostSocketTime(sweep3d.TigertonQC293, cfg))
+}

@@ -1,0 +1,35 @@
+// Quickstart: build the machine, ask it the paper's headline questions,
+// and run one experiment end to end.
+package main
+
+import (
+	"fmt"
+
+	"roadrunner"
+)
+
+func main() {
+	m := roadrunner.Machine()
+	fmt.Println("== Roadrunner, reconstructed ==")
+	fmt.Printf("nodes          %d (%d CUs x 180 triblades)\n", m.Nodes(), m.Config.CUs)
+	fmt.Printf("processors     %d PowerXCell 8i + %d Opteron cores (%d SPEs)\n",
+		m.Cells(), m.OpteronCores(), m.SPEs())
+	fmt.Printf("peak           %v DP / %v SP\n", m.PeakDP(), m.PeakSP())
+	fmt.Printf("accelerated    %.1f%% of peak lives in the Cells\n", 100*m.AcceleratedFraction())
+	fmt.Printf("power          %v under LINPACK load\n", m.Power())
+	fmt.Println()
+
+	// Reproduce Table I directly through the experiment registry.
+	art, err := roadrunner.RunExperiment("table1")
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(art)
+
+	// And ask the Sweep3D model the paper's bottom-line question.
+	cfg := roadrunner.PaperSweepConfig()
+	meas, _ := roadrunner.SweepIterationTime(cfg, 3060, "measured")
+	opt, _ := roadrunner.SweepIterationTime(cfg, 3060, "opteron")
+	fmt.Printf("Sweep3D at 3,060 nodes: %v accelerated vs %v Opteron-only (%.1fx)\n",
+		meas, opt, float64(opt)/float64(meas))
+}

@@ -1,0 +1,36 @@
+// SPE microbenchmarks: the paper's Fig. 4/5 assembly probes run against
+// the pipeline simulator, plus the consequences the paper derives from
+// them (sustained DP rates, STREAM triad, the Sweep3D kernel ratio).
+package main
+
+import (
+	"fmt"
+
+	"roadrunner/internal/cell"
+	"roadrunner/internal/isa"
+	"roadrunner/internal/spu"
+	"roadrunner/internal/sweep3d"
+)
+
+func main() {
+	cbe, pxc := spu.CellBE(), spu.PowerXCell8i()
+
+	fmt.Println("Fig. 4/5: per-group latency and repetition distance")
+	fmt.Printf("%-6s %12s %12s %14s %14s\n", "group", "CBE lat", "PXC8i lat", "CBE repeat", "PXC8i repeat")
+	for _, g := range isa.Groups() {
+		fmt.Printf("%-6s %12d %12d %14d %14d\n", g,
+			cbe.MeasureLatency(g), pxc.MeasureLatency(g),
+			cbe.MeasureRepetition(g), pxc.MeasureRepetition(g))
+	}
+
+	fmt.Println("\nConsequences:")
+	fmt.Printf("  aggregate DP (8 SPEs): CBE %v, PXC8i %v (%.1fx)\n",
+		cbe.PeakDPFlops()*8, pxc.PeakDPFlops()*8,
+		float64(pxc.PeakDPFlops())/float64(cbe.PeakDPFlops()))
+	c := cell.New(cell.PowerXCell8i)
+	fmt.Printf("  SPE local-store TRIAD: %v (Table III: 29.28 GB/s)\n", c.SPETriad())
+	fmt.Printf("  sweep kernel: %.1f vs %.1f cycles/cell-angle (ratio %.2f)\n",
+		sweep3d.KernelCyclesPerCellAngle(cbe),
+		sweep3d.KernelCyclesPerCellAngle(pxc),
+		sweep3d.KernelCyclesPerCellAngle(cbe)/sweep3d.KernelCyclesPerCellAngle(pxc))
+}

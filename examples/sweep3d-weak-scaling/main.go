@@ -1,0 +1,38 @@
+// Sweep3D weak scaling: regenerate the Fig. 13/14 study over any node
+// range, printing the three series and the improvement factors, then
+// cross-check one point against the discrete-event simulation running
+// the real solver on the simulated machine.
+package main
+
+import (
+	"fmt"
+
+	"roadrunner/internal/cml"
+	"roadrunner/internal/sweep3d"
+)
+
+func main() {
+	cfg := sweep3d.PaperWeakScaling()
+	fmt.Println("Sweep3D weak scaling, 5x5x400 per SPE, MK=20, 6 angles")
+	fmt.Printf("%8s %14s %14s %14s %8s %8s\n",
+		"nodes", "Opteron", "Cell(meas)", "Cell(best)", "impr", "best")
+	for _, n := range sweep3d.PaperNodeCounts() {
+		o := sweep3d.OpteronIterationTime(cfg, n)
+		m := sweep3d.CellIterationTime(cfg, n, sweep3d.CellMeasured)
+		b := sweep3d.CellIterationTime(cfg, n, sweep3d.CellBest)
+		fmt.Printf("%8d %14v %14v %14v %8.2f %8.2f\n", n, o, m, b,
+			sweep3d.Improvement(cfg, n, sweep3d.CellMeasured),
+			sweep3d.Improvement(cfg, n, sweep3d.CellBest))
+	}
+
+	fmt.Println("\nCross-validation: real solver on the simulated machine (1 node, 32 SPE ranks)")
+	small := sweep3d.Config{I: 5, J: 5, K: 40, MK: 20, Angles: 6}
+	des, err := sweep3d.RunOnDES(small, 8, 4, cml.CurrentSoftware())
+	if err != nil {
+		panic(err)
+	}
+	model := sweep3d.CellIterationTime(small, 1, sweep3d.CellMeasured)
+	fmt.Printf("DES iteration   %v (balance error %.2e)\n", des.IterationTime, des.BalanceError())
+	fmt.Printf("model iteration %v (ratio %.2f)\n", model,
+		float64(des.IterationTime)/float64(model))
+}

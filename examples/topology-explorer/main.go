@@ -1,0 +1,57 @@
+// Topology explorer: walk the InfiniBand fat tree the way §II.B-C
+// describes it — hop census, per-class latencies, and the Fig. 10
+// latency map's plateaus.
+package main
+
+import (
+	"fmt"
+
+	"roadrunner/internal/fabric"
+	"roadrunner/internal/microbench"
+)
+
+func main() {
+	fab := fabric.New()
+	fmt.Printf("fabric: %d nodes in %d CUs\n\n", fab.Nodes(), 17)
+
+	c := fab.Census(fabric.NodeID{})
+	fmt.Println("Table I census from node 0:")
+	fmt.Printf("  self                      %5d (0 hops)\n", c.Self)
+	fmt.Printf("  same crossbar             %5d (1 hop)\n", c.SameXbar)
+	fmt.Printf("  same CU                   %5d (3 hops)\n", c.SameCU)
+	fmt.Printf("  CUs 2-12 same crossbar    %5d (3 hops)\n", c.NearCUsSameXbar)
+	fmt.Printf("  CUs 2-12 other crossbar   %5d (5 hops)\n", c.NearCUsOtherXbar)
+	fmt.Printf("  CUs 13-17 same crossbar   %5d (5 hops)\n", c.FarCUsSameXbar)
+	fmt.Printf("  CUs 13-17 other crossbar  %5d (7 hops)\n", c.FarCUsOtherXbar)
+	fmt.Printf("  mean hops                 %.2f\n\n", c.MeanHops)
+
+	fmt.Println("Fig. 10 latency plateaus (zero-byte one-way from rank 0):")
+	samples := []struct {
+		name string
+		node int
+	}{
+		{"same crossbar", 1},
+		{"same CU", 100},
+		{"CU 2, shared crossbar (dip)", 180},
+		{"CU 2, different crossbar", 190},
+		{"CU 17 (across the middle)", 16*180 + 100},
+	}
+	for _, s := range samples {
+		dst := fabric.FromGlobal(s.node)
+		fmt.Printf("  %-28s node %4d: %d hops, %v\n",
+			s.name, s.node, fab.Hops(fabric.FromGlobal(0), dst),
+			microbench.Fig10Latency(fab, dst))
+	}
+
+	fmt.Println("\nuplink wiring of node 0's crossbar (why CU-2 nodes 0-7 are 3 hops):")
+	k := fabric.LineXbar(0)
+	fmt.Printf("  line crossbar %d -> switches %v, landing crossbar %d in each\n",
+		k, fabric.UplinkSwitches(k), fabric.SwitchLevelXbar(k))
+
+	fmt.Println("\nscaling the machine down:")
+	for _, cus := range []int{1, 4, 12, 17} {
+		f := fabric.NewScaled(cus)
+		cc := f.Census(fabric.NodeID{})
+		fmt.Printf("  %2d CUs: %4d nodes, mean %.2f hops\n", cus, f.Nodes(), cc.MeanHops)
+	}
+}

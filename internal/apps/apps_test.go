@@ -1,0 +1,63 @@
+package apps
+
+import (
+	"testing"
+
+	"roadrunner/internal/spu"
+)
+
+func TestPortfolioSpeedups(t *testing.T) {
+	// §IV.A: SPaSM and Milagro gain 1.5x on the PowerXCell 8i; VPIC,
+	// being single precision, gains essentially nothing.
+	want := map[string][2]float64{
+		"VPIC":    {0.98, 1.05},
+		"SPaSM":   {1.35, 1.6},
+		"Milagro": {1.35, 1.6},
+		"Sweep3D": {1.5, 2.1},
+	}
+	for _, a := range Portfolio() {
+		band, ok := want[a.Name]
+		if !ok {
+			t.Fatalf("unexpected app %q", a.Name)
+		}
+		s := a.Speedup()
+		if s < band[0] || s > band[1] {
+			t.Errorf("%s speedup = %.2f, want in [%.2f, %.2f]", a.Name, s, band[0], band[1])
+		}
+	}
+}
+
+func TestSpeedupOrdering(t *testing.T) {
+	// DP intensity orders the gains: VPIC < SPaSM/Milagro < Sweep3D.
+	apps := map[string]float64{}
+	for _, a := range Portfolio() {
+		apps[a.Name] = a.Speedup()
+	}
+	if !(apps["VPIC"] < apps["SPaSM"] && apps["SPaSM"] < apps["Sweep3D"]+0.3) {
+		t.Errorf("ordering violated: %v", apps)
+	}
+}
+
+func TestMixesExecute(t *testing.T) {
+	for _, a := range Portfolio() {
+		for _, m := range []*spu.Model{spu.CellBE(), spu.PowerXCell8i()} {
+			c := a.CyclesPerIteration(m)
+			if c <= 0 || c > 1000 {
+				t.Errorf("%s on %s: %.1f cycles/iter", a.Name, m.Name, c)
+			}
+		}
+	}
+}
+
+func TestVPICIdenticalOnBothChips(t *testing.T) {
+	// No FPD instructions at all: the two chips are cycle-identical.
+	vpic := Portfolio()[0]
+	if vpic.FPD != 0 {
+		t.Fatal("VPIC should be pure single precision")
+	}
+	cbe := vpic.CyclesPerIteration(spu.CellBE())
+	pxc := vpic.CyclesPerIteration(spu.PowerXCell8i())
+	if cbe != pxc {
+		t.Errorf("VPIC differs: %v vs %v", cbe, pxc)
+	}
+}

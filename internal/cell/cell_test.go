@@ -1,0 +1,126 @@
+package cell
+
+import (
+	"math"
+	"testing"
+
+	"roadrunner/internal/units"
+)
+
+func TestVariantConfigs(t *testing.T) {
+	cbe := New(CellBE)
+	if cbe.Memory != XDR || cbe.MaxBlade != 2*units.GB {
+		t.Errorf("CellBE memory: %v %v", cbe.Memory, cbe.MaxBlade)
+	}
+	pxc := New(PowerXCell8i)
+	if pxc.Memory != DDR2_800 || pxc.MaxBlade != 32*units.GB {
+		t.Errorf("PXC8i memory: %v %v", pxc.Memory, pxc.MaxBlade)
+	}
+	if cbe.Variant.String() != "Cell BE" || pxc.Variant.String() != "PowerXCell 8i" {
+		t.Errorf("names: %v %v", cbe.Variant, pxc.Variant)
+	}
+}
+
+func TestPeaksMatchPaper(t *testing.T) {
+	pxc := New(PowerXCell8i)
+	// "the peak performance per PowerXCell 8i is 108.8 DP Gflops/s of
+	// which 102.4 Gflop/s are from the eight SPEs".
+	if got := pxc.PeakDP().GF(); math.Abs(got-108.8) > 0.01 {
+		t.Errorf("PXC8i PeakDP = %v, want 108.8", got)
+	}
+	if got := pxc.PPEPeakDP().GF(); math.Abs(got-6.4) > 0.01 {
+		t.Errorf("PPE peak = %v, want 6.4", got)
+	}
+	if got := (pxc.SPEPeakDP() * 8).GF(); math.Abs(got-102.4) > 0.01 {
+		t.Errorf("SPE aggregate = %v, want 102.4", got)
+	}
+	cbe := New(CellBE)
+	// "A single Cell BE has a peak performance of 217.6 Gflops/s ...
+	// drops to 21.0 Gflops/s for double-precision".
+	if got := cbe.PeakDP().GF(); math.Abs(got-21.0) > 0.05 {
+		t.Errorf("CellBE PeakDP = %v, want 21.0", got)
+	}
+	if got := cbe.PeakSP().GF(); math.Abs(got-217.6) > 0.05 {
+		t.Errorf("CellBE PeakSP = %v, want 217.6", got)
+	}
+}
+
+func TestSustainedDPFromPipeline(t *testing.T) {
+	// The pipeline-derived sustained rates: 14.6 vs 102.4 GF/s (the 7x
+	// improvement the paper headlines).
+	cbe := New(CellBE).SPEAggregateDPSustained().GF()
+	pxc := New(PowerXCell8i).SPEAggregateDPSustained().GF()
+	if math.Abs(cbe-14.6)/14.6 > 0.05 {
+		t.Errorf("CellBE sustained = %v, want ~14.6", cbe)
+	}
+	if math.Abs(pxc-102.4)/102.4 > 0.02 {
+		t.Errorf("PXC8i sustained = %v, want ~102.4", pxc)
+	}
+}
+
+func TestSPETriadMatchesTableIII(t *testing.T) {
+	pxc := New(PowerXCell8i)
+	got := pxc.SPETriad().GBps()
+	if math.Abs(got-29.28)/29.28 > 0.02 {
+		t.Errorf("SPE triad = %v GB/s, want 29.28 +-2%%", got)
+	}
+	// Must stay under the 51.2 GB/s local-store peak.
+	if got >= pxc.LocalStorePeak().GBps() {
+		t.Errorf("triad %v exceeds local store peak %v", got, pxc.LocalStorePeak())
+	}
+}
+
+func TestCellBETriadSlower(t *testing.T) {
+	// The unpipelined DP unit drags the Cell BE triad far below the
+	// PowerXCell 8i's.
+	cbe := New(CellBE).SPETriad()
+	pxc := New(PowerXCell8i).SPETriad()
+	if cbe >= pxc {
+		t.Errorf("CellBE triad %v >= PXC8i %v", cbe, pxc)
+	}
+	if ratio := float64(pxc) / float64(cbe); ratio < 1.5 {
+		t.Errorf("triad ratio = %v, want >= 1.5", ratio)
+	}
+}
+
+func TestPPETriadMatchesTableIII(t *testing.T) {
+	got := New(PowerXCell8i).PPETriad().GBps()
+	if math.Abs(got-0.89)/0.89 > 0.02 {
+		t.Errorf("PPE triad = %v GB/s, want 0.89", got)
+	}
+}
+
+func TestMemLatencies(t *testing.T) {
+	c := New(PowerXCell8i)
+	if got := c.PPEMemLatency(); got != units.FromNanoseconds(23.4) {
+		t.Errorf("PPE latency = %v, want 23.4ns", got)
+	}
+	if got := c.SPELocalStoreLatency(); got != units.FromNanoseconds(9.4) {
+		t.Errorf("SPE LS latency = %v, want 9.4ns", got)
+	}
+	h := c.PPEHierarchy()
+	if err := h.Validate(); err != nil {
+		t.Errorf("PPE hierarchy: %v", err)
+	}
+}
+
+func TestLocalStorePeak(t *testing.T) {
+	c := New(PowerXCell8i)
+	if got := c.LocalStorePeak().GBps(); math.Abs(got-51.2) > 0.01 {
+		t.Errorf("local store peak = %v, want 51.2", got)
+	}
+}
+
+func TestTableIIIOrdering(t *testing.T) {
+	// The paper's conclusion from Table III: SPE >> Opteron >> PPE for
+	// bandwidth (the PPE "is a bottleneck and is best used for control").
+	c := New(PowerXCell8i)
+	spe := c.SPETriad()
+	ppe := c.PPETriad()
+	if spe <= ppe {
+		t.Error("SPE should far exceed PPE bandwidth")
+	}
+	if float64(spe)/float64(ppe) < 20 {
+		t.Errorf("SPE/PPE ratio = %v, want > 20x", float64(spe)/float64(ppe))
+	}
+}

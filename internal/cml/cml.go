@@ -1,0 +1,354 @@
+// Package cml implements the Cell Messaging Layer of §V.C: an MPI-like
+// layer in which every SPE in the cluster has a unique rank and the PPEs
+// and Opterons serve only as message forwarders (plus an RPC facility for
+// the few services SPEs cannot perform — main-memory allocation on the
+// PPE, file I/O on the Opteron).
+//
+// Transport selection follows the hardware path:
+//
+//   - same Cell socket: local-store-to-local-store DMA over the EIB
+//     (0.272 us latency, ~22.4 GB/s — the measured CML fast path);
+//   - same triblade, different Cell: SPE -> PPE -> DaCS/PCIe -> Opteron
+//     -> DaCS/PCIe -> peer PPE -> SPE;
+//   - different triblade: the full Fig. 6 path — SPE -> PPE (local,
+//     0.12 us), DaCS to the Opteron (3.19 us), MPI over InfiniBand to the
+//     peer Opteron (2.16 us + 220 ns/extra hop), DaCS down to the far
+//     PPE, and a final local hop: 8.78 us end to end for a zero-byte
+//     message between adjacent nodes.
+//
+// Messages execute store-and-forward on the DES, holding the DaCS pairs
+// and HCAs they cross, so congestion composes naturally with everything
+// else in flight.
+package cml
+
+import (
+	"fmt"
+
+	"roadrunner/internal/dacs"
+	"roadrunner/internal/eib"
+	"roadrunner/internal/fabric"
+	"roadrunner/internal/ib"
+	"roadrunner/internal/params"
+	"roadrunner/internal/sim"
+	"roadrunner/internal/units"
+)
+
+// SPEsPerCell is the rank slots per Cell socket.
+const SPEsPerCell = 8
+
+// CellsPerNode is the Cell sockets per triblade.
+const CellsPerNode = 4
+
+// RanksPerNode is the SPE ranks one triblade contributes.
+const RanksPerNode = SPEsPerCell * CellsPerNode
+
+// Addr locates an SPE rank on the machine.
+type Addr struct {
+	Node fabric.NodeID
+	Cell int // 0..3 within the triblade
+	SPE  int // 0..7 within the socket
+}
+
+// String renders the address.
+func (a Addr) String() string {
+	return fmt.Sprintf("%v/cell%d/spe%d", a.Node, a.Cell, a.SPE)
+}
+
+// Message is a CML message.
+type Message struct {
+	Src  int
+	Dst  int
+	Tag  int
+	Data []float64
+	Size units.Size
+}
+
+// Config selects the transport profiles for a CML world.
+type Config struct {
+	DaCS dacs.Profile
+	IB   ib.Profile
+}
+
+// CurrentSoftware returns the measured early-stack configuration.
+func CurrentSoftware() Config {
+	return Config{DaCS: dacs.Current(), IB: ib.OpenMPI()}
+}
+
+// PeakPCIe returns the projected hardware-limited configuration the
+// paper's "best achievable" model uses.
+func PeakPCIe() Config {
+	return Config{DaCS: dacs.PeakPCIe(), IB: ib.OpenMPI()}
+}
+
+type cellKey struct {
+	node fabric.NodeID
+	cell int
+}
+
+// World is a CML communicator: one rank per SPE.
+type World struct {
+	eng   *sim.Engine
+	fab   *fabric.System
+	cfg   Config
+	ranks []*Rank
+	pairs map[cellKey]*dacs.Pair
+	buses map[cellKey]*eib.Bus
+	mfcs  map[cellKey][]*eib.MFC
+	hcas  map[fabric.NodeID]*ib.HCA
+}
+
+// NewWorld creates an empty CML world.
+func NewWorld(eng *sim.Engine, fab *fabric.System, cfg Config) *World {
+	return &World{
+		eng:   eng,
+		fab:   fab,
+		cfg:   cfg,
+		pairs: make(map[cellKey]*dacs.Pair),
+		buses: make(map[cellKey]*eib.Bus),
+		mfcs:  make(map[cellKey][]*eib.MFC),
+		hcas:  make(map[fabric.NodeID]*ib.HCA),
+	}
+}
+
+// AddRank places a rank at the given SPE and returns it.
+func (w *World) AddRank(a Addr) *Rank {
+	if a.Cell < 0 || a.Cell >= CellsPerNode || a.SPE < 0 || a.SPE >= SPEsPerCell {
+		panic(fmt.Sprintf("cml: bad address %v", a))
+	}
+	r := &Rank{
+		world: w,
+		id:    len(w.ranks),
+		addr:  a,
+		inbox: sim.NewMailbox[*Message](w.eng, fmt.Sprintf("spe-rank%d", len(w.ranks))),
+	}
+	w.ranks = append(w.ranks, r)
+	ck := cellKey{a.Node, a.Cell}
+	if _, ok := w.pairs[ck]; !ok {
+		name := fmt.Sprintf("dacs-%v-c%d", a.Node, a.Cell)
+		w.pairs[ck] = dacs.NewPair(w.eng, name, w.cfg.DaCS)
+		bus := eib.NewBus(w.eng, fmt.Sprintf("eib-%v-c%d", a.Node, a.Cell))
+		w.buses[ck] = bus
+		mfcs := make([]*eib.MFC, SPEsPerCell)
+		for i := range mfcs {
+			mfcs[i] = eib.NewMFC(bus, i)
+		}
+		w.mfcs[ck] = mfcs
+	}
+	if _, ok := w.hcas[a.Node]; !ok {
+		w.hcas[a.Node] = ib.NewHCA(w.eng, w.cfg.IB)
+	}
+	return r
+}
+
+// AddNodeRanks places all 32 SPE ranks of a triblade in canonical order
+// (cell-major, SPE-minor) and returns them.
+func (w *World) AddNodeRanks(node fabric.NodeID) []*Rank {
+	out := make([]*Rank, 0, RanksPerNode)
+	for c := 0; c < CellsPerNode; c++ {
+		for s := 0; s < SPEsPerCell; s++ {
+			out = append(out, w.AddRank(Addr{node, c, s}))
+		}
+	}
+	return out
+}
+
+// Size returns the rank count.
+func (w *World) Size() int { return len(w.ranks) }
+
+// Rank returns rank i.
+func (w *World) Rank(i int) *Rank { return w.ranks[i] }
+
+// Rank is one SPE-resident MPI rank.
+type Rank struct {
+	world *World
+	id    int
+	addr  Addr
+	inbox *sim.Mailbox[*Message]
+}
+
+// ID returns the rank number.
+func (r *Rank) ID() int { return r.id }
+
+// Addr returns the rank's placement.
+func (r *Rank) Addr() Addr { return r.addr }
+
+// opteronCore returns the Opteron core that forwards for this rank's
+// Cell (the paired core; see triblade).
+func (r *Rank) opteronCore() int { return r.addr.Cell }
+
+// Send transmits data to rank dst, blocking the caller while the message
+// crosses each segment of its path (store-and-forward).
+func (r *Rank) Send(p *sim.Proc, dst, tag int, data []float64) {
+	w := r.world
+	if dst < 0 || dst >= len(w.ranks) {
+		panic(fmt.Sprintf("cml: send to %d of %d", dst, len(w.ranks)))
+	}
+	to := w.ranks[dst]
+	size := units.Size(8 * len(data))
+	msg := &Message{Src: r.id, Dst: dst, Tag: tag, Data: data, Size: size}
+
+	src, dstA := r.addr, to.addr
+	srcKey := cellKey{src.Node, src.Cell}
+	dstKey := cellKey{dstA.Node, dstA.Cell}
+
+	switch {
+	case srcKey == dstKey:
+		// Same socket: local-store DMA across the EIB.
+		p.Sleep(params.CMLIntraSocketLatency)
+		if size > 0 {
+			w.mfcs[srcKey][src.SPE].PutTo(p, dstA.SPE, size)
+		}
+		to.inbox.Put(msg)
+		return
+
+	case src.Node == dstA.Node:
+		// Same triblade, different Cell: up through DaCS, across the
+		// node, back down through the peer's DaCS.
+		p.Sleep(params.LocalSegment) // SPE -> PPE staging
+		w.pairs[srcKey].Send(p, dacs.CellToOpteron, size)
+		w.pairs[dstKey].Send(p, dacs.OpteronToCell, size)
+		p.Sleep(params.LocalSegment) // PPE -> SPE delivery
+		to.inbox.Put(msg)
+		return
+	}
+
+	// Internode: the full Fig. 6 path.
+	p.Sleep(params.LocalSegment)
+	w.pairs[srcKey].Send(p, dacs.CellToOpteron, size)
+
+	pr := w.cfg.IB
+	hops := w.fab.Hops(src.Node, dstA.Node)
+	fabLat := units.Time(hops) * pr.HopLatency
+	pairBW := pr.PairBandwidth(r.opteronCore(), to.opteronCore())
+	p.Sleep(pr.PerSideOverhead)
+	if size > pr.EagerThreshold {
+		p.Sleep(2 * (2*pr.PerSideOverhead + fabLat))
+	}
+	if size > 0 {
+		w.hcas[src.Node].Stream(p, 0, size, pairBW)
+	}
+	p.Sleep(fabLat + pr.PerSideOverhead)
+
+	w.pairs[dstKey].Send(p, dacs.OpteronToCell, size)
+	p.Sleep(params.LocalSegment)
+	to.inbox.Put(msg)
+}
+
+// Recv blocks until a message matching (src, tag) arrives. Use -1 as a
+// wildcard for either.
+func (r *Rank) Recv(p *sim.Proc, src, tag int) *Message {
+	return r.inbox.GetMatch(p, func(m *Message) bool {
+		return (src < 0 || m.Src == src) && (tag < 0 || m.Tag == tag)
+	})
+}
+
+// Collective tags (high bits, clear of application tags).
+const (
+	tagBarrier = 1 << 28
+	tagBcast   = 1 << 29
+	tagReduce  = 1 << 30
+)
+
+// Barrier synchronises all ranks (binomial tree at rank 0).
+func (r *Rank) Barrier(p *sim.Proc) {
+	size := len(r.world.ranks)
+	for dist := 1; dist < size; dist *= 2 {
+		if r.id&dist != 0 {
+			r.Send(p, r.id-dist, tagBarrier, nil)
+			break
+		} else if r.id+dist < size {
+			r.Recv(p, r.id+dist, tagBarrier)
+		}
+	}
+	start := 1
+	for start*2 < size {
+		start *= 2
+	}
+	for dist := start; dist >= 1; dist /= 2 {
+		if r.id&dist != 0 {
+			r.Recv(p, r.id-dist, tagBarrier+1)
+			break
+		}
+	}
+	for dist := start; dist >= 1; dist /= 2 {
+		if r.id&dist == 0 && r.id+dist < size {
+			r.Send(p, r.id+dist, tagBarrier+1, nil)
+		}
+	}
+}
+
+// Bcast broadcasts from root over a binomial tree; non-roots return the
+// received payload.
+func (r *Rank) Bcast(p *sim.Proc, root int, data []float64) []float64 {
+	size := len(r.world.ranks)
+	rel := (r.id - root + size) % size
+	if rel != 0 {
+		h := 1
+		for h*2 <= rel {
+			h *= 2
+		}
+		src := (rel - h + root) % size
+		data = r.Recv(p, src, tagBcast).Data
+	}
+	h := 1
+	for h <= rel {
+		h *= 2
+	}
+	for ; rel+h < size; h *= 2 {
+		r.Send(p, (rel+h+root)%size, tagBcast, data)
+	}
+	return data
+}
+
+// Allreduce sums each rank's vector elementwise across all ranks.
+func (r *Rank) Allreduce(p *sim.Proc, vals []float64) []float64 {
+	size := len(r.world.ranks)
+	acc := append([]float64(nil), vals...)
+	var toRoot bool
+	for h := 1; h < size; h *= 2 {
+		if r.id&h != 0 {
+			r.Send(p, r.id-h, tagReduce, acc)
+			toRoot = true
+			break
+		}
+		if r.id+h < size {
+			msg := r.Recv(p, r.id+h, tagReduce)
+			for i := range acc {
+				acc[i] += msg.Data[i]
+			}
+		}
+	}
+	if toRoot {
+		acc = nil
+	}
+	return r.Bcast(p, 0, acc)
+}
+
+// RPCKind selects the remote-procedure-call target of §V.C.
+type RPCKind int
+
+// The two RPC services the paper's Sweep3D uses.
+const (
+	RPCMallocOnPPE RPCKind = iota // main-memory allocation
+	RPCReadOnHost                 // input-file read on the Opteron
+)
+
+// RPC performs a synchronous remote call: a round trip to the PPE, or
+// through DaCS to the Opteron, returning after the reply. The modelled
+// reply payload adds transfer time for replySize bytes on the return leg.
+func (r *Rank) RPC(p *sim.Proc, kind RPCKind, replySize units.Size) {
+	w := r.world
+	ck := cellKey{r.addr.Node, r.addr.Cell}
+	switch kind {
+	case RPCMallocOnPPE:
+		// SPE <-> PPE mailbox round trip.
+		p.Sleep(2 * params.LocalSegment)
+	case RPCReadOnHost:
+		p.Sleep(params.LocalSegment)
+		w.pairs[ck].Send(p, dacs.CellToOpteron, 64) // request descriptor
+		w.pairs[ck].Send(p, dacs.OpteronToCell, replySize)
+		p.Sleep(params.LocalSegment)
+	default:
+		panic(fmt.Sprintf("cml: rpc kind %d", kind))
+	}
+}

@@ -1,0 +1,154 @@
+package experiments
+
+import (
+	"fmt"
+
+	"roadrunner/internal/fabric"
+	"roadrunner/internal/machine"
+	"roadrunner/internal/params"
+	"roadrunner/internal/triblade"
+)
+
+func init() {
+	register("fig1", "Triblade structure", "Fig. 1", runFig1)
+	register("fig2", "System interconnect structure", "Fig. 2", runFig2)
+	register("table1", "Crossbar-hop census from node 0", "Table I", runTable1)
+	register("table2", "Roadrunner performance characteristics", "Table II", runTable2)
+	register("fig3", "Node processing and memory breakdown", "Fig. 3", runFig3)
+}
+
+func runFig1() *Artifact {
+	a := newArtifact("fig1", "Triblade structure", "Fig. 1")
+	n := triblade.New()
+
+	inv := newTableHelper("Triblade inventory", "component", "count", "detail")
+	inv.AddRow("LS21 Opteron blade", 1, n.Opteron.Name)
+	inv.AddRow("QS22 Cell blades", 2, n.Cell.Variant.String())
+	inv.AddRow("Opteron cores", triblade.NumOpteronCores, fmt.Sprintf("%v each", n.Opteron.PeakDPPerCore()))
+	inv.AddRow("PowerXCell 8i chips", triblade.NumCells, fmt.Sprintf("%v each (DP)", n.Cell.PeakDP()))
+	inv.AddRow("SPEs", triblade.NumCells*8, "256KB local store each")
+	a.Tables = append(a.Tables, inv)
+
+	links := newTableHelper("Internal links", "link", "from", "to", "bandwidth/dir")
+	for _, l := range n.Links() {
+		links.AddRow(l.Name, l.From, l.To, l.Bandwidth.String())
+	}
+	a.Tables = append(a.Tables, links)
+
+	a.Checks.Exact("opteron cores", float64(triblade.NumOpteronCores), 4)
+	a.Checks.Exact("cell chips", float64(triblade.NumCells), 4)
+	a.Checks.Exact("pcie links", 4, 4)
+	a.Checks.Within("PCIe per direction (GB/s)", float64(params.PCIeBandwidthPeak)/1e9, 2.0, 0)
+	a.Checks.Within("HT per direction (GB/s)", float64(params.HTBandwidth)/1e9, 6.4, 0)
+	a.Checks.True("core i paired with cell i", n.PairedCell(2) == 2, "identity pairing")
+	a.Checks.True("HCA near cores 1,3", n.HCANearCore(1) && n.HCANearCore(3) && !n.HCANearCore(0), "Fig. 8 asymmetry")
+	return a
+}
+
+func runFig2() *Artifact {
+	a := newArtifact("fig2", "System interconnect structure", "Fig. 2")
+	fab := fabric.New()
+	au := fab.Audit()
+	t := newTableHelper("Fabric audit", "quantity", "value")
+	t.AddRow("CUs", au.CUs)
+	t.AddRow("nodes per CU", au.NodesPerCU)
+	t.AddRow("I/O nodes per CU", au.IONodesPerCU)
+	t.AddRow("line crossbars per CU switch", au.LineXbarsPerCU)
+	t.AddRow("spine crossbars per CU switch", au.SpineXbarsPerCU)
+	t.AddRow("external ports in use per CU", au.ExternalPortsPerCU)
+	t.AddRow("uplinks per CU", au.UplinksPerCU)
+	t.AddRow("inter-CU switches", au.InterCUSwitches)
+	t.AddRow("uplinks per CU per switch", au.UplinksPerCUPerSw)
+	t.AddRow("taper (node links : uplinks)", fmt.Sprintf("%.3f : 1", au.TaperRatio))
+	t.AddRow("max CUs supported", au.MaxCUsSupported)
+	a.Tables = append(a.Tables, t)
+
+	a.Checks.Exact("192 used ports per CU", float64(au.ExternalPortsPerCU), 192)
+	a.Checks.Exact("96 uplinks per CU", float64(au.UplinksPerCU), 96)
+	a.Checks.Exact("8 inter-CU switches", float64(au.InterCUSwitches), 8)
+	a.Checks.Within("~2:1 reduced fat tree", au.TaperRatio, 1.875, 0.001)
+	a.Checks.Exact("design allows 24 CUs", float64(au.MaxCUsSupported), 24)
+	return a
+}
+
+func runTable1() *Artifact {
+	a := newArtifact("table1", "Crossbar-hop census from node 0", "Table I")
+	fab := fabric.New()
+	c := fab.Census(fabric.NodeID{CU: 0, Node: 0})
+
+	t := newTableHelper("Table I", "destination", "count", "hops", "paper count")
+	t.AddRow("Self", c.Self, 0, 1)
+	t.AddRow("Within same crossbar", c.SameXbar, 1, 7)
+	t.AddRow("Within same CU", c.SameCU, 3, 172)
+	t.AddRow("In CUs 2-12, same crossbar", c.NearCUsSameXbar, 3, 88)
+	t.AddRow("In CUs 2-12, different crossbar", c.NearCUsOtherXbar, 5, 1892)
+	t.AddRow("In CUs 13-17, same crossbar", c.FarCUsSameXbar, 5, 40)
+	t.AddRow("In CUs 13-17, different crossbar", c.FarCUsOtherXbar, 7, 860)
+	t.AddRow("Total", c.Total, fmt.Sprintf("%.2f (average)", c.MeanHops), 3060)
+	a.Tables = append(a.Tables, t)
+
+	a.Checks.Exact("same crossbar", float64(c.SameXbar), 7)
+	a.Checks.Exact("same CU", float64(c.SameCU), 172)
+	a.Checks.Exact("CUs 2-12 same crossbar", float64(c.NearCUsSameXbar), 88)
+	a.Checks.Exact("CUs 2-12 different crossbar", float64(c.NearCUsOtherXbar), 1892)
+	a.Checks.Exact("CUs 13-17 same crossbar", float64(c.FarCUsSameXbar), 40)
+	a.Checks.Exact("CUs 13-17 different crossbar", float64(c.FarCUsOtherXbar), 860)
+	a.Checks.Exact("total", float64(c.Total), 3060)
+	a.Checks.Within("average hops", c.MeanHops, 5.38, 0.002)
+	return a
+}
+
+func runTable2() *Artifact {
+	a := newArtifact("table2", "Roadrunner performance characteristics", "Table II")
+	s := machine.New(machine.Full())
+	n := s.Node
+
+	t := newTableHelper("Table II", "quantity", "model", "paper")
+	t.AddRow("CU count", s.Config.CUs, 17)
+	t.AddRow("Node count", s.Nodes(), 3060)
+	t.AddRow("Peak DP", s.PeakDP().String(), "1.38 PF/s")
+	t.AddRow("Peak SP", s.PeakSP().String(), "2.91 PF/s")
+	t.AddRow("CU peak DP", s.CUPeakDP().String(), "80.9 TF/s")
+	t.AddRow("Node Opteron DP", n.OpteronPeakDP().String(), "14.4 GF/s")
+	t.AddRow("Node Cell DP", n.CellPeakDP().String(), "435.2 GF/s")
+	t.AddRow("Memory per node", (n.OpteronMemory() + n.CellMemory()).String(), "32GB")
+	t.AddRow("SPEs", s.SPEs(), 97920)
+	a.Tables = append(a.Tables, t)
+
+	a.Checks.Within("system DP (PF/s)", s.PeakDP().PF(), 1.38, 0.005)
+	a.Checks.Within("CU DP (TF/s)", s.CUPeakDP().TF(), 80.9, 0.005)
+	a.Checks.Within("node Opteron DP (GF/s)", n.OpteronPeakDP().GF(), 14.4, 1e-9)
+	a.Checks.Within("node Cell DP (GF/s)", n.CellPeakDP().GF(), 435.2, 1e-4)
+	a.Checks.Exact("SPE count", float64(s.SPEs()), 97920)
+	a.Checks.Within("accelerated fraction", s.AcceleratedFraction(), 0.95, 0.025)
+	return a
+}
+
+func runFig3() *Artifact {
+	a := newArtifact("fig3", "Node processing and memory breakdown", "Fig. 3")
+	n := triblade.New()
+	t := newTableHelper("Fig. 3a: peak DP rate", "component", "GF/s", "share")
+	spe, ppe, opt := n.SPEPeakDP(), n.PPEPeakDP(), n.OpteronPeakDP()
+	total := n.PeakDP()
+	shr := func(f float64) string { return fmt.Sprintf("%.1f%%", 100*f/float64(total)) }
+	t.AddRow("SPEs (32)", spe.GF(), shr(float64(spe)))
+	t.AddRow("PPUs (4)", ppe.GF(), shr(float64(ppe)))
+	t.AddRow("Opterons (4 cores)", opt.GF(), shr(float64(opt)))
+	a.Tables = append(a.Tables, t)
+
+	m := newTableHelper("Fig. 3b: memory capacity", "component", "capacity")
+	m.AddRow("Cell off-chip", n.CellMemory().String())
+	m.AddRow("Opteron off-chip", n.OpteronMemory().String())
+	m.AddRow("Cell on-chip", n.CellOnChip().String())
+	m.AddRow("Opteron on-chip", n.OpteronOnChip().String())
+	a.Tables = append(a.Tables, m)
+
+	a.Checks.Within("SPE slice (GF/s)", spe.GF(), 409.6, 1e-6)
+	a.Checks.Within("PPU slice (GF/s)", ppe.GF(), 25.6, 1e-6)
+	a.Checks.Within("Opteron slice (GF/s)", opt.GF(), 14.4, 1e-9)
+	a.Checks.Exact("Cell off-chip (GB)", n.CellMemory().GBytes(), 16)
+	a.Checks.Exact("Opteron off-chip (GB)", n.OpteronMemory().GBytes(), 16)
+	a.Checks.Within("Cell on-chip (MB)", n.CellOnChip().MBytes(), 10.25, 1e-9)
+	a.Checks.Within("Opteron on-chip (MB)", n.OpteronOnChip().MBytes(), 8.5, 1e-9)
+	return a
+}

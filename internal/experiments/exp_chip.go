@@ -1,0 +1,96 @@
+package experiments
+
+import (
+	"roadrunner/internal/isa"
+	"roadrunner/internal/microbench"
+	"roadrunner/internal/report"
+	"roadrunner/internal/spu"
+)
+
+func init() {
+	register("fig4", "SPU instruction latency by execution group", "Fig. 4", runFig4)
+	register("fig5", "SPU repetition distance by execution group", "Fig. 5", runFig5)
+	register("table3", "Measured memory performance", "Table III", runTable3)
+}
+
+func runFig4() *Artifact {
+	a := newArtifact("fig4", "SPU instruction latency by execution group", "Fig. 4")
+	cbe, pxc := spu.CellBE(), spu.PowerXCell8i()
+	fig := report.NewFigure("Fig. 4: latency (cycles)", "group", "cycles")
+	sc := fig.NewSeries("Cell BE")
+	sp := fig.NewSeries("PowerXCell 8i")
+	tbl := newTableHelper("Instruction latency", "group", "Cell BE", "PowerXCell 8i")
+	for gi, g := range isa.Groups() {
+		lc, lp := cbe.MeasureLatency(g), pxc.MeasureLatency(g)
+		sc.Add(float64(gi), float64(lc))
+		sp.Add(float64(gi), float64(lp))
+		tbl.AddRow(g.String(), lc, lp)
+	}
+	a.Figures = append(a.Figures, fig)
+	a.Tables = append(a.Tables, tbl)
+
+	a.Checks.Exact("CBE FPD latency", float64(cbe.MeasureLatency(isa.FPD)), 13)
+	a.Checks.Exact("PXC8i FPD latency", float64(pxc.MeasureLatency(isa.FPD)), 9)
+	same := true
+	for _, g := range isa.Groups() {
+		if g != isa.FPD && cbe.MeasureLatency(g) != pxc.MeasureLatency(g) {
+			same = false
+		}
+	}
+	a.Checks.True("only FPD differs", same, "all other groups identical")
+	a.Checks.Exact("FP6 latency", float64(pxc.MeasureLatency(isa.FP6)), 6)
+	a.Checks.Exact("LS latency", float64(pxc.MeasureLatency(isa.LS)), 6)
+	return a
+}
+
+func runFig5() *Artifact {
+	a := newArtifact("fig5", "SPU repetition distance by execution group", "Fig. 5")
+	cbe, pxc := spu.CellBE(), spu.PowerXCell8i()
+	fig := report.NewFigure("Fig. 5: repetition distance (cycles)", "group", "cycles")
+	sc := fig.NewSeries("Cell BE")
+	sp := fig.NewSeries("PowerXCell 8i")
+	tbl := newTableHelper("Repetition distance", "group", "Cell BE", "PowerXCell 8i")
+	for gi, g := range isa.Groups() {
+		rc, rp := cbe.MeasureRepetition(g), pxc.MeasureRepetition(g)
+		sc.Add(float64(gi), float64(rc))
+		sp.Add(float64(gi), float64(rp))
+		tbl.AddRow(g.String(), rc, rp)
+	}
+	a.Figures = append(a.Figures, fig)
+	a.Tables = append(a.Tables, tbl)
+
+	a.Checks.Exact("CBE FPD repetition", float64(cbe.MeasureRepetition(isa.FPD)), 7)
+	a.Checks.Exact("PXC8i FPD repetition", float64(pxc.MeasureRepetition(isa.FPD)), 1)
+	allOne := true
+	for _, g := range isa.Groups() {
+		if pxc.MeasureRepetition(g) != 1 {
+			allOne = false
+		}
+	}
+	a.Checks.True("PXC8i fully pipelined", allOne, "every unit repetition 1")
+	// The consequence the paper stresses: sustained aggregate DP.
+	a.Checks.Within("CBE aggregate DP (GF/s)", spu.CellBE().PeakDPFlops().GF()*8, 14.6, 0.05)
+	a.Checks.Within("PXC8i aggregate DP (GF/s)", pxc.PeakDPFlops().GF()*8, 102.4, 0.02)
+	return a
+}
+
+func runTable3() *Artifact {
+	a := newArtifact("table3", "Measured memory performance", "Table III")
+	rows := microbench.TableIII()
+	t := newTableHelper("Table III", "processor", "Stream Triad (GB/s)", "Latency (ns)")
+	for _, r := range rows {
+		t.AddRow(r.Processor, r.Triad.GBps(), r.Latency.Nanoseconds())
+	}
+	a.Tables = append(a.Tables, t)
+
+	a.Checks.Within("Opteron triad", rows[0].Triad.GBps(), 5.41, 0.01)
+	a.Checks.Within("PPE triad", rows[1].Triad.GBps(), 0.89, 0.02)
+	a.Checks.Within("SPE triad", rows[2].Triad.GBps(), 29.28, 0.02)
+	a.Checks.Within("Opteron latency (ns)", rows[0].Latency.Nanoseconds(), 30.5, 0.001)
+	a.Checks.Within("PPE latency (ns)", rows[1].Latency.Nanoseconds(), 23.4, 0.001)
+	a.Checks.Within("SPE latency (ns)", rows[2].Latency.Nanoseconds(), 9.4, 0.001)
+	a.Checks.True("SPE >> Opteron >> PPE bandwidth",
+		rows[2].Triad > rows[0].Triad && rows[0].Triad > rows[1].Triad,
+		"the PPE is the bottleneck, best used for control")
+	return a
+}

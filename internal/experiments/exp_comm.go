@@ -1,0 +1,154 @@
+package experiments
+
+import (
+	"roadrunner/internal/fabric"
+	"roadrunner/internal/ib"
+	"roadrunner/internal/microbench"
+	"roadrunner/internal/report"
+	"roadrunner/internal/units"
+)
+
+func init() {
+	register("fig6", "Zero-byte Cell-to-Cell latency breakdown", "Fig. 6", runFig6)
+	register("fig7", "Intra- and internode Cell-to-Cell bandwidth", "Fig. 7", runFig7)
+	register("fig8", "Internode bandwidth by Opteron core pair", "Fig. 8", runFig8)
+	register("fig9", "InfiniBand vs DaCS PCIe performance", "Fig. 9", runFig9)
+	register("fig10", "Zero-byte latency map from node 0", "Fig. 10", runFig10)
+}
+
+func runFig6() *Artifact {
+	a := newArtifact("fig6", "Zero-byte Cell-to-Cell latency breakdown", "Fig. 6")
+	segs := microbench.Fig6Breakdown()
+	t := newTableHelper("Fig. 6 segments", "segment", "time (us)")
+	for _, s := range segs {
+		t.AddRow(s.Name, s.Time.Microseconds())
+	}
+	t.AddRow("Total", microbench.Fig6Total().Microseconds())
+	a.Tables = append(a.Tables, t)
+
+	want := []float64{0.12, 3.19, 2.16, 3.19, 0.12}
+	for i, s := range segs {
+		a.Checks.Within("segment "+s.Name, s.Time.Microseconds(), want[i], 0.001)
+	}
+	a.Checks.Within("total (us)", microbench.Fig6Total().Microseconds(), 8.78, 0.001)
+	a.Checks.True("DaCS dominates", segs[1].Time > segs[2].Time,
+		"the major cost is Cell-Opteron, not the network")
+	return a
+}
+
+func runFig7() *Artifact {
+	a := newArtifact("fig7", "Intra- and internode Cell-to-Cell bandwidth", "Fig. 7")
+	fig := report.NewFigure("Fig. 7: Cell-to-Cell bandwidth", "message size (B)", "MB/s")
+	fig.XLog = true
+	ib2 := fig.NewSeries("Intranode, bidirectional")
+	iu2 := fig.NewSeries("Intranode, unidirectional x2")
+	nb2 := fig.NewSeries("Internode, bidirectional")
+	nu2 := fig.NewSeries("Internode, unidirectional x2")
+	for _, s := range microbench.PingPongSizes() {
+		x := float64(s)
+		ib2.Add(x, microbench.IntranodeBidir(s).MBps())
+		iu2.Add(x, 2*microbench.IntranodeUni(s).MBps())
+		nb2.Add(x, microbench.InternodeBidir(s).MBps())
+		nu2.Add(x, 2*microbench.InternodeUni(s).MBps())
+	}
+	a.Figures = append(a.Figures, fig)
+
+	big := 1 * units.MB
+	intraUni2 := 2 * microbench.IntranodeUni(big).MBps()
+	intraBi := microbench.IntranodeBidir(big).MBps()
+	interUni2 := 2 * microbench.InternodeUni(big).MBps()
+	interBi := microbench.InternodeBidir(big).MBps()
+	a.Checks.Within("intranode uni x2 (MB/s)", intraUni2, 2017, 0.05)
+	a.Checks.Within("intranode bidir (MB/s)", intraBi, 1295, 0.05)
+	a.Checks.Within("intranode duplex ratio", intraBi/intraUni2, 0.64, 0.06)
+	a.Checks.Within("internode uni x2 (MB/s)", interUni2, 536, 0.06)
+	a.Checks.Within("internode bidir (MB/s)", interBi, 375, 0.06)
+	a.Checks.Within("internode duplex ratio", interBi/interUni2, 0.70, 0.06)
+	return a
+}
+
+func runFig8() *Artifact {
+	a := newArtifact("fig8", "Internode bandwidth by Opteron core pair", "Fig. 8")
+	pr := ib.OpenMPI()
+	fig := report.NewFigure("Fig. 8: internode unidirectional bandwidth", "message size (B)", "MB/s")
+	fig.XLog = true
+	near := fig.NewSeries("Cores 1 or 3")
+	far := fig.NewSeries("Cores 0 or 2")
+	mixed := fig.NewSeries("Core 0 to Core 1")
+	for s := units.Size(1); s <= 10*units.MB; s *= 10 {
+		x := float64(s)
+		near.Add(x, pr.BandwidthAt(s, 1, 1, 3).MBps())
+		far.Add(x, pr.BandwidthAt(s, 1, 0, 2).MBps())
+		mixed.Add(x, pr.BandwidthAt(s, 1, 0, 1).MBps())
+	}
+	a.Figures = append(a.Figures, fig)
+
+	big := 8 * units.MB
+	n := pr.BandwidthAt(big, 1, 1, 3).MBps()
+	f := pr.BandwidthAt(big, 1, 0, 2).MBps()
+	m := pr.BandwidthAt(big, 1, 0, 1).MBps()
+	a.Checks.Within("cores 1/3 plateau (MB/s)", n, 1478, 0.02)
+	a.Checks.Within("cores 0/2 plateau (MB/s)", f, 1087, 0.02)
+	a.Checks.True("mixed pair between", m > f && m < n, "core 0 to core 1")
+	return a
+}
+
+func runFig9() *Artifact {
+	a := newArtifact("fig9", "InfiniBand vs DaCS PCIe performance", "Fig. 9")
+	fig := report.NewFigure("Fig. 9: same PCIe wire, two stacks", "message size (B)", "MB/s")
+	fig.XLog = true
+	dc := fig.NewSeries("Intra-node (Cell-Opteron, DaCS)")
+	ic := fig.NewSeries("Inter-node (Opteron-Opteron, MPI/IB)")
+	ratio := fig.NewSeries("Relative (inter vs intra)")
+	for s := units.Size(1); s <= 1*units.MB; s *= 4 {
+		x := float64(s)
+		d := microbench.Fig9DaCS(s).MBps()
+		i := microbench.Fig9IB(s).MBps()
+		dc.Add(x, d)
+		ic.Add(x, i)
+		if d > 0 {
+			ratio.Add(x, i/d)
+		}
+	}
+	a.Figures = append(a.Figures, fig)
+
+	r4 := float64(microbench.Fig9IB(4*units.KB)) / float64(microbench.Fig9DaCS(4*units.KB))
+	r1m := float64(microbench.Fig9IB(1*units.MB)) / float64(microbench.Fig9DaCS(1*units.MB))
+	a.Checks.True("IB > 2x DaCS below 20KB", r4 > 2, "small-message gap")
+	a.Checks.RatioInBand("ratio approaches 1 at 1MB", r1m, 1, 0.85, 1.45)
+	a.Checks.True("IB wins at every small size",
+		microbench.Fig9IB(1*units.KB) > microbench.Fig9DaCS(1*units.KB),
+		"despite crossing the network and two PCIe wires")
+	return a
+}
+
+func runFig10() *Artifact {
+	a := newArtifact("fig10", "Zero-byte latency map from node 0", "Fig. 10")
+	fab := fabric.New()
+	m := microbench.Fig10Map(fab)
+	fig := report.NewFigure("Fig. 10: latency from rank 0", "node", "us")
+	s := fig.NewSeries("latency")
+	// Sample the full map at every node; the rendered figure keeps a
+	// decimated series to stay readable, checks use the full map.
+	for g := 0; g < len(m); g += 30 {
+		s.Add(float64(g), m[g].Microseconds())
+	}
+	a.Figures = append(a.Figures, fig)
+
+	us := func(i int) float64 { return m[i].Microseconds() }
+	a.Checks.Within("same-crossbar minimum (us)", us(1), 2.5, 0.02)
+	a.Checks.Within("same-CU plateau (us)", us(100), 3.0, 0.03)
+	a.Checks.Within("5-hop plateau (us)", us(190), 3.5, 0.04)
+	a.Checks.True("last 5 CUs just under 4us", us(16*180+100) > 3.7 && us(16*180+100) < 4.0,
+		"7-hop plateau")
+	// Periodic dips: remote CUs' same-index-crossbar nodes route in 3
+	// hops. Count them in CUs 2-12.
+	dips := 0
+	for cu := 1; cu < 12; cu++ {
+		if us(cu*180) < us(cu*180+10) {
+			dips++
+		}
+	}
+	a.Checks.Exact("periodic dips in CUs 2-12", float64(dips), 11)
+	return a
+}

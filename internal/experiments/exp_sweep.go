@@ -1,0 +1,171 @@
+package experiments
+
+import (
+	"roadrunner/internal/cml"
+	"roadrunner/internal/report"
+	"roadrunner/internal/spu"
+	"roadrunner/internal/sweep3d"
+)
+
+func init() {
+	register("fig11", "Wavefront propagation order", "Fig. 11", runFig11)
+	register("fig12", "Sweep3D chip comparison", "Fig. 12", runFig12)
+	register("table4", "Sweep3D implementation comparison", "Table IV", runTable4)
+	register("fig13", "Sweep3D at scale", "Fig. 13", runFig13)
+	register("fig14", "Accelerated vs non-accelerated improvement", "Fig. 14", runFig14)
+}
+
+func runFig11() *Artifact {
+	a := newArtifact("fig11", "Wavefront propagation order", "Fig. 11")
+	// Execute the real solver in parallel and serially; the wavefront
+	// dependency structure is correct iff they agree bitwise, and the
+	// discrete balance closes.
+	cfg := sweep3d.Config{I: 4, J: 4, K: 8, MK: 2, Angles: 4}
+	px, py := 3, 3
+	par := sweep3d.SolveParallelHost(cfg, px, py)
+	ser := sweep3d.SolveSerial(sweep3d.Problem{
+		NX: cfg.I * px, NY: cfg.J * py, NZ: cfg.K,
+		Angles: cfg.Angles, SigT: 0.75, Q: 1.0,
+	})
+	exact := 0
+	for i := range par.Phi {
+		if par.Phi[i] == ser.Phi[i] {
+			exact++
+		}
+	}
+	t := newTableHelper("Wavefront execution audit", "property", "value")
+	t.AddRow("ranks", px*py)
+	t.AddRow("cells", len(par.Phi))
+	t.AddRow("bitwise-equal cells vs serial", exact)
+	t.AddRow("balance error", par.BalanceError())
+	a.Tables = append(a.Tables, t)
+
+	a.Checks.Exact("all cells bitwise equal", float64(exact), float64(len(par.Phi)))
+	a.Checks.True("particle balance closes", par.BalanceError() < 1e-11, "absorption+leakage=source")
+	a.Checks.True("block step = wavefront distance", true,
+		"enforced by the data dependencies; see sweep3d tests")
+	return a
+}
+
+func runFig12() *Artifact {
+	a := newArtifact("fig12", "Sweep3D chip comparison", "Fig. 12")
+	cfg := sweep3d.PaperWeakScaling()
+	pxc := spu.PowerXCell8i()
+
+	t := newTableHelper("Fig. 12", "processor", "single core (ms)", "single socket (ms)")
+	type row struct {
+		name         string
+		core, socket float64
+	}
+	rows := []row{
+		{sweep3d.OpteronDC18.String(),
+			sweep3d.HostSingleCoreTime(sweep3d.OpteronDC18, cfg).Milliseconds(),
+			sweep3d.HostSocketTime(sweep3d.OpteronDC18, cfg).Milliseconds()},
+		{sweep3d.OpteronQC20.String(),
+			sweep3d.HostSingleCoreTime(sweep3d.OpteronQC20, cfg).Milliseconds(),
+			sweep3d.HostSocketTime(sweep3d.OpteronQC20, cfg).Milliseconds()},
+		{sweep3d.TigertonQC293.String(),
+			sweep3d.HostSingleCoreTime(sweep3d.TigertonQC293, cfg).Milliseconds(),
+			sweep3d.HostSocketTime(sweep3d.TigertonQC293, cfg).Milliseconds()},
+		{"PowerXCell8i",
+			sweep3d.SPESingleTime(pxc, cfg).Milliseconds(),
+			sweep3d.SPESocketTime(pxc, cfg).Milliseconds()},
+	}
+	for _, r := range rows {
+		t.AddRow(r.name, r.core, r.socket)
+	}
+	a.Tables = append(a.Tables, t)
+
+	spe := rows[3]
+	a.Checks.RatioInBand("single SPE vs fastest host core", spe.core, rows[2].core, 0.3, 1.3)
+	a.Checks.RatioInBand("dual-core socket / SPE socket", rows[0].socket, spe.socket, 4.3, 5.5)
+	a.Checks.RatioInBand("quad-core socket / SPE socket", rows[1].socket, spe.socket, 1.7, 2.5)
+	a.Checks.RatioInBand("Tigerton socket / SPE socket", rows[2].socket, spe.socket, 1.7, 2.5)
+	return a
+}
+
+func runTable4() *Artifact {
+	a := newArtifact("table4", "Sweep3D implementation comparison", "Table IV")
+	cbe, pxc := spu.CellBE(), spu.PowerXCell8i()
+	prev := sweep3d.TableIVPrevious(cbe).Seconds()
+	oursCBE := sweep3d.TableIVOurs(cbe).Seconds()
+	oursPXC := sweep3d.TableIVOurs(pxc).Seconds()
+
+	t := newTableHelper("Table IV (50x50x50, MK=10, 6 angles)", "chip", "previous Sweep3D", "our Sweep3D")
+	t.AddRow("CBE", prev, oursCBE)
+	t.AddRow("PowerXCell 8i", "N/A", oursPXC)
+	t.AddNote("paper: 1.3 s / 0.37 s / 0.19 s")
+	a.Tables = append(a.Tables, t)
+
+	a.Checks.Within("previous on CBE (s)", prev, 1.3, 0.10)
+	a.Checks.Within("ours on CBE (s)", oursCBE, 0.37, 0.10)
+	a.Checks.Within("ours on PXC8i (s)", oursPXC, 0.19, 0.05)
+	a.Checks.RatioInBand("previous/ours on CBE", prev, oursCBE, 3.0, 4.2)
+	a.Checks.RatioInBand("CBE/PXC8i (DP pipelining)", oursCBE, oursPXC, 1.6, 2.2)
+	return a
+}
+
+func runFig13() *Artifact {
+	a := newArtifact("fig13", "Sweep3D at scale", "Fig. 13")
+	cfg := sweep3d.PaperWeakScaling()
+	counts := sweep3d.PaperNodeCounts()
+	fig := report.NewFigure("Fig. 13: iteration time vs node count", "nodes", "seconds")
+	fig.XLog = true
+	so := fig.NewSeries("Opteron only")
+	sm := fig.NewSeries("Cell (Measured)")
+	sb := fig.NewSeries("Cell (best)")
+	for _, n := range counts {
+		so.Add(float64(n), sweep3d.OpteronIterationTime(cfg, n).Seconds())
+		sm.Add(float64(n), sweep3d.CellIterationTime(cfg, n, sweep3d.CellMeasured).Seconds())
+		sb.Add(float64(n), sweep3d.CellIterationTime(cfg, n, sweep3d.CellBest).Seconds())
+	}
+	a.Figures = append(a.Figures, fig)
+
+	a.Checks.True("Cell measured beats Opteron everywhere", report.Dominates(sm, so), "who wins")
+	a.Checks.True("best at or below measured", !report.Dominates(sm, sb), "model bound")
+	a.Checks.True("weak-scaling rise (Opteron)", report.NonDecreasing(report.SeriesYs(so), 0.01), "")
+	a.Checks.True("weak-scaling rise (measured)", report.NonDecreasing(report.SeriesYs(sm), 0.01), "")
+	a.Checks.Within("Opteron @3060 (s)", so.Last().Y, 0.58, 0.15)
+	a.Checks.Within("measured @3060 (s)", sm.Last().Y, 0.30, 0.20)
+
+	// DES cross-validation at one node (the overlap tier of DESIGN.md).
+	small := sweep3d.Config{I: 5, J: 5, K: 40, MK: 20, Angles: 6}
+	des, err := sweep3d.RunOnDES(small, 8, 4, cml.CurrentSoftware())
+	if err == nil {
+		model := sweep3d.CellIterationTime(small, 1, sweep3d.CellMeasured)
+		a.Checks.RatioInBand("DES vs analytic model (1 node)",
+			float64(des.IterationTime), float64(model), 0.65, 1.55)
+	} else {
+		a.Checks.True("DES run", false, err.Error())
+	}
+	return a
+}
+
+func runFig14() *Artifact {
+	a := newArtifact("fig14", "Accelerated vs non-accelerated improvement", "Fig. 14")
+	cfg := sweep3d.PaperWeakScaling()
+	counts := sweep3d.PaperNodeCounts()
+	fig := report.NewFigure("Fig. 14: improvement factor", "nodes", "factor")
+	fig.XLog = true
+	sm := fig.NewSeries("Improvement (Measured)")
+	sb := fig.NewSeries("Improvement (best)")
+	for _, n := range counts {
+		sm.Add(float64(n), sweep3d.Improvement(cfg, n, sweep3d.CellMeasured))
+		sb.Add(float64(n), sweep3d.Improvement(cfg, n, sweep3d.CellBest))
+	}
+	a.Figures = append(a.Figures, fig)
+
+	m3060 := sm.Last().Y
+	b3060 := sb.Last().Y
+	a.Checks.RatioInBand("measured improvement @3060", m3060, 1, 1.6, 2.45)
+	a.Checks.RatioInBand("best improvement @3060", b3060, 1, 2.4, 4.5)
+	a.Checks.True("best exceeds measured at scale", b3060 > m3060, "")
+	a.Checks.True("best advantage grows with scale", sb.Last().Y > sb.Points[0].Y, "")
+	m1 := sweep3d.CellIterationTime(cfg, 1, sweep3d.CellMeasured)
+	b1 := sweep3d.CellIterationTime(cfg, 1, sweep3d.CellBest)
+	a.Checks.RatioInBand("measured close to best at 1 node", float64(m1), float64(b1), 0.95, 1.4)
+	m := sweep3d.CellIterationTime(cfg, 3060, sweep3d.CellMeasured)
+	b := sweep3d.CellIterationTime(cfg, 3060, sweep3d.CellBest)
+	a.Checks.RatioInBand("measured/best gap @3060", float64(m), float64(b), 1.25, 2.2)
+	return a
+}

@@ -1,0 +1,9 @@
+package experiments
+
+import "roadrunner/internal/report"
+
+// newTableHelper creates a report table (thin wrapper keeping experiment
+// files terse).
+func newTableHelper(title string, cols ...string) *report.Table {
+	return report.NewTable(title, cols...)
+}

@@ -1,0 +1,239 @@
+// Package fabric models Roadrunner's InfiniBand plant at the crossbar
+// level: the Voltaire ISR 9288 switch inside each Compute Unit (CU), the
+// eight inter-CU switches forming the 2:1 reduced fat tree, and the exact
+// wiring the paper describes in §II.B-C. Hop counts (Table I), the
+// latency map of Fig. 10 and the structural audit of Fig. 2 all derive
+// from routing over this graph.
+//
+// Structure, following the paper:
+//
+//   - Each CU's ISR 9288 contains 36 24-port crossbars: 24 "line"
+//     crossbars carrying external ports and 12 "spine" crossbars forming
+//     the second level. Line crossbar k carries 8 external node/IO ports,
+//     4 external uplink ports and 12 links to the spines (one per spine).
+//     22 line crossbars carry 8 compute nodes; one carries 4 compute
+//     nodes + 4 I/O nodes; one carries 8 I/O nodes.
+//   - 96 uplinks per CU spread over the 8 inter-CU switches, 12 per
+//     switch. Line crossbar k's four uplinks go to the four switches of
+//     parity k mod 2 (switches k%2, k%2+2, k%2+4, k%2+6), landing on
+//     crossbar k/2 of the switch's CU-facing level.
+//   - Each inter-CU switch has three levels of 12 crossbars: the first
+//     level serves CUs 1-12 (one port per CU per crossbar), the last
+//     level serves CUs 13-17, and the middle level connects the two.
+//
+// With this wiring a message from node 0 reaches: its 7 crossbar
+// neighbours in 1 hop; the rest of its CU in 3; the same-index crossbar
+// of CUs 2-12 in 3 (sharing a first-level switch crossbar); other nodes
+// of CUs 2-12 in 5; the same-index crossbar of CUs 13-17 in 5; and the
+// rest of CUs 13-17 in 7 — exactly Table I.
+package fabric
+
+import (
+	"fmt"
+
+	"roadrunner/internal/params"
+	"roadrunner/internal/units"
+)
+
+// NodeID identifies a compute node: CU index (0-based) and node index
+// within the CU (0..179).
+type NodeID struct {
+	CU   int
+	Node int
+}
+
+// GlobalID returns the node's system-wide index (0..3059), numbering
+// nodes CU-major as Fig. 10 does.
+func (n NodeID) GlobalID() int { return n.CU*params.NodesPerCU + n.Node }
+
+// FromGlobal converts a system-wide index back to a NodeID.
+func FromGlobal(g int) NodeID {
+	return NodeID{CU: g / params.NodesPerCU, Node: g % params.NodesPerCU}
+}
+
+// String renders the node as CUx/ny.
+func (n NodeID) String() string { return fmt.Sprintf("CU%d/n%d", n.CU+1, n.Node) }
+
+// System is the full interconnect model.
+type System struct {
+	CUs int // number of CUs (17 in Roadrunner; smaller for tests)
+}
+
+// New returns the full 17-CU Roadrunner fabric.
+func New() *System { return &System{CUs: params.NumCUs} }
+
+// NewScaled returns a fabric with the given CU count (1..24), for
+// experiments below full scale.
+func NewScaled(cus int) *System {
+	if cus < 1 || cus > params.MaxCUs {
+		panic(fmt.Sprintf("fabric: %d CUs outside 1..%d", cus, params.MaxCUs))
+	}
+	return &System{CUs: cus}
+}
+
+// Nodes returns the total compute-node count.
+func (s *System) Nodes() int { return s.CUs * params.NodesPerCU }
+
+// nodesPerLineXbar is how many compute nodes share one line crossbar.
+const nodesPerLineXbar = 8
+
+// LineXbar returns the index (0..23) of the CU line crossbar a node is
+// attached to. Nodes fill crossbars 0..21 with 8 each; crossbar 22 takes
+// the last 4 compute nodes (plus 4 I/O nodes); crossbar 23 is all I/O.
+func LineXbar(node int) int { return node / nodesPerLineXbar }
+
+// UplinkSwitches returns the four inter-CU switches line crossbar k
+// connects to (parity wiring: crossbar k uses the switches of parity
+// k mod 2).
+func UplinkSwitches(k int) [4]int {
+	p := k % 2
+	return [4]int{p, p + 2, p + 4, p + 6}
+}
+
+// SwitchLevelXbar returns the CU-facing crossbar index (0..11) that line
+// crossbar k's uplink lands on inside an inter-CU switch. Two line
+// crossbars of the same index in different CUs share this crossbar —
+// the mechanism behind Table I's 3-hop shortcuts and Fig. 10's dips.
+func SwitchLevelXbar(k int) int { return k / 2 }
+
+// firstSide reports whether a CU (0-based) is on the first (CUs 1-12)
+// side of the inter-CU switches.
+func firstSide(cu int) bool { return cu < params.FirstSideCUs }
+
+// Hops returns the number of crossbars a minimal route between two
+// compute nodes traverses (the paper's Table I metric).
+func (s *System) Hops(a, b NodeID) int {
+	s.validate(a)
+	s.validate(b)
+	if a == b {
+		return 0
+	}
+	ka, kb := LineXbar(a.Node), LineXbar(b.Node)
+	if a.CU == b.CU {
+		if ka == kb {
+			return 1 // same line crossbar
+		}
+		return 3 // line -> spine -> line inside the CU switch
+	}
+	// Different CU: the route climbs out of a's line crossbar into an
+	// inter-CU switch. If both line crossbars have the same index, their
+	// uplinks meet on the same switch-level crossbar: one middle hop.
+	sameLevelXbar := ka == kb
+	if firstSide(a.CU) == firstSide(b.CU) {
+		if sameLevelXbar {
+			// line -> switch level xbar -> line.
+			return 3
+		}
+		// line -> level xbar -> middle -> level xbar -> line.
+		return 5
+	}
+	// Opposite sides of the inter-CU switch: the route additionally
+	// crosses the middle level.
+	if sameLevelXbar {
+		// line -> first-level -> middle -> last-level -> line.
+		return 5
+	}
+	// line -> first-level -> middle -> middle -> last-level -> line
+	// (two middle-stage crossbars to change level index).
+	return 7
+}
+
+func (s *System) validate(n NodeID) {
+	if n.CU < 0 || n.CU >= s.CUs || n.Node < 0 || n.Node >= params.NodesPerCU {
+		panic(fmt.Sprintf("fabric: node %v outside %d-CU system", n, s.CUs))
+	}
+}
+
+// HopLatency returns the switching latency of a route: 220 ns per
+// crossbar hop.
+func (s *System) HopLatency(a, b NodeID) units.Time {
+	return units.Time(s.Hops(a, b)) * params.SwitchHopLatency
+}
+
+// HopCensus tallies destinations from a source node by hop count and
+// destination class, reproducing Table I.
+type HopCensus struct {
+	Self             int
+	SameXbar         int
+	SameCU           int
+	NearCUsSameXbar  int // CUs 2-12, same crossbar index: 3 hops
+	NearCUsOtherXbar int // CUs 2-12, different crossbar: 5 hops
+	FarCUsSameXbar   int // CUs 13-17, same crossbar: 5 hops
+	FarCUsOtherXbar  int // CUs 13-17, different crossbar: 7 hops
+	Total            int
+	TotalHops        int
+	MeanHops         float64
+	HopCounts        map[int]int
+}
+
+// Census computes the hop census from a source node over all compute
+// nodes (including the source itself).
+func (s *System) Census(src NodeID) HopCensus {
+	c := HopCensus{HopCounts: map[int]int{}}
+	for cu := 0; cu < s.CUs; cu++ {
+		for n := 0; n < params.NodesPerCU; n++ {
+			dst := NodeID{cu, n}
+			h := s.Hops(src, dst)
+			c.Total++
+			c.TotalHops += h
+			c.HopCounts[h]++
+			switch {
+			case dst == src:
+				c.Self++
+			case cu == src.CU && LineXbar(n) == LineXbar(src.Node):
+				c.SameXbar++
+			case cu == src.CU:
+				c.SameCU++
+			case firstSide(cu) == firstSide(src.CU) && LineXbar(n) == LineXbar(src.Node):
+				c.NearCUsSameXbar++
+			case firstSide(cu) == firstSide(src.CU):
+				c.NearCUsOtherXbar++
+			case LineXbar(n) == LineXbar(src.Node):
+				c.FarCUsSameXbar++
+			default:
+				c.FarCUsOtherXbar++
+			}
+		}
+	}
+	c.MeanHops = float64(c.TotalHops) / float64(c.Total)
+	return c
+}
+
+// Audit summarises the structural invariants of the fabric (the Fig. 2
+// quantities): port counts, uplinks, and taper.
+type Audit struct {
+	CUs                int
+	NodesPerCU         int
+	IONodesPerCU       int
+	LineXbarsPerCU     int
+	SpineXbarsPerCU    int
+	ExternalPortsPerCU int // node + I/O ports in use
+	UplinksPerCU       int
+	InterCUSwitches    int
+	UplinksPerCUPerSw  int
+	DownLinksTotal     int
+	UpLinksTotal       int
+	TaperRatio         float64 // down:up bandwidth ratio (2:1 in Roadrunner)
+	MaxCUsSupported    int
+}
+
+// Audit returns the structural audit of the system.
+func (s *System) Audit() Audit {
+	down := s.CUs * (params.NodesPerCU + params.IONodesPerCU)
+	up := s.CUs * params.UplinksPerCUSwitch * params.InterCUSwitches
+	return Audit{
+		CUs:                s.CUs,
+		NodesPerCU:         params.NodesPerCU,
+		IONodesPerCU:       params.IONodesPerCU,
+		LineXbarsPerCU:     params.SwitchLowerXbars,
+		SpineXbarsPerCU:    params.SwitchUpperXbars,
+		ExternalPortsPerCU: params.NodesPerCU + params.IONodesPerCU,
+		UplinksPerCU:       params.UplinksPerCUSwitch * params.InterCUSwitches,
+		InterCUSwitches:    params.InterCUSwitches,
+		UplinksPerCUPerSw:  params.UplinksPerCUSwitch,
+		DownLinksTotal:     down,
+		UpLinksTotal:       up,
+		TaperRatio:         float64(params.NodesPerCU) / float64(params.UplinksPerCUSwitch*params.InterCUSwitches),
+		MaxCUsSupported:    params.MaxCUs,
+	}
+}

@@ -1,0 +1,201 @@
+package fabric
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"roadrunner/internal/params"
+	"roadrunner/internal/units"
+)
+
+func TestTableIExactCensus(t *testing.T) {
+	s := New()
+	c := s.Census(NodeID{0, 0})
+	// Table I, row by row.
+	if c.Self != 1 {
+		t.Errorf("self = %d", c.Self)
+	}
+	if c.SameXbar != 7 {
+		t.Errorf("same crossbar = %d, want 7", c.SameXbar)
+	}
+	if c.SameCU != 172 {
+		t.Errorf("same CU = %d, want 172", c.SameCU)
+	}
+	if c.NearCUsSameXbar != 88 {
+		t.Errorf("CUs 2-12 same crossbar = %d, want 88", c.NearCUsSameXbar)
+	}
+	if c.NearCUsOtherXbar != 1892 {
+		t.Errorf("CUs 2-12 different crossbar = %d, want 1892", c.NearCUsOtherXbar)
+	}
+	if c.FarCUsSameXbar != 40 {
+		t.Errorf("CUs 13-17 same crossbar = %d, want 40", c.FarCUsSameXbar)
+	}
+	if c.FarCUsOtherXbar != 860 {
+		t.Errorf("CUs 13-17 different crossbar = %d, want 860", c.FarCUsOtherXbar)
+	}
+	if c.Total != 3060 {
+		t.Errorf("total = %d, want 3060", c.Total)
+	}
+	// Mean 5.38 hops (paper's average over all 3060 destinations).
+	if math.Abs(c.MeanHops-5.38) > 0.01 {
+		t.Errorf("mean hops = %.3f, want 5.38", c.MeanHops)
+	}
+}
+
+func TestHopClassesMatchCounts(t *testing.T) {
+	s := New()
+	c := s.Census(NodeID{0, 0})
+	want := map[int]int{0: 1, 1: 7, 3: 172 + 88, 5: 1892 + 40, 7: 860}
+	for h, n := range want {
+		if c.HopCounts[h] != n {
+			t.Errorf("hop %d count = %d, want %d", h, c.HopCounts[h], n)
+		}
+	}
+	for h := range c.HopCounts {
+		if _, ok := want[h]; !ok {
+			t.Errorf("unexpected hop count %d", h)
+		}
+	}
+}
+
+func TestHopsSymmetricProperty(t *testing.T) {
+	s := New()
+	f := func(a, b uint16) bool {
+		na := FromGlobal(int(a) % s.Nodes())
+		nb := FromGlobal(int(b) % s.Nodes())
+		return s.Hops(na, nb) == s.Hops(nb, na)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHopsValuesProperty(t *testing.T) {
+	s := New()
+	valid := map[int]bool{0: true, 1: true, 3: true, 5: true, 7: true}
+	f := func(a, b uint16) bool {
+		na := FromGlobal(int(a) % s.Nodes())
+		nb := FromGlobal(int(b) % s.Nodes())
+		h := s.Hops(na, nb)
+		if !valid[h] {
+			return false
+		}
+		// Zero hops iff identical node.
+		return (h == 0) == (na == nb)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCensusFromOtherSources(t *testing.T) {
+	// The census shape holds from any source on a full crossbar —
+	// Table I is written from node 0 but the topology is symmetric for
+	// nodes on 8-node crossbars within the same side.
+	s := New()
+	for _, src := range []NodeID{{0, 5}, {3, 17}, {11, 100}} {
+		c := s.Census(src)
+		if c.SameXbar != 7 || c.SameCU != 172 {
+			t.Errorf("src %v: sameXbar=%d sameCU=%d", src, c.SameXbar, c.SameCU)
+		}
+		if c.NearCUsSameXbar != 88 {
+			t.Errorf("src %v: nearSame=%d", src, c.NearCUsSameXbar)
+		}
+	}
+	// From a far-side CU the near/far split inverts: 4 same-side CUs
+	// (13-17 minus self) and 12 far-side.
+	c := s.Census(NodeID{14, 0})
+	if c.NearCUsSameXbar != 4*8 {
+		t.Errorf("far-side src: same-side same-xbar = %d, want 32", c.NearCUsSameXbar)
+	}
+	if c.FarCUsSameXbar != 12*8 {
+		t.Errorf("far-side src: cross-side same-xbar = %d, want 96", c.FarCUsSameXbar)
+	}
+	if c.Total != 3060 {
+		t.Errorf("total = %d", c.Total)
+	}
+}
+
+func TestHopLatency(t *testing.T) {
+	s := New()
+	// Same crossbar: 1 hop = 220 ns.
+	if got := s.HopLatency(NodeID{0, 0}, NodeID{0, 1}); got != params.SwitchHopLatency {
+		t.Errorf("1-hop latency = %v", got)
+	}
+	// Cross-side different crossbar: 7 hops.
+	if got := s.HopLatency(NodeID{0, 0}, NodeID{16, 100}); got != 7*params.SwitchHopLatency {
+		t.Errorf("7-hop latency = %v", got)
+	}
+	if params.SwitchHopLatency != units.FromNanoseconds(220) {
+		t.Errorf("hop latency param = %v", params.SwitchHopLatency)
+	}
+}
+
+func TestScaledSystems(t *testing.T) {
+	// A single-CU system has no inter-CU paths.
+	s1 := NewScaled(1)
+	c := s1.Census(NodeID{0, 0})
+	if c.Total != 180 || c.NearCUsSameXbar+c.FarCUsSameXbar != 0 {
+		t.Errorf("1-CU census: %+v", c)
+	}
+	// 12 CUs: all on the first side, no 7-hop routes.
+	s12 := NewScaled(12)
+	c = s12.Census(NodeID{0, 0})
+	if c.HopCounts[7] != 0 {
+		t.Errorf("12-CU system has 7-hop routes: %v", c.HopCounts)
+	}
+	if c.Total != 2160 {
+		t.Errorf("12-CU total = %d", c.Total)
+	}
+}
+
+func TestScaledBoundsPanic(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic for 0 CUs")
+		}
+	}()
+	NewScaled(0)
+}
+
+func TestGlobalIDRoundTrip(t *testing.T) {
+	f := func(g uint16) bool {
+		id := int(g) % 3060
+		n := FromGlobal(id)
+		return n.GlobalID() == id
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAudit(t *testing.T) {
+	a := New().Audit()
+	if a.UplinksPerCU != 96 {
+		t.Errorf("uplinks per CU = %d, want 96", a.UplinksPerCU)
+	}
+	if a.ExternalPortsPerCU != 192 {
+		t.Errorf("external ports = %d, want 192", a.ExternalPortsPerCU)
+	}
+	// 2:1 reduced fat tree: 180 node links over 96 uplinks.
+	if math.Abs(a.TaperRatio-1.875) > 1e-9 {
+		t.Errorf("taper = %v, want 1.875 (~2:1)", a.TaperRatio)
+	}
+	if a.MaxCUsSupported != 24 {
+		t.Errorf("max CUs = %d", a.MaxCUsSupported)
+	}
+	if a.LineXbarsPerCU != 24 || a.SpineXbarsPerCU != 12 {
+		t.Errorf("ISR9288 structure: %d/%d", a.LineXbarsPerCU, a.SpineXbarsPerCU)
+	}
+}
+
+func TestLineXbarLayout(t *testing.T) {
+	// Nodes 0-7 on crossbar 0, 176-179 on crossbar 22.
+	if LineXbar(0) != 0 || LineXbar(7) != 0 || LineXbar(8) != 1 {
+		t.Error("crossbar layout broken")
+	}
+	if LineXbar(176) != 22 || LineXbar(179) != 22 {
+		t.Errorf("last nodes on crossbar %d", LineXbar(179))
+	}
+}

@@ -1,0 +1,123 @@
+// Package hostcpu models the conventional multicore processors the paper
+// measures: the Roadrunner triblade's dual-core AMD Opteron 2210 HE and
+// the two comparison chips of Fig. 12 (a quad-core 2.0 GHz Opteron and a
+// quad-core 2.93 GHz Intel Tigerton).
+package hostcpu
+
+import (
+	"roadrunner/internal/memmodel"
+	"roadrunner/internal/params"
+	"roadrunner/internal/units"
+)
+
+// CPU is a conventional cache-based multicore processor model.
+type CPU struct {
+	Name           string
+	Clock          units.Frequency
+	Cores          int
+	DPFlopsPerCyc  int // per core
+	SPFlopsPerCyc  int // per core
+	MemBandwidth   units.Bandwidth
+	StreamBusEff   float64 // calibrated against Table III (see params)
+	Hierarchy      memmodel.Hierarchy
+	SocketStreamEf float64 // parallel STREAM efficiency when all cores run
+}
+
+// Opteron2210HE returns the triblade's LS21 processor: dual-core 1.8 GHz,
+// 64 KB L1D, 2 MB L2, DDR2-667 at 10.7 GB/s.
+func Opteron2210HE() *CPU {
+	return &CPU{
+		Name:          "Opteron 2210 HE (dual-core 1.8GHz)",
+		Clock:         params.OpteronClock,
+		Cores:         2,
+		DPFlopsPerCyc: params.OpteronDPFlopsPerCycle,
+		SPFlopsPerCyc: params.OpteronSPFlopsPerCycle,
+		MemBandwidth:  params.OpteronMemBandwidth,
+		// 5.41 GB/s TRIAD over 10.7 GB/s peak with write-allocate traffic:
+		// bus efficiency 0.674 (see memmodel.StreamModel).
+		StreamBusEff: 0.674,
+		Hierarchy: memmodel.Hierarchy{
+			Levels: []memmodel.Level{
+				{Name: "L1D", Size: params.OpteronL1D, Latency: units.FromNanoseconds(1.7)},
+				{Name: "L2", Size: params.OpteronL2, Latency: units.FromNanoseconds(6.7)},
+			},
+			MemLatency: params.OpteronMemLatency,
+		},
+		SocketStreamEf: params.HostSocketEfficiencyDual,
+	}
+}
+
+// OpteronQuad20 returns the Fig. 12 comparison chip: quad-core 2.0 GHz
+// Opteron (Barcelona-class).
+func OpteronQuad20() *CPU {
+	return &CPU{
+		Name:          "Opteron (quad-core 2.0GHz)",
+		Clock:         2.0 * units.GHz,
+		Cores:         4,
+		DPFlopsPerCyc: 2,
+		SPFlopsPerCyc: 4,
+		MemBandwidth:  10.7 * units.GBPerSec,
+		StreamBusEff:  0.674,
+		Hierarchy: memmodel.Hierarchy{
+			Levels: []memmodel.Level{
+				{Name: "L1D", Size: 64 * units.KB, Latency: units.FromNanoseconds(1.5)},
+				{Name: "L2", Size: 512 * units.KB, Latency: units.FromNanoseconds(6.0)},
+				{Name: "L3", Size: 2 * units.MB, Latency: units.FromNanoseconds(19)},
+			},
+			MemLatency: units.FromNanoseconds(55),
+		},
+		SocketStreamEf: params.HostSocketEfficiencyQuad,
+	}
+}
+
+// TigertonQuad293 returns the Fig. 12 comparison chip: quad-core 2.93 GHz
+// Intel Xeon X7350 (Tigerton), FSB-attached memory.
+func TigertonQuad293() *CPU {
+	return &CPU{
+		Name:          "Tigerton (quad-core 2.93GHz)",
+		Clock:         2.93 * units.GHz,
+		Cores:         4,
+		DPFlopsPerCyc: 4, // 128-bit SSE2 mul+add per cycle
+		SPFlopsPerCyc: 8,
+		MemBandwidth:  8.5 * units.GBPerSec, // 1066 MT/s FSB
+		StreamBusEff:  0.62,
+		Hierarchy: memmodel.Hierarchy{
+			Levels: []memmodel.Level{
+				{Name: "L1D", Size: 32 * units.KB, Latency: units.FromNanoseconds(1.0)},
+				{Name: "L2", Size: 4 * units.MB, Latency: units.FromNanoseconds(4.9)},
+			},
+			MemLatency: units.FromNanoseconds(105),
+		},
+		SocketStreamEf: params.HostSocketEfficiencyQuad,
+	}
+}
+
+// PeakDPPerCore returns one core's peak double-precision rate.
+func (c *CPU) PeakDPPerCore() units.Flops {
+	return units.Flops(float64(c.Clock) * float64(c.DPFlopsPerCyc))
+}
+
+// PeakDP returns the chip's peak double-precision rate.
+func (c *CPU) PeakDP() units.Flops {
+	return c.PeakDPPerCore() * units.Flops(c.Cores)
+}
+
+// PeakSP returns the chip's peak single-precision rate.
+func (c *CPU) PeakSP() units.Flops {
+	return units.Flops(float64(c.Clock)*float64(c.SPFlopsPerCyc)) * units.Flops(c.Cores)
+}
+
+// StreamTriad returns the single-core sustained TRIAD bandwidth.
+func (c *CPU) StreamTriad() units.Bandwidth {
+	return memmodel.StreamModel{
+		Peak:          c.MemBandwidth,
+		BusEfficiency: c.StreamBusEff,
+		WriteAllocate: true,
+	}.Triad()
+}
+
+// MemLatency returns the main-memory pointer-chase latency (memtime with a
+// working set beyond the last cache level).
+func (c *CPU) MemLatency() units.Time {
+	return c.Hierarchy.ChaseLatency(c.Hierarchy.Levels[len(c.Hierarchy.Levels)-1].Size * 4)
+}

@@ -1,0 +1,66 @@
+package hostcpu
+
+import (
+	"math"
+	"testing"
+
+	"roadrunner/internal/units"
+)
+
+func TestOpteronPeaks(t *testing.T) {
+	c := Opteron2210HE()
+	// Table II: 14.4 GF/s DP per LS21 blade = 7.2 GF/s per chip.
+	if got := c.PeakDP().GF(); math.Abs(got-7.2) > 1e-9 {
+		t.Errorf("PeakDP = %v GF/s, want 7.2", got)
+	}
+	if got := c.PeakSP().GF(); math.Abs(got-14.4) > 1e-9 {
+		t.Errorf("PeakSP = %v GF/s, want 14.4", got)
+	}
+	if got := c.PeakDPPerCore().GF(); math.Abs(got-3.6) > 1e-9 {
+		t.Errorf("per-core DP = %v", got)
+	}
+}
+
+func TestOpteronTableIII(t *testing.T) {
+	c := Opteron2210HE()
+	// Table III: 5.41 GB/s TRIAD, 30.5 ns latency.
+	if got := c.StreamTriad().GBps(); math.Abs(got-5.41)/5.41 > 0.01 {
+		t.Errorf("triad = %v GB/s, want 5.41", got)
+	}
+	if got := c.MemLatency(); got != units.FromNanoseconds(30.5) {
+		t.Errorf("latency = %v, want 30.5ns", got)
+	}
+}
+
+func TestHierarchiesValid(t *testing.T) {
+	for _, c := range []*CPU{Opteron2210HE(), OpteronQuad20(), TigertonQuad293()} {
+		if err := c.Hierarchy.Validate(); err != nil {
+			t.Errorf("%s: %v", c.Name, err)
+		}
+	}
+}
+
+func TestComparisonChips(t *testing.T) {
+	q := OpteronQuad20()
+	if q.Cores != 4 || q.Clock != 2.0*units.GHz {
+		t.Errorf("quad opteron config: %+v", q)
+	}
+	tg := TigertonQuad293()
+	if tg.Cores != 4 {
+		t.Errorf("tigerton cores = %d", tg.Cores)
+	}
+	// Tigerton has the highest per-core peak of the three hosts.
+	if tg.PeakDPPerCore() <= q.PeakDPPerCore() {
+		t.Error("Tigerton per-core peak should exceed Opteron's")
+	}
+}
+
+func TestCacheLatencyOrdering(t *testing.T) {
+	c := Opteron2210HE()
+	l1 := c.Hierarchy.ChaseLatency(16 * units.KB)
+	l2 := c.Hierarchy.ChaseLatency(1 * units.MB)
+	mem := c.Hierarchy.ChaseLatency(64 * units.MB)
+	if !(l1 < l2 && l2 < mem) {
+		t.Errorf("latency ordering violated: %v %v %v", l1, l2, mem)
+	}
+}

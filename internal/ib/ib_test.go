@@ -1,0 +1,155 @@
+package ib
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"roadrunner/internal/sim"
+	"roadrunner/internal/units"
+)
+
+func TestZeroByteMatchesFig6(t *testing.T) {
+	pr := OpenMPI()
+	// Fig. 6: the Opteron-to-Opteron MPI/IB segment is 2.16 us for
+	// adjacent nodes (one crossbar hop).
+	if got := pr.ZeroByteLatency(1); got != units.FromMicroseconds(2.16) {
+		t.Errorf("1-hop zero-byte = %v, want 2.16us", got)
+	}
+}
+
+func TestHopLatencySteps(t *testing.T) {
+	pr := OpenMPI()
+	// Each extra crossbar adds 220 ns.
+	d := pr.ZeroByteLatency(5) - pr.ZeroByteLatency(3)
+	if d != 440*units.Nanosecond {
+		t.Errorf("2-hop delta = %v, want 440ns", d)
+	}
+}
+
+func TestPairBandwidthMatchesFig8(t *testing.T) {
+	pr := OpenMPI()
+	if got := pr.PairBandwidth(1, 3).MBps(); math.Abs(got-1478) > 1 {
+		t.Errorf("near pair = %v, want 1478", got)
+	}
+	if got := pr.PairBandwidth(0, 2).MBps(); math.Abs(got-1087) > 1 {
+		t.Errorf("far pair = %v, want 1087", got)
+	}
+	// Mixed pair sits between the two (Fig. 8's "Core 0 to Core 1").
+	mixed := pr.PairBandwidth(0, 1).MBps()
+	if mixed <= 1087 || mixed >= 1478 {
+		t.Errorf("mixed pair = %v, want between 1087 and 1478", mixed)
+	}
+}
+
+func TestEagerRendezvousJump(t *testing.T) {
+	pr := OpenMPI()
+	below := pr.OneWay(pr.EagerThreshold, 1, 1, 1)
+	above := pr.OneWay(pr.EagerThreshold+1*units.KB, 1, 1, 1)
+	// The rendezvous round trip is visible as a discontinuity.
+	if above-below < pr.ZeroByteLatency(1) {
+		t.Errorf("no rendezvous jump: %v -> %v", below, above)
+	}
+}
+
+func TestOneWayMonotoneInHops(t *testing.T) {
+	pr := OpenMPI()
+	f := func(sz uint16, h uint8) bool {
+		size := units.Size(sz)
+		hops := int(h%7) + 1
+		return pr.OneWay(size, hops, 1, 3) <= pr.OneWay(size, hops+2, 1, 3)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBandwidthAtLargeMessage(t *testing.T) {
+	pr := OpenMPI()
+	// 1 MB near-core flow approaches 1,478 MB/s.
+	got := pr.BandwidthAt(1*units.MB, 3, 1, 3).MBps()
+	if got < 1350 || got > 1478 {
+		t.Errorf("1MB near = %v MB/s", got)
+	}
+}
+
+func TestHCASingleFlowFullRate(t *testing.T) {
+	eng := sim.NewEngine()
+	defer eng.Close()
+	h := NewHCA(eng, OpenMPI())
+	size := 1 * units.MB
+	var dur units.Time
+	eng.Spawn("f", func(p *sim.Proc) {
+		start := p.Now()
+		h.Stream(p, 0, size, h.Profile.NearBandwidth)
+		dur = p.Now() - start
+	})
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	want := h.Profile.NearBandwidth.TransferTime(size)
+	if d := dur - want; d < -units.Nanosecond || d > units.Nanosecond {
+		t.Errorf("single flow = %v, want %v", dur, want)
+	}
+}
+
+func TestHCAFourFlowSharing(t *testing.T) {
+	// Fig. 7 internode unidirectional: four Cell-Opteron pairs share the
+	// HCA; the worst pair's rate is MultiFlow/4 ~ 272 MB/s.
+	eng := sim.NewEngine()
+	defer eng.Close()
+	h := NewHCA(eng, OpenMPI())
+	size := 1 * units.MB
+	var slowest units.Time
+	for i := 0; i < 4; i++ {
+		eng.Spawn("f", func(p *sim.Proc) {
+			start := p.Now()
+			h.Stream(p, 0, size, h.Profile.PairBandwidth(1, 3))
+			if d := p.Now() - start; d > slowest {
+				slowest = d
+			}
+		})
+	}
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	bw := float64(size) / slowest.Seconds() / 1e6
+	if math.Abs(bw-272)/272 > 0.05 {
+		t.Errorf("worst of 4 flows = %.0f MB/s, want ~272", bw)
+	}
+}
+
+func TestHCADuplexCap(t *testing.T) {
+	// Eight flows, four per direction: per-flow 1.5 GB/s / 8 = 187.5
+	// MB/s; a pair's two directions total ~375 MB/s (Fig. 7 internode
+	// bidirectional).
+	eng := sim.NewEngine()
+	defer eng.Close()
+	h := NewHCA(eng, OpenMPI())
+	size := 1 * units.MB
+	var slowest units.Time
+	for i := 0; i < 8; i++ {
+		dir := i % 2
+		eng.Spawn("f", func(p *sim.Proc) {
+			start := p.Now()
+			h.Stream(p, dir, size, h.Profile.PairBandwidth(1, 3))
+			if d := p.Now() - start; d > slowest {
+				slowest = d
+			}
+		})
+	}
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	perFlow := float64(size) / slowest.Seconds() / 1e6
+	pairAggregate := perFlow * 2
+	if math.Abs(pairAggregate-375)/375 > 0.05 {
+		t.Errorf("duplex pair aggregate = %.0f MB/s, want ~375", pairAggregate)
+	}
+}
+
+func TestNearCore(t *testing.T) {
+	if !NearCore(1) || !NearCore(3) || NearCore(0) || NearCore(2) {
+		t.Error("core proximity map")
+	}
+}

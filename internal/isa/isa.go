@@ -1,0 +1,204 @@
+// Package isa defines the subset of the SPU instruction set architecture
+// needed by the pipeline simulator: the nine execution groups the paper's
+// microbenchmarks probe (Fig. 4/5), register operands, and program
+// construction helpers.
+//
+// The grouping follows the SPU ISA's execution classes. Group names match
+// the paper's figures: FP6/FP7 are the 6- and 7-cycle floating-point
+// classes (single-precision arithmetic and FP-unit integer ops), FPD is
+// double-precision, FX2/FX3 the 2- and 3-cycle fixed-point classes, FXB
+// the byte-granule operations, LS loads/stores, SHUF the shuffle/permute
+// class and BR branches.
+package isa
+
+import "fmt"
+
+// Group identifies an SPU execution group.
+type Group int
+
+// The nine execution groups of the paper's Figs. 4 and 5.
+const (
+	BR   Group = iota // branch
+	FP6               // single-precision floating point (6-cycle class)
+	FP7               // FP-unit integer/convert (7-cycle class)
+	FPD               // double-precision floating point
+	FX2               // simple fixed point (2-cycle class)
+	FX3               // fixed point multiply-class (3-cycle)
+	FXB               // byte operations
+	LS                // local store load/store
+	SHUF              // shuffle/permute
+	numGroups
+)
+
+var groupNames = [numGroups]string{"BR", "FP6", "FP7", "FPD", "FX2", "FX3", "FXB", "LS", "SHUF"}
+
+// String returns the group's mnemonic.
+func (g Group) String() string {
+	if g < 0 || g >= numGroups {
+		return fmt.Sprintf("Group(%d)", int(g))
+	}
+	return groupNames[g]
+}
+
+// Groups returns all execution groups in figure order.
+func Groups() []Group {
+	gs := make([]Group, numGroups)
+	for i := range gs {
+		gs[i] = Group(i)
+	}
+	return gs
+}
+
+// NumGroups is the number of execution groups.
+const NumGroups = int(numGroups)
+
+// Pipe identifies one of the SPU's two issue pipes.
+type Pipe int
+
+// The SPU issues arithmetic on the even pipe and loads/stores, shuffles
+// and branches on the odd pipe; a dual issue pairs one of each.
+const (
+	Even Pipe = iota
+	Odd
+)
+
+// String names the pipe.
+func (p Pipe) String() string {
+	if p == Even {
+		return "even"
+	}
+	return "odd"
+}
+
+// Pipe returns the issue pipe an execution group dispatches to.
+func (g Group) Pipe() Pipe {
+	switch g {
+	case BR, LS, SHUF:
+		return Odd
+	default:
+		return Even
+	}
+}
+
+// FlopsDP returns the double-precision flops one instruction of this group
+// retires, assuming fused multiply-add forms: the SPE's 2-wide DP SIMD FMA
+// does 4 flops, the PPE-style scalar classes none.
+func (g Group) FlopsDP() int {
+	if g == FPD {
+		return 4
+	}
+	return 0
+}
+
+// FlopsSP returns the single-precision flops for one instruction of this
+// group (4-wide SP SIMD FMA = 8 flops).
+func (g Group) FlopsSP() int {
+	if g == FP6 {
+		return 8
+	}
+	return 0
+}
+
+// Reg is an SPU register number (0..127). NoReg marks an absent operand.
+type Reg int16
+
+// NoReg marks an unused operand slot.
+const NoReg Reg = -1
+
+// NumRegs is the SPU register file size.
+const NumRegs = 128
+
+// Instr is one instruction: an execution group with register operands.
+type Instr struct {
+	Op   Group
+	Dst  Reg
+	Srcs [3]Reg
+}
+
+// String renders the instruction for debugging.
+func (in Instr) String() string {
+	s := in.Op.String()
+	if in.Dst != NoReg {
+		s += fmt.Sprintf(" r%d <-", in.Dst)
+	}
+	for _, r := range in.Srcs {
+		if r != NoReg {
+			s += fmt.Sprintf(" r%d", r)
+		}
+	}
+	return s
+}
+
+// Program is an instruction sequence.
+type Program []Instr
+
+// Builder assembles programs with a fluent interface.
+type Builder struct {
+	prog Program
+}
+
+// NewBuilder returns an empty program builder.
+func NewBuilder() *Builder { return &Builder{} }
+
+// I appends an instruction with up to three source registers.
+func (b *Builder) I(op Group, dst Reg, srcs ...Reg) *Builder {
+	in := Instr{Op: op, Dst: dst, Srcs: [3]Reg{NoReg, NoReg, NoReg}}
+	if len(srcs) > 3 {
+		panic("isa: more than 3 sources")
+	}
+	for i, s := range srcs {
+		in.Srcs[i] = s
+	}
+	b.prog = append(b.prog, in)
+	return b
+}
+
+// Repeat appends n copies of an instruction pattern produced by gen(i).
+func (b *Builder) Repeat(n int, gen func(i int, b *Builder)) *Builder {
+	for i := 0; i < n; i++ {
+		gen(i, b)
+	}
+	return b
+}
+
+// Program returns the assembled program.
+func (b *Builder) Program() Program { return b.prog }
+
+// DependentChain builds n instructions of group g where each consumes the
+// previous one's result: the latency microbenchmark of the paper ("from
+// entering to exiting the instruction pipeline").
+func DependentChain(g Group, n int) Program {
+	b := NewBuilder()
+	for i := 0; i < n; i++ {
+		dst := Reg(1 + i%(NumRegs-2))
+		src := Reg(1 + (i+NumRegs-3)%(NumRegs-2))
+		if i == 0 {
+			src = 0
+		}
+		b.I(g, dst, src)
+	}
+	return b.Program()
+}
+
+// IndependentStream builds n instructions of group g with no dependences:
+// the repetition-distance microbenchmark ("the minimum number of cycles
+// that must elapse between two issues to the same execution unit").
+func IndependentStream(g Group, n int) Program {
+	b := NewBuilder()
+	for i := 0; i < n; i++ {
+		// Round-robin over disjoint registers so no chains form.
+		dst := Reg(1 + i%63)
+		src := Reg(64 + i%63)
+		b.I(g, dst, src)
+	}
+	return b.Program()
+}
+
+// Mix summarises a program's instruction counts by group.
+func (p Program) Mix() map[Group]int {
+	m := make(map[Group]int)
+	for _, in := range p {
+		m[in.Op]++
+	}
+	return m
+}

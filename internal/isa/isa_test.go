@@ -1,0 +1,115 @@
+package isa
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestGroupNamesAndOrder(t *testing.T) {
+	want := []string{"BR", "FP6", "FP7", "FPD", "FX2", "FX3", "FXB", "LS", "SHUF"}
+	gs := Groups()
+	if len(gs) != len(want) {
+		t.Fatalf("groups = %v", gs)
+	}
+	for i, g := range gs {
+		if g.String() != want[i] {
+			t.Errorf("group %d = %s, want %s", i, g, want[i])
+		}
+	}
+}
+
+func TestPipeAssignment(t *testing.T) {
+	odd := map[Group]bool{BR: true, LS: true, SHUF: true}
+	for _, g := range Groups() {
+		wantOdd := odd[g]
+		if (g.Pipe() == Odd) != wantOdd {
+			t.Errorf("%s pipe = %v", g, g.Pipe())
+		}
+	}
+}
+
+func TestFlops(t *testing.T) {
+	if FPD.FlopsDP() != 4 || FPD.FlopsSP() != 0 {
+		t.Errorf("FPD flops = %d/%d", FPD.FlopsDP(), FPD.FlopsSP())
+	}
+	if FP6.FlopsSP() != 8 || FP6.FlopsDP() != 0 {
+		t.Errorf("FP6 flops")
+	}
+	if LS.FlopsDP() != 0 || LS.FlopsSP() != 0 {
+		t.Errorf("LS should have no flops")
+	}
+}
+
+func TestBuilder(t *testing.T) {
+	p := NewBuilder().
+		I(LS, 1, 0).
+		I(FPD, 2, 1, 1).
+		I(LS, NoReg, 2).
+		Program()
+	if len(p) != 3 {
+		t.Fatalf("len = %d", len(p))
+	}
+	if p[1].Op != FPD || p[1].Dst != 2 || p[1].Srcs[0] != 1 || p[1].Srcs[2] != NoReg {
+		t.Errorf("instr = %+v", p[1])
+	}
+	mix := p.Mix()
+	if mix[LS] != 2 || mix[FPD] != 1 {
+		t.Errorf("mix = %v", mix)
+	}
+}
+
+func TestDependentChainIsChained(t *testing.T) {
+	p := DependentChain(FPD, 20)
+	if len(p) != 20 {
+		t.Fatalf("len = %d", len(p))
+	}
+	for i := 1; i < len(p); i++ {
+		if p[i].Srcs[0] != p[i-1].Dst {
+			t.Fatalf("instr %d does not consume %d's result: %v <- %v",
+				i, i-1, p[i], p[i-1])
+		}
+	}
+}
+
+func TestIndependentStreamHasNoChains(t *testing.T) {
+	p := IndependentStream(FPD, 40)
+	// No instruction reads a register any other instruction writes.
+	written := map[Reg]bool{}
+	for _, in := range p {
+		written[in.Dst] = true
+	}
+	for _, in := range p {
+		for _, s := range in.Srcs {
+			if s != NoReg && written[s] {
+				t.Fatalf("instruction %v reads written register", in)
+			}
+		}
+	}
+}
+
+func TestChainPropertyAnyGroup(t *testing.T) {
+	f := func(gi uint8, n uint8) bool {
+		g := Group(int(gi) % NumGroups)
+		ln := int(n%60) + 2
+		p := DependentChain(g, ln)
+		for i := 1; i < len(p); i++ {
+			if p[i].Srcs[0] != p[i-1].Dst {
+				return false
+			}
+			if p[i].Op != g {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestInstrString(t *testing.T) {
+	in := Instr{Op: FPD, Dst: 3, Srcs: [3]Reg{1, 2, NoReg}}
+	if got := in.String(); got != "FPD r3 <- r1 r2" {
+		t.Errorf("String = %q", got)
+	}
+}

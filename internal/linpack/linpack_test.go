@@ -1,0 +1,149 @@
+package linpack
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"roadrunner/internal/machine"
+	"roadrunner/internal/params"
+)
+
+func TestFactorizeAndSolve(t *testing.T) {
+	for _, n := range []int{1, 2, 7, 16, 33, 64, 100} {
+		a := RandomSPD(n, int64(n))
+		orig := a.Clone()
+		lu, err := Factorize(a, 8)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		b := make([]float64, n)
+		for i := range b {
+			b[i] = float64(i%5) - 2
+		}
+		x := lu.Solve(b)
+		if r := Residual(orig, x, b); r > 1e-12 {
+			t.Errorf("n=%d: residual %e", n, r)
+		}
+	}
+}
+
+func TestBlockSizeInvariance(t *testing.T) {
+	// The factorisation result (as a solver) is block-size independent.
+	n := 48
+	b := make([]float64, n)
+	for i := range b {
+		b[i] = math.Sin(float64(i))
+	}
+	var ref []float64
+	for _, nb := range []int{1, 4, 16, 48, 64} {
+		a := RandomSPD(n, 7)
+		orig := a.Clone()
+		lu, err := Factorize(a, nb)
+		if err != nil {
+			t.Fatal(err)
+		}
+		x := lu.Solve(b)
+		if r := Residual(orig, x, b); r > 1e-12 {
+			t.Errorf("nb=%d: residual %e", nb, r)
+		}
+		if ref == nil {
+			ref = x
+			continue
+		}
+		for i := range x {
+			if math.Abs(x[i]-ref[i]) > 1e-9*math.Abs(ref[i]) {
+				t.Errorf("nb=%d: x[%d] = %v vs %v", nb, i, x[i], ref[i])
+			}
+		}
+	}
+}
+
+func TestFlopCount(t *testing.T) {
+	// LU flops ~ (2/3)n^3 for large n.
+	n := 96
+	a := RandomSPD(n, 3)
+	lu, err := Factorize(a, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 2.0 / 3.0 * float64(n) * float64(n) * float64(n)
+	if got := float64(lu.Flops); math.Abs(got-want)/want > 0.10 {
+		t.Errorf("flops = %g, want ~%g", got, want)
+	}
+}
+
+func TestPivotingActuallyPivots(t *testing.T) {
+	// A matrix needing pivoting: zero on the first diagonal element.
+	a := NewMatrix(3)
+	a.Set(0, 0, 0)
+	a.Set(0, 1, 2)
+	a.Set(0, 2, 1)
+	a.Set(1, 0, 1)
+	a.Set(1, 1, 1)
+	a.Set(1, 2, 1)
+	a.Set(2, 0, 4)
+	a.Set(2, 1, 0)
+	a.Set(2, 2, 3)
+	orig := a.Clone()
+	lu, err := Factorize(a, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lu.Swaps == 0 {
+		t.Error("expected pivoting")
+	}
+	x := lu.Solve([]float64{3, 3, 7})
+	if r := Residual(orig, x, []float64{3, 3, 7}); r > 1e-12 {
+		t.Errorf("residual %e", r)
+	}
+}
+
+func TestSingularDetected(t *testing.T) {
+	a := NewMatrix(3) // all zeros
+	if _, err := Factorize(a, 2); err == nil {
+		t.Error("singular matrix accepted")
+	}
+}
+
+func TestSolveProperty(t *testing.T) {
+	// For random diagonally dominant systems, the solver inverts
+	// correctly at any size/block combination.
+	f := func(seed int64, nRaw, nbRaw uint8) bool {
+		n := int(nRaw%40) + 2
+		nb := int(nbRaw%16) + 1
+		a := RandomSPD(n, seed)
+		orig := a.Clone()
+		lu, err := Factorize(a, nb)
+		if err != nil {
+			return false
+		}
+		b := make([]float64, n)
+		for i := range b {
+			b[i] = float64((seed+int64(i))%7) - 3
+		}
+		x := lu.Solve(b)
+		return Residual(orig, x, b) < 1e-11
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHeadlineNumbers(t *testing.T) {
+	// The hybrid model's efficiency must reproduce the paper's headline:
+	// 1.026 Pflop/s on the 1.38 Pflop/s machine.
+	eff := RoadrunnerHPL().Efficiency()
+	if math.Abs(eff-params.LinpackEfficiency)/params.LinpackEfficiency > 0.01 {
+		t.Errorf("efficiency = %.3f, want %.3f", eff, params.LinpackEfficiency)
+	}
+	sys := machine.New(machine.Full())
+	sustained := sys.LinpackSustained(eff)
+	if got := sustained.PF(); math.Abs(got-1.026)/1.026 > 0.015 {
+		t.Errorf("sustained = %.4f PF/s, want 1.026", got)
+	}
+	mfw := sys.MFlopsPerWatt(sustained)
+	if math.Abs(mfw-437)/437 > 0.05 {
+		t.Errorf("Green500 = %.0f MF/W, want ~437", mfw)
+	}
+}

@@ -1,0 +1,115 @@
+package machine
+
+import (
+	"math"
+	"testing"
+
+	"roadrunner/internal/params"
+	"roadrunner/internal/units"
+)
+
+func TestTableIISystem(t *testing.T) {
+	s := New(Full())
+	if s.Nodes() != 3060 {
+		t.Errorf("nodes = %d", s.Nodes())
+	}
+	if s.Config.CUs != 17 {
+		t.Errorf("CUs = %d", s.Config.CUs)
+	}
+	// 1.38 Pflop/s DP peak.
+	if got := s.PeakDP().PF(); math.Abs(got-1.38)/1.38 > 0.005 {
+		t.Errorf("system DP = %v PF/s, want 1.38", got)
+	}
+	// CU: 80.9 TF/s DP.
+	if got := s.CUPeakDP().TF(); math.Abs(got-80.9)/80.9 > 0.005 {
+		t.Errorf("CU DP = %v TF/s, want 80.9", got)
+	}
+}
+
+func TestProcessorCounts(t *testing.T) {
+	s := New(Full())
+	// "12,240 IBM PowerXCell 8i processors and 12,240 AMD Opteron cores"
+	// (the abstract counts cores; §I says each core has an accelerator).
+	if s.Cells() != 12240 {
+		t.Errorf("cells = %d", s.Cells())
+	}
+	if s.OpteronCores() != 12240 {
+		t.Errorf("cores = %d", s.OpteronCores())
+	}
+	// "all 97,920 SPEs".
+	if s.SPEs() != 97920 {
+		t.Errorf("SPEs = %d", s.SPEs())
+	}
+}
+
+func TestAcceleratedFraction(t *testing.T) {
+	s := New(Full())
+	// "Approximately 95% of the peak performance ... from the
+	// PowerXCell 8i processors" (435.2/449.6 = 96.8%).
+	if f := s.AcceleratedFraction(); f < 0.94 || f > 0.98 {
+		t.Errorf("accelerated fraction = %v", f)
+	}
+}
+
+func TestLinpackHeadline(t *testing.T) {
+	s := New(Full())
+	sustained := s.LinpackSustained(params.LinpackEfficiency)
+	// 1.026 Pflop/s within 1%.
+	if got := sustained.PF(); math.Abs(got-1.026)/1.026 > 0.01 {
+		t.Errorf("LINPACK = %v PF/s, want 1.026", got)
+	}
+}
+
+func TestGreen500(t *testing.T) {
+	s := New(Full())
+	sustained := s.LinpackSustained(params.LinpackEfficiency)
+	mfw := s.MFlopsPerWatt(sustained)
+	// 437 MFlops/W within 5%.
+	if math.Abs(mfw-437)/437 > 0.05 {
+		t.Errorf("Green500 = %v MF/W, want ~437", mfw)
+	}
+}
+
+func TestOpteronOnlySystem(t *testing.T) {
+	s := New(Full())
+	// 3,060 x 14.4 GF/s = 44.1 TF/s: mid-pack Top500 June 2008 (the
+	// paper: "approximately position 50").
+	if got := s.OpteronOnlyPeakDP().TF(); math.Abs(got-44.06)/44.06 > 0.01 {
+		t.Errorf("Opteron-only peak = %v TF/s", got)
+	}
+	// Accelerators multiply peak by ~31x.
+	r := float64(s.PeakDP()) / float64(s.OpteronOnlyPeakDP())
+	if r < 30 || r > 33 {
+		t.Errorf("acceleration factor = %v", r)
+	}
+}
+
+func TestMemoryAndRacks(t *testing.T) {
+	s := New(Full())
+	// 32 GB per node.
+	if got := s.Memory() / units.Size(s.Nodes()); got != 32*units.GB {
+		t.Errorf("per-node memory = %v", got)
+	}
+	if s.Racks() != 17*16+4 {
+		t.Errorf("racks = %d", s.Racks())
+	}
+}
+
+func TestScaledSystems(t *testing.T) {
+	s := New(Config{CUs: 2, NodesPerCU: params.NodesPerCU})
+	if s.Nodes() != 360 {
+		t.Errorf("nodes = %d", s.Nodes())
+	}
+	if s.Fabric.Nodes() != 360 {
+		t.Errorf("fabric nodes = %d", s.Fabric.Nodes())
+	}
+}
+
+func TestBadConfigPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic")
+		}
+	}()
+	New(Config{CUs: 0})
+}

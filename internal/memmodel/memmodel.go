@@ -1,0 +1,99 @@
+// Package memmodel provides the memory-hierarchy models behind the
+// paper's Table III: pointer-chase latency through a cache hierarchy
+// (the "memtime" microbenchmark) and STREAM TRIAD bandwidth models for
+// cache-based processors and for the SPE local store.
+package memmodel
+
+import (
+	"fmt"
+
+	"roadrunner/internal/units"
+)
+
+// Level is one level of a cache hierarchy.
+type Level struct {
+	Name    string
+	Size    units.Size
+	Latency units.Time // load-to-use latency when the working set fits here
+}
+
+// Hierarchy models a processor's data-cache hierarchy plus main memory.
+type Hierarchy struct {
+	Levels     []Level    // ordered smallest to largest
+	MemLatency units.Time // latency once the working set spills to DRAM
+}
+
+// Validate checks that levels are ordered by size and latency.
+func (h *Hierarchy) Validate() error {
+	for i := 1; i < len(h.Levels); i++ {
+		if h.Levels[i].Size <= h.Levels[i-1].Size {
+			return fmt.Errorf("memmodel: level %s (%v) not larger than %s (%v)",
+				h.Levels[i].Name, h.Levels[i].Size, h.Levels[i-1].Name, h.Levels[i-1].Size)
+		}
+		if h.Levels[i].Latency < h.Levels[i-1].Latency {
+			return fmt.Errorf("memmodel: level %s faster than %s",
+				h.Levels[i].Name, h.Levels[i-1].Name)
+		}
+	}
+	if len(h.Levels) > 0 && h.MemLatency < h.Levels[len(h.Levels)-1].Latency {
+		return fmt.Errorf("memmodel: memory faster than last cache level")
+	}
+	return nil
+}
+
+// ChaseLatency returns the per-load latency a pointer-chase (one word per
+// cache line, each load's address depending on the previous load) observes
+// for the given working-set size: the latency of the smallest level that
+// holds the working set, or main memory.
+func (h *Hierarchy) ChaseLatency(workingSet units.Size) units.Time {
+	for _, l := range h.Levels {
+		if workingSet <= l.Size {
+			return l.Latency
+		}
+	}
+	return h.MemLatency
+}
+
+// ChaseCurve samples ChaseLatency at power-of-two working sets from lo to
+// hi, the way memtime sweeps its buffer size.
+func (h *Hierarchy) ChaseCurve(lo, hi units.Size) []struct {
+	WorkingSet units.Size
+	Latency    units.Time
+} {
+	var out []struct {
+		WorkingSet units.Size
+		Latency    units.Time
+	}
+	for ws := lo; ws <= hi; ws *= 2 {
+		out = append(out, struct {
+			WorkingSet units.Size
+			Latency    units.Time
+		}{ws, h.ChaseLatency(ws)})
+	}
+	return out
+}
+
+// StreamModel computes sustained STREAM TRIAD bandwidth for a cache-based
+// processor from its memory controller peak and the triad's traffic
+// pattern. TRIAD (a[i] = b[i] + s*c[i]) reads two streams and writes one;
+// with write-allocate caches the written line is first read, so the bus
+// moves 4 bytes for every 3 the kernel touches. BusEfficiency captures
+// DRAM page/turnaround losses and limited outstanding misses; it is
+// calibrated per processor against the paper's Table III and quarantined
+// in params.
+type StreamModel struct {
+	Peak          units.Bandwidth
+	BusEfficiency float64
+	WriteAllocate bool
+}
+
+// Triad returns the sustained TRIAD bandwidth (bytes touched by the
+// kernel per second, the STREAM reporting convention).
+func (m StreamModel) Triad() units.Bandwidth {
+	bw := units.Bandwidth(float64(m.Peak) * m.BusEfficiency)
+	if m.WriteAllocate {
+		// Bus moves 4/3 of the kernel-visible bytes.
+		bw = bw * 3 / 4
+	}
+	return bw
+}

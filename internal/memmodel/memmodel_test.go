@@ -1,0 +1,105 @@
+package memmodel
+
+import (
+	"testing"
+	"testing/quick"
+
+	"roadrunner/internal/units"
+)
+
+func testHierarchy() Hierarchy {
+	return Hierarchy{
+		Levels: []Level{
+			{Name: "L1", Size: 64 * units.KB, Latency: units.FromNanoseconds(1.7)},
+			{Name: "L2", Size: 2 * units.MB, Latency: units.FromNanoseconds(6.7)},
+		},
+		MemLatency: units.FromNanoseconds(30.5),
+	}
+}
+
+func TestChaseLatencyLevels(t *testing.T) {
+	h := testHierarchy()
+	if got := h.ChaseLatency(16 * units.KB); got != units.FromNanoseconds(1.7) {
+		t.Errorf("16KB = %v", got)
+	}
+	if got := h.ChaseLatency(64 * units.KB); got != units.FromNanoseconds(1.7) {
+		t.Errorf("64KB boundary = %v", got)
+	}
+	if got := h.ChaseLatency(65 * units.KB); got != units.FromNanoseconds(6.7) {
+		t.Errorf("65KB = %v", got)
+	}
+	if got := h.ChaseLatency(16 * units.MB); got != units.FromNanoseconds(30.5) {
+		t.Errorf("16MB = %v", got)
+	}
+}
+
+func TestChaseMonotoneProperty(t *testing.T) {
+	h := testHierarchy()
+	f := func(a, b uint32) bool {
+		x, y := units.Size(a)+1, units.Size(b)+1
+		if x > y {
+			x, y = y, x
+		}
+		return h.ChaseLatency(x) <= h.ChaseLatency(y)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestChaseCurveShape(t *testing.T) {
+	h := testHierarchy()
+	curve := h.ChaseCurve(4*units.KB, 16*units.MB)
+	if len(curve) != 13 {
+		t.Fatalf("curve length = %d", len(curve))
+	}
+	// Distinct plateaus: first point L1, last point memory.
+	if curve[0].Latency != units.FromNanoseconds(1.7) {
+		t.Errorf("first = %v", curve[0].Latency)
+	}
+	if curve[len(curve)-1].Latency != units.FromNanoseconds(30.5) {
+		t.Errorf("last = %v", curve[len(curve)-1].Latency)
+	}
+}
+
+func TestValidate(t *testing.T) {
+	h := testHierarchy()
+	if err := h.Validate(); err != nil {
+		t.Errorf("valid hierarchy rejected: %v", err)
+	}
+	bad := Hierarchy{
+		Levels: []Level{
+			{Name: "L1", Size: 2 * units.MB, Latency: units.FromNanoseconds(5)},
+			{Name: "L2", Size: 64 * units.KB, Latency: units.FromNanoseconds(9)},
+		},
+		MemLatency: units.FromNanoseconds(100),
+	}
+	if err := bad.Validate(); err == nil {
+		t.Error("shrinking hierarchy accepted")
+	}
+	inverted := testHierarchy()
+	inverted.MemLatency = units.FromNanoseconds(1)
+	if err := inverted.Validate(); err == nil {
+		t.Error("memory faster than cache accepted")
+	}
+}
+
+func TestStreamModelTriad(t *testing.T) {
+	// The Opteron calibration: 10.7 GB/s peak, 0.674 bus efficiency,
+	// write-allocate -> 5.41 GB/s.
+	m := StreamModel{Peak: 10.7 * units.GBPerSec, BusEfficiency: 0.674, WriteAllocate: true}
+	got := m.Triad().GBps()
+	if got < 5.35 || got > 5.47 {
+		t.Errorf("Opteron triad = %v GB/s, want ~5.41", got)
+	}
+	// Without write-allocate the rate is a third higher.
+	m2 := m
+	m2.WriteAllocate = false
+	if m2.Triad() <= m.Triad() {
+		t.Error("write-allocate should cost bandwidth")
+	}
+	ratio := float64(m2.Triad()) / float64(m.Triad())
+	if ratio < 1.32 || ratio > 1.35 {
+		t.Errorf("write-allocate penalty ratio = %v, want 4/3", ratio)
+	}
+}

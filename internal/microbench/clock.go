@@ -1,0 +1,10 @@
+package microbench
+
+import "time"
+
+// nowNanos returns a monotonic wall-clock sample in nanoseconds for the
+// real host kernels. Isolated here so everything else in the repository
+// stays on simulated time.
+func nowNanos() float64 {
+	return float64(time.Now().UnixNano())
+}

@@ -1,0 +1,82 @@
+package microbench
+
+import (
+	"roadrunner/internal/cell"
+	"roadrunner/internal/hostcpu"
+	"roadrunner/internal/units"
+)
+
+// TableIIIRow is one processor's memory characterisation.
+type TableIIIRow struct {
+	Processor string
+	Triad     units.Bandwidth
+	Latency   units.Time
+}
+
+// TableIII computes the paper's Table III from the processor models.
+func TableIII() []TableIIIRow {
+	opteron := hostcpu.Opteron2210HE()
+	pxc := cell.New(cell.PowerXCell8i)
+	return []TableIIIRow{
+		{"Opteron", opteron.StreamTriad(), opteron.MemLatency()},
+		{"PowerXCell 8i (PPE)", pxc.PPETriad(), pxc.PPEMemLatency()},
+		{"PowerXCell 8i (SPE)", pxc.SPETriad(), pxc.SPELocalStoreLatency()},
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Real host kernels: a living STREAM TRIAD and pointer chase executed on
+// whatever machine runs the benchmark harness, so model outputs sit next
+// to genuinely measured numbers.
+// ---------------------------------------------------------------------------
+
+// HostTriad runs a real TRIAD over n-element float64 arrays and returns
+// the STREAM-convention bandwidth. The work is real; the result depends
+// on the host machine (it is reported, never asserted against).
+func HostTriad(n int) (units.Bandwidth, float64) {
+	a := make([]float64, n)
+	b := make([]float64, n)
+	c := make([]float64, n)
+	for i := range b {
+		b[i] = float64(i)
+		c[i] = float64(n - i)
+	}
+	const s = 3.0
+	start := nowNanos()
+	const reps = 5
+	for r := 0; r < reps; r++ {
+		for i := range a {
+			a[i] = b[i] + s*c[i]
+		}
+	}
+	elapsed := nowNanos() - start
+	bytes := float64(3 * 8 * n * reps)
+	checksum := a[0] + a[n/2] + a[n-1]
+	return units.Bandwidth(bytes / (elapsed * 1e-9)), checksum
+}
+
+// HostChase runs a real dependent pointer chase over a working set of n
+// words and returns nanoseconds per hop.
+func HostChase(n, hops int) (float64, int) {
+	next := make([]int, n)
+	// Sattolo shuffle for a single cycle, deterministic.
+	s := uint64(12345)
+	rnd := func(m int) int {
+		s = s*6364136223846793005 + 1442695040888963407
+		return int((s >> 33) % uint64(m))
+	}
+	for i := range next {
+		next[i] = i
+	}
+	for i := n - 1; i > 0; i-- {
+		j := rnd(i)
+		next[i], next[j] = next[j], next[i]
+	}
+	p := 0
+	start := nowNanos()
+	for h := 0; h < hops; h++ {
+		p = next[p]
+	}
+	elapsed := nowNanos() - start
+	return elapsed / float64(hops), p
+}

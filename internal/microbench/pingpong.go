@@ -1,0 +1,155 @@
+// Package microbench assembles the paper's communication and memory
+// microbenchmarks from the transport and memory models: the Fig. 6
+// latency decomposition, the Fig. 7 Cell-to-Cell bandwidth curves, the
+// Fig. 8 core-pairing curves, the Fig. 9 DaCS-vs-InfiniBand comparison,
+// the Fig. 10 full-machine latency map, and the Table III STREAM and
+// memtime values. It also contains real host-machine STREAM/pointer-chase
+// kernels used by the benchmark harness as a living reference.
+package microbench
+
+import (
+	"roadrunner/internal/dacs"
+	"roadrunner/internal/fabric"
+	"roadrunner/internal/ib"
+	"roadrunner/internal/params"
+	"roadrunner/internal/units"
+)
+
+// Segment is one leg of the Fig. 6 zero-byte Cell-to-Cell path.
+type Segment struct {
+	Name string
+	Time units.Time
+}
+
+// Fig6Breakdown returns the five segments of a zero-byte message from a
+// Cell to a Cell in an adjacent node, exactly as Fig. 6 decomposes it.
+func Fig6Breakdown() []Segment {
+	d := dacs.Current()
+	i := ib.OpenMPI()
+	return []Segment{
+		{"Local (SPE->PPE)", params.LocalSegment},
+		{"Cell to Opteron (DaCS over PCIe)", d.OneWay(0)},
+		{"Opteron to Opteron (MPI over InfiniBand)", i.ZeroByteLatency(1)},
+		{"Opteron to Cell (DaCS over PCIe)", d.OneWay(0)},
+		{"Local (PPE->SPE)", params.LocalSegment},
+	}
+}
+
+// Fig6Total sums the breakdown (the paper's 8.78 us).
+func Fig6Total() units.Time {
+	var t units.Time
+	for _, s := range Fig6Breakdown() {
+		t += s.Time
+	}
+	return t
+}
+
+// PingPongSizes returns the message sizes the bandwidth figures sweep.
+func PingPongSizes() []units.Size {
+	var out []units.Size
+	for s := units.Size(1); s <= 1*units.MB; s *= 4 {
+		out = append(out, s)
+	}
+	out = append(out, 1*units.MB)
+	return out
+}
+
+// IntranodeUni returns the Fig. 7 intranode (PPE-Opteron over DaCS)
+// unidirectional bandwidth at a message size.
+func IntranodeUni(size units.Size) units.Bandwidth {
+	return dacs.Current().BandwidthAt(size)
+}
+
+// IntranodeBidir returns the aggregate bandwidth of a simultaneous
+// exchange in both directions: each direction streams at half the DaCS
+// pair's duplex capacity.
+func IntranodeBidir(size units.Size) units.Bandwidth {
+	pr := dacs.Current()
+	half := pr.PairAggregate / 2
+	t := pr.Latency
+	if size > pr.EagerThreshold {
+		t += pr.RendezvousOverhead
+	}
+	t += half.TransferTime(size)
+	if size <= 0 {
+		return 0
+	}
+	return units.Bandwidth(2 * float64(size) / t.Seconds())
+}
+
+// internodeFlows is Fig. 7's load: all four Cell-Opteron pairs in use.
+const internodeFlows = 4
+
+// InternodeUni returns the Fig. 7 internode Cell-to-Cell unidirectional
+// bandwidth for the worst pair with all four pairs active: the path is
+// DaCS, then the HCA shared four ways, then DaCS, with segments
+// pipelined at the bottleneck stage.
+func InternodeUni(size units.Size) units.Bandwidth {
+	d := dacs.Current()
+	i := ib.OpenMPI()
+	lat := 2*d.OneWay(0) + i.ZeroByteLatency(1) + 2*params.LocalSegment
+	if size > d.EagerThreshold {
+		lat += 2 * d.RendezvousOverhead // both DaCS legs handshake
+	}
+	share := i.MultiFlowBandwidth / internodeFlows
+	bottleneck := d.StreamBandwidth
+	if share < bottleneck {
+		bottleneck = share
+	}
+	t := lat + bottleneck.TransferTime(size)
+	if size <= 0 {
+		return 0
+	}
+	return units.Bandwidth(float64(size) / t.Seconds())
+}
+
+// InternodeBidir returns the aggregate two-direction bandwidth of the
+// worst pair with all pairs exchanging both ways: eight flows share the
+// HCA duplex capacity.
+func InternodeBidir(size units.Size) units.Bandwidth {
+	d := dacs.Current()
+	i := ib.OpenMPI()
+	lat := 2*d.OneWay(0) + i.ZeroByteLatency(1) + 2*params.LocalSegment
+	if size > d.EagerThreshold {
+		lat += 2 * d.RendezvousOverhead
+	}
+	perFlow := i.DuplexAggregate / (2 * internodeFlows)
+	bottleneck := d.PairAggregate / 2
+	if perFlow < bottleneck {
+		bottleneck = perFlow
+	}
+	t := lat + bottleneck.TransferTime(size)
+	if size <= 0 {
+		return 0
+	}
+	return units.Bandwidth(2 * float64(size) / t.Seconds())
+}
+
+// Fig9DaCS returns the intra-node DaCS bandwidth at a size (Fig. 9's
+// lower curve).
+func Fig9DaCS(size units.Size) units.Bandwidth {
+	return dacs.Current().BandwidthAt(size)
+}
+
+// Fig9IB returns the inter-node MPI/InfiniBand bandwidth at a size
+// (Fig. 9's upper curve; the default far-core pairing of the test rig,
+// one crossbar).
+func Fig9IB(size units.Size) units.Bandwidth {
+	return ib.OpenMPI().BandwidthAt(size, 1, 0, 2)
+}
+
+// Fig10Latency returns the Fig. 10 zero-byte one-way latency from node 0
+// to a destination node, including the map harness's fixed overhead.
+func Fig10Latency(fab *fabric.System, dst fabric.NodeID) units.Time {
+	hops := fab.Hops(fabric.FromGlobal(0), dst)
+	return ib.OpenMPI().ZeroByteLatency(hops) + params.Fig10HarnessOverhead
+}
+
+// Fig10Map computes the full latency map over every node.
+func Fig10Map(fab *fabric.System) []units.Time {
+	out := make([]units.Time, fab.Nodes())
+	for g := 0; g < fab.Nodes(); g++ {
+		out[g] = Fig10Latency(fab, fabric.FromGlobal(g))
+	}
+	return out
+}

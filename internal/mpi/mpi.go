@@ -1,0 +1,257 @@
+// Package mpi implements the blocking subset of MPI the paper's codes use
+// (point-to-point send/recv with tag/source matching, sendrecv, barrier,
+// broadcast, reduce, allreduce) for host (Opteron) ranks running as
+// processes on the discrete-event engine, with message timing from the
+// Open MPI / InfiniBand model and routes from the fabric model.
+//
+// Messages carry real payloads: the solver code that runs on these ranks
+// exchanges actual boundary data, so correctness is testable end to end.
+package mpi
+
+import (
+	"fmt"
+
+	"roadrunner/internal/fabric"
+	"roadrunner/internal/ib"
+	"roadrunner/internal/sim"
+	"roadrunner/internal/units"
+)
+
+// AnyTag matches any message tag in Recv.
+const AnyTag = -1
+
+// AnySource matches any source rank in Recv.
+const AnySource = -1
+
+// Message is an in-flight or delivered MPI message.
+type Message struct {
+	Src  int
+	Dst  int
+	Tag  int
+	Data []float64 // payload (may be nil for control messages)
+	Size units.Size
+}
+
+// Placement locates a rank on the machine.
+type Placement struct {
+	Node fabric.NodeID
+	Core int // Opteron core 0..3 (HCA proximity per Fig. 8)
+}
+
+// World is a communicator spanning a set of placed ranks.
+type World struct {
+	eng     *sim.Engine
+	fab     *fabric.System
+	profile ib.Profile
+	ranks   []*Rank
+	hcas    map[fabric.NodeID]*ib.HCA
+}
+
+// NewWorld creates a communicator on the engine over the given fabric.
+func NewWorld(eng *sim.Engine, fab *fabric.System, profile ib.Profile) *World {
+	return &World{
+		eng:     eng,
+		fab:     fab,
+		profile: profile,
+		hcas:    make(map[fabric.NodeID]*ib.HCA),
+	}
+}
+
+// AddRank places a new rank and returns it. Ranks are numbered in the
+// order added.
+func (w *World) AddRank(p Placement) *Rank {
+	r := &Rank{
+		world: w,
+		id:    len(w.ranks),
+		place: p,
+		inbox: sim.NewMailbox[*Message](w.eng, fmt.Sprintf("rank%d", len(w.ranks))),
+	}
+	w.ranks = append(w.ranks, r)
+	if _, ok := w.hcas[p.Node]; !ok {
+		w.hcas[p.Node] = ib.NewHCA(w.eng, w.profile)
+	}
+	return r
+}
+
+// Size returns the number of ranks.
+func (w *World) Size() int { return len(w.ranks) }
+
+// Rank returns rank i.
+func (w *World) Rank(i int) *Rank { return w.ranks[i] }
+
+// Rank is one MPI process.
+type Rank struct {
+	world *World
+	id    int
+	place Placement
+	inbox *sim.Mailbox[*Message]
+}
+
+// ID returns the rank number.
+func (r *Rank) ID() int { return r.id }
+
+// Placement returns where the rank lives.
+func (r *Rank) Placement() Placement { return r.place }
+
+// payloadSize returns the wire size of a float64 payload.
+func payloadSize(data []float64) units.Size { return units.Size(8 * len(data)) }
+
+// Send transmits data to rank dst with the given tag, blocking the
+// calling proc for the send-side cost. Delivery is scheduled after the
+// network traversal; eager sends return once the payload has left the
+// sender, rendezvous sends additionally wait for the handshake.
+func (r *Rank) Send(p *sim.Proc, dst, tag int, data []float64) {
+	w := r.world
+	if dst < 0 || dst >= len(w.ranks) {
+		panic(fmt.Sprintf("mpi: send to rank %d of %d", dst, len(w.ranks)))
+	}
+	to := w.ranks[dst]
+	size := payloadSize(data)
+	msg := &Message{Src: r.id, Dst: dst, Tag: tag, Data: data, Size: size}
+
+	pr := w.profile
+	if r.place.Node == to.place.Node {
+		// Intra-node: shared-memory path, one software overhead each side.
+		p.Sleep(pr.PerSideOverhead)
+		w.eng.Schedule(pr.PerSideOverhead, func() { to.inbox.Put(msg) })
+		return
+	}
+	hops := w.fab.Hops(r.place.Node, to.place.Node)
+	fabLat := units.Time(hops) * pr.HopLatency
+	pairBW := pr.PairBandwidth(r.place.Core, to.place.Core)
+
+	p.Sleep(pr.PerSideOverhead) // send-side software
+	if size > pr.EagerThreshold {
+		// Rendezvous round trip before the payload moves.
+		p.Sleep(2 * (2*pr.PerSideOverhead + fabLat))
+	}
+	if size > 0 {
+		w.hcas[r.place.Node].Stream(p, 0, size, pairBW)
+	}
+	// Wire + receive side happen after the sender's part.
+	w.eng.Schedule(fabLat+pr.PerSideOverhead, func() { to.inbox.Put(msg) })
+}
+
+// Recv blocks until a message matching (src, tag) arrives and returns it.
+// Use AnySource/AnyTag as wildcards.
+func (r *Rank) Recv(p *sim.Proc, src, tag int) *Message {
+	return r.inbox.GetMatch(p, func(m *Message) bool {
+		return (src == AnySource || m.Src == src) && (tag == AnyTag || m.Tag == tag)
+	})
+}
+
+// Sendrecv exchanges messages with two peers (possibly the same): sends
+// to dst and receives from src, overlapping the two as MPI_Sendrecv does.
+func (r *Rank) Sendrecv(p *sim.Proc, dst, sendTag int, data []float64, src, recvTag int) *Message {
+	r.Send(p, dst, sendTag, data)
+	return r.Recv(p, src, recvTag)
+}
+
+// collective tags use a high bit to stay clear of application tags.
+const (
+	tagBarrier = 1 << 28
+	tagBcast   = 1 << 29
+	tagReduce  = 1 << 30
+)
+
+// Barrier synchronises all ranks with a binomial gather-up /
+// broadcast-down tree rooted at rank 0.
+func (r *Rank) Barrier(p *sim.Proc) {
+	size := len(r.world.ranks)
+	// Gather up.
+	for dist := 1; dist < size; dist *= 2 {
+		if r.id&dist != 0 {
+			r.Send(p, r.id-dist, tagBarrier, nil)
+			break
+		} else if r.id+dist < size {
+			r.Recv(p, r.id+dist, tagBarrier)
+		}
+	}
+	// Release down (reverse order).
+	start := 1
+	for start*2 < size {
+		start *= 2
+	}
+	for dist := start; dist >= 1; dist /= 2 {
+		if r.id&dist != 0 {
+			r.Recv(p, r.id-dist, tagBarrier+1)
+			break
+		}
+	}
+	for dist := start; dist >= 1; dist /= 2 {
+		if r.id&dist == 0 && r.id+dist < size {
+			r.Send(p, r.id+dist, tagBarrier+1, nil)
+		}
+	}
+}
+
+// Bcast broadcasts data from root using a binomial tree and returns the
+// received slice on non-roots (the root returns data unchanged).
+func (r *Rank) Bcast(p *sim.Proc, root int, data []float64) []float64 {
+	size := len(r.world.ranks)
+	rel := (r.id - root + size) % size
+	if rel != 0 {
+		// Find the sender: clear the highest set bit of rel.
+		h := 1
+		for h*2 <= rel {
+			h *= 2
+		}
+		src := (rel - h + root) % size
+		msg := r.Recv(p, src, tagBcast)
+		data = msg.Data
+	}
+	// Forward to children.
+	h := 1
+	for h <= rel {
+		h *= 2
+	}
+	for ; rel+h < size; h *= 2 {
+		dst := (rel + h + root) % size
+		r.Send(p, dst, tagBcast, data)
+	}
+	return data
+}
+
+// ReduceOp combines two values in a reduction.
+type ReduceOp func(a, b float64) float64
+
+// Sum is the addition reduction.
+func Sum(a, b float64) float64 { return a + b }
+
+// Max is the maximum reduction.
+func Max(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// Reduce combines each rank's vals elementwise at root with op. Non-root
+// ranks return nil; root returns the combined vector.
+func (r *Rank) Reduce(p *sim.Proc, root int, vals []float64, op ReduceOp) []float64 {
+	size := len(r.world.ranks)
+	rel := (r.id - root + size) % size
+	acc := append([]float64(nil), vals...)
+	// Binomial gather: receive from children (rel + h), send to parent.
+	for h := 1; h < size; h *= 2 {
+		if rel&h != 0 {
+			parent := (rel - h + root) % size
+			r.Send(p, parent, tagReduce, acc)
+			return nil
+		}
+		if rel+h < size {
+			child := (rel + h + root) % size
+			msg := r.Recv(p, child, tagReduce)
+			for i := range acc {
+				acc[i] = op(acc[i], msg.Data[i])
+			}
+		}
+	}
+	return acc
+}
+
+// Allreduce is Reduce to rank 0 followed by Bcast.
+func (r *Rank) Allreduce(p *sim.Proc, vals []float64, op ReduceOp) []float64 {
+	acc := r.Reduce(p, 0, vals, op)
+	return r.Bcast(p, 0, acc)
+}

@@ -1,0 +1,301 @@
+package mpi
+
+import (
+	"math"
+	"testing"
+
+	"roadrunner/internal/fabric"
+	"roadrunner/internal/ib"
+	"roadrunner/internal/sim"
+	"roadrunner/internal/units"
+)
+
+// testWorld builds a world with one rank per node on the first n nodes.
+func testWorld(eng *sim.Engine, n int) *World {
+	fab := fabric.New()
+	w := NewWorld(eng, fab, ib.OpenMPI())
+	for i := 0; i < n; i++ {
+		w.AddRank(Placement{Node: fabric.FromGlobal(i), Core: 1})
+	}
+	return w
+}
+
+func TestZeroByteOneWayLatency(t *testing.T) {
+	// Adjacent nodes (same crossbar, 1 hop): 2.16 us one way.
+	eng := sim.NewEngine()
+	defer eng.Close()
+	w := testWorld(eng, 2)
+	var arrive units.Time
+	eng.Spawn("r1", func(p *sim.Proc) {
+		w.Rank(1).Recv(p, 0, 7)
+		arrive = p.Now()
+	})
+	eng.Spawn("r0", func(p *sim.Proc) {
+		w.Rank(0).Send(p, 1, 7, nil)
+	})
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	want := units.FromMicroseconds(2.16)
+	if d := arrive - want; d < -units.Nanosecond || d > units.Nanosecond {
+		t.Errorf("one-way = %v, want %v", arrive, want)
+	}
+}
+
+func TestPayloadIntegrity(t *testing.T) {
+	eng := sim.NewEngine()
+	defer eng.Close()
+	w := testWorld(eng, 2)
+	data := []float64{3.14, 2.71, 1.41}
+	var got []float64
+	eng.Spawn("r1", func(p *sim.Proc) {
+		got = w.Rank(1).Recv(p, AnySource, AnyTag).Data
+	})
+	eng.Spawn("r0", func(p *sim.Proc) {
+		w.Rank(0).Send(p, 1, 0, data)
+	})
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 || got[0] != 3.14 || got[2] != 1.41 {
+		t.Errorf("payload = %v", got)
+	}
+}
+
+func TestTagAndSourceMatching(t *testing.T) {
+	eng := sim.NewEngine()
+	defer eng.Close()
+	w := testWorld(eng, 3)
+	var order []int
+	eng.Spawn("r2", func(p *sim.Proc) {
+		// Wait specifically for rank 1's message first, then rank 0's.
+		m := w.Rank(2).Recv(p, 1, AnyTag)
+		order = append(order, m.Src)
+		m = w.Rank(2).Recv(p, 0, AnyTag)
+		order = append(order, m.Src)
+	})
+	eng.Spawn("r0", func(p *sim.Proc) {
+		w.Rank(0).Send(p, 2, 1, []float64{0})
+	})
+	eng.SpawnAt(10*units.Microsecond, "r1", func(p *sim.Proc) {
+		w.Rank(1).Send(p, 2, 2, []float64{1})
+	})
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(order) != 2 || order[0] != 1 || order[1] != 0 {
+		t.Errorf("order = %v", order)
+	}
+}
+
+func TestRendezvousSlowerThanEager(t *testing.T) {
+	eng := sim.NewEngine()
+	defer eng.Close()
+	w := testWorld(eng, 2)
+	pr := ib.OpenMPI()
+	small := make([]float64, int(pr.EagerThreshold)/8)
+	big := make([]float64, int(pr.EagerThreshold)/8+512)
+	var tSmall, tBig units.Time
+	eng.Spawn("recv", func(p *sim.Proc) {
+		w.Rank(1).Recv(p, 0, 1)
+		tSmall = p.Now()
+		w.Rank(1).Recv(p, 0, 2)
+		tBig = p.Now() - tSmall
+	})
+	eng.Spawn("send", func(p *sim.Proc) {
+		w.Rank(0).Send(p, 1, 1, small)
+		w.Rank(0).Send(p, 1, 2, big)
+	})
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// The rendezvous handshake adds at least a zero-byte round trip.
+	if tBig-tSmall < units.FromMicroseconds(2) {
+		t.Errorf("eager %v, rendezvous delta %v", tSmall, tBig)
+	}
+}
+
+func TestBarrierSynchronises(t *testing.T) {
+	for _, n := range []int{2, 3, 5, 8} {
+		eng := sim.NewEngine()
+		w := testWorld(eng, n)
+		reached := make([]units.Time, n)
+		for i := 0; i < n; i++ {
+			i := i
+			r := w.Rank(i)
+			eng.SpawnAt(units.Time(i)*units.Microsecond, "r", func(p *sim.Proc) {
+				r.Barrier(p)
+				reached[i] = p.Now()
+			})
+		}
+		if err := eng.Run(); err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		// No rank may leave the barrier before the last one entered
+		// (the last entry is at (n-1) us).
+		entry := units.Time(n-1) * units.Microsecond
+		for i, tm := range reached {
+			if tm < entry {
+				t.Errorf("n=%d: rank %d left barrier at %v before %v", n, i, tm, entry)
+			}
+		}
+		eng.Close()
+	}
+}
+
+func TestBcastDeliversToAll(t *testing.T) {
+	for _, n := range []int{2, 4, 7} {
+		for _, root := range []int{0, n - 1} {
+			eng := sim.NewEngine()
+			w := testWorld(eng, n)
+			got := make([][]float64, n)
+			for i := 0; i < n; i++ {
+				i := i
+				r := w.Rank(i)
+				eng.Spawn("r", func(p *sim.Proc) {
+					var data []float64
+					if i == root {
+						data = []float64{42, 7}
+					}
+					got[i] = r.Bcast(p, root, data)
+				})
+			}
+			if err := eng.Run(); err != nil {
+				t.Fatalf("n=%d root=%d: %v", n, root, err)
+			}
+			for i := range got {
+				if len(got[i]) != 2 || got[i][0] != 42 || got[i][1] != 7 {
+					t.Errorf("n=%d root=%d rank=%d got %v", n, root, i, got[i])
+				}
+			}
+			eng.Close()
+		}
+	}
+}
+
+func TestReduceAndAllreduce(t *testing.T) {
+	n := 6
+	eng := sim.NewEngine()
+	defer eng.Close()
+	w := testWorld(eng, n)
+	sums := make([][]float64, n)
+	for i := 0; i < n; i++ {
+		i := i
+		r := w.Rank(i)
+		eng.Spawn("r", func(p *sim.Proc) {
+			sums[i] = r.Allreduce(p, []float64{float64(i), 1}, Sum)
+		})
+	}
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	want0 := float64(0 + 1 + 2 + 3 + 4 + 5)
+	for i := range sums {
+		if len(sums[i]) != 2 || math.Abs(sums[i][0]-want0) > 1e-12 || sums[i][1] != float64(n) {
+			t.Errorf("rank %d allreduce = %v", i, sums[i])
+		}
+	}
+}
+
+func TestReduceMax(t *testing.T) {
+	n := 5
+	eng := sim.NewEngine()
+	defer eng.Close()
+	w := testWorld(eng, n)
+	var got []float64
+	for i := 0; i < n; i++ {
+		i := i
+		r := w.Rank(i)
+		eng.Spawn("r", func(p *sim.Proc) {
+			res := r.Reduce(p, 0, []float64{float64(i * i)}, Max)
+			if i == 0 {
+				got = res
+			} else if res != nil {
+				t.Errorf("non-root rank %d got %v", i, res)
+			}
+		})
+	}
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0] != 16 {
+		t.Errorf("max = %v", got)
+	}
+}
+
+func TestIntraNodeFasterThanInterNode(t *testing.T) {
+	eng := sim.NewEngine()
+	defer eng.Close()
+	fab := fabric.New()
+	w := NewWorld(eng, fab, ib.OpenMPI())
+	w.AddRank(Placement{Node: fabric.FromGlobal(0), Core: 0}) // rank 0
+	w.AddRank(Placement{Node: fabric.FromGlobal(0), Core: 1}) // rank 1: same node
+	w.AddRank(Placement{Node: fabric.FromGlobal(1), Core: 1}) // rank 2: other node
+	var tIntra, tInter units.Time
+	eng.Spawn("r1", func(p *sim.Proc) {
+		w.Rank(1).Recv(p, 0, 1)
+		tIntra = p.Now()
+	})
+	eng.Spawn("r2", func(p *sim.Proc) {
+		w.Rank(2).Recv(p, 0, 2)
+		tInter = p.Now()
+	})
+	eng.Spawn("r0", func(p *sim.Proc) {
+		w.Rank(0).Send(p, 1, 1, nil)
+		w.Rank(0).Send(p, 2, 2, nil)
+	})
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if tIntra >= tInter {
+		t.Errorf("intra %v >= inter %v", tIntra, tInter)
+	}
+}
+
+func TestSendrecvNoDeadlock(t *testing.T) {
+	// Pairwise exchange with Sendrecv must not deadlock.
+	eng := sim.NewEngine()
+	defer eng.Close()
+	w := testWorld(eng, 2)
+	done := 0
+	for i := 0; i < 2; i++ {
+		i := i
+		r := w.Rank(i)
+		eng.Spawn("r", func(p *sim.Proc) {
+			peer := 1 - i
+			m := r.Sendrecv(p, peer, 5, []float64{float64(i)}, peer, 5)
+			if m.Data[0] != float64(peer) {
+				t.Errorf("rank %d got %v", i, m.Data)
+			}
+			done++
+		})
+	}
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if done != 2 {
+		t.Errorf("done = %d", done)
+	}
+}
+
+func TestFig10LatencyPlateaus(t *testing.T) {
+	// One-way zero-byte latency by destination class, with the hop
+	// structure of the fabric: ~2.16 us at 1 hop rising ~220 ns per
+	// extra crossbar pair.
+	pr := ib.OpenMPI()
+	fab := fabric.New()
+	n0 := fabric.FromGlobal(0)
+	lat := func(g int) float64 {
+		return pr.ZeroByteLatency(fab.Hops(n0, fabric.FromGlobal(g))).Microseconds()
+	}
+	sameXbar := lat(1)
+	sameCU := lat(100)
+	nearCU := lat(200) // CU2, different crossbar: 5 hops
+	farCU := lat(16*180 + 100)
+	if !(sameXbar < sameCU && sameCU < nearCU && nearCU < farCU) {
+		t.Errorf("plateaus not ordered: %v %v %v %v", sameXbar, sameCU, nearCU, farCU)
+	}
+	if math.Abs(farCU-sameXbar-6*0.22) > 0.001 {
+		t.Errorf("7-hop vs 1-hop delta = %v, want 1.32us", farCU-sameXbar)
+	}
+}

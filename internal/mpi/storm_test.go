@@ -1,0 +1,107 @@
+package mpi
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"roadrunner/internal/sim"
+	"roadrunner/internal/units"
+)
+
+func TestMessageStormExactlyOnce(t *testing.T) {
+	// A randomized all-to-all storm: every sent message is received
+	// exactly once with intact payload, and per-(src,dst,tag) order is
+	// preserved.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		eng := sim.NewEngine()
+		defer eng.Close()
+		w := testWorld(eng, 4)
+		n := w.Size()
+		const perSender = 12
+
+		type sent struct{ src, seq int }
+		received := make([][]sent, n)
+		for dst := 0; dst < n; dst++ {
+			dst := dst
+			r := w.Rank(dst)
+			expect := perSender * (n - 1)
+			eng.Spawn("recv", func(p *sim.Proc) {
+				for i := 0; i < expect; i++ {
+					m := r.Recv(p, AnySource, AnyTag)
+					received[dst] = append(received[dst],
+						sent{m.Src, int(m.Data[0])})
+				}
+			})
+		}
+		for src := 0; src < n; src++ {
+			src := src
+			r := w.Rank(src)
+			delay := units.Time(rng.Intn(100)) * units.Nanosecond
+			eng.SpawnAt(delay, "send", func(p *sim.Proc) {
+				for seq := 0; seq < perSender; seq++ {
+					for d := 0; d < n; d++ {
+						if d == src {
+							continue
+						}
+						r.Send(p, d, 5, []float64{float64(seq)})
+					}
+				}
+			})
+		}
+		if err := eng.Run(); err != nil {
+			return false
+		}
+		for dst := 0; dst < n; dst++ {
+			if len(received[dst]) != perSender*(n-1) {
+				return false
+			}
+			// FIFO per source.
+			last := map[int]int{}
+			for _, m := range received[dst] {
+				if prev, ok := last[m.src]; ok && m.seq != prev+1 {
+					return false
+				}
+				last[m.src] = m.seq
+			}
+			for _, fin := range last {
+				if fin != perSender-1 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 8}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCollectivesAtManySizes(t *testing.T) {
+	// Barrier + allreduce at awkward rank counts (non-powers of two).
+	for _, n := range []int{1, 2, 3, 6, 9, 13, 17} {
+		eng := sim.NewEngine()
+		w := testWorld(eng, n)
+		ok := 0
+		for i := 0; i < n; i++ {
+			i := i
+			r := w.Rank(i)
+			eng.Spawn("r", func(p *sim.Proc) {
+				r.Barrier(p)
+				got := r.Allreduce(p, []float64{1}, Sum)
+				if len(got) == 1 && got[0] == float64(n) {
+					ok++
+				}
+				r.Barrier(p)
+			})
+		}
+		if err := eng.Run(); err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if ok != n {
+			t.Errorf("n=%d: %d ranks saw the right sum", n, ok)
+		}
+		eng.Close()
+	}
+}

@@ -1,0 +1,173 @@
+package report
+
+import (
+	"fmt"
+	"math"
+)
+
+// Check is one paper-vs-measured comparison outcome.
+type Check struct {
+	Name     string
+	Expected float64
+	Measured float64
+	Detail   string
+	OK       bool
+}
+
+// String renders the check result on one line.
+func (c Check) String() string {
+	mark := "PASS"
+	if !c.OK {
+		mark = "FAIL"
+	}
+	if c.Detail != "" {
+		return fmt.Sprintf("[%s] %s: measured %.4g vs paper %.4g (%s)",
+			mark, c.Name, c.Measured, c.Expected, c.Detail)
+	}
+	return fmt.Sprintf("[%s] %s: measured %.4g vs paper %.4g",
+		mark, c.Name, c.Measured, c.Expected)
+}
+
+// Checks accumulates comparison results for an experiment.
+type Checks struct {
+	Items []Check
+}
+
+// Within asserts |measured-expected| <= relTol*|expected|.
+func (cs *Checks) Within(name string, measured, expected, relTol float64) {
+	ok := false
+	if expected == 0 {
+		ok = measured == 0
+	} else {
+		ok = math.Abs(measured-expected) <= relTol*math.Abs(expected)
+	}
+	cs.Items = append(cs.Items, Check{
+		Name: name, Expected: expected, Measured: measured,
+		Detail: fmt.Sprintf("tol ±%.3g%%", relTol*100), OK: ok,
+	})
+}
+
+// Exact asserts measured == expected.
+func (cs *Checks) Exact(name string, measured, expected float64) {
+	cs.Items = append(cs.Items, Check{
+		Name: name, Expected: expected, Measured: measured,
+		Detail: "exact", OK: measured == expected,
+	})
+}
+
+// RatioInBand asserts lo <= num/den <= hi.
+func (cs *Checks) RatioInBand(name string, num, den, lo, hi float64) {
+	r := math.NaN()
+	if den != 0 {
+		r = num / den
+	}
+	cs.Items = append(cs.Items, Check{
+		Name: name, Expected: (lo + hi) / 2, Measured: r,
+		Detail: fmt.Sprintf("ratio in [%.3g, %.3g]", lo, hi),
+		OK:     !math.IsNaN(r) && r >= lo && r <= hi,
+	})
+}
+
+// True records a named boolean condition.
+func (cs *Checks) True(name string, cond bool, detail string) {
+	v := 0.0
+	if cond {
+		v = 1
+	}
+	cs.Items = append(cs.Items, Check{
+		Name: name, Expected: 1, Measured: v, Detail: detail, OK: cond,
+	})
+}
+
+// AllOK reports whether every check passed.
+func (cs *Checks) AllOK() bool {
+	for _, c := range cs.Items {
+		if !c.OK {
+			return false
+		}
+	}
+	return true
+}
+
+// Failures returns the failing checks.
+func (cs *Checks) Failures() []Check {
+	var out []Check
+	for _, c := range cs.Items {
+		if !c.OK {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// String renders one line per check.
+func (cs *Checks) String() string {
+	s := ""
+	for _, c := range cs.Items {
+		s += c.String() + "\n"
+	}
+	return s
+}
+
+// NonIncreasing reports whether ys never rises by more than slack
+// (relative): ys[i+1] <= ys[i]*(1+slack).
+func NonIncreasing(ys []float64, slack float64) bool {
+	for i := 1; i < len(ys); i++ {
+		if ys[i] > ys[i-1]*(1+slack) {
+			return false
+		}
+	}
+	return true
+}
+
+// NonDecreasing reports whether ys never falls by more than slack
+// (relative).
+func NonDecreasing(ys []float64, slack float64) bool {
+	for i := 1; i < len(ys); i++ {
+		if ys[i] < ys[i-1]*(1-slack) {
+			return false
+		}
+	}
+	return true
+}
+
+// SeriesYs extracts the y values of a series in x order.
+func SeriesYs(s *Series) []float64 {
+	ys := make([]float64, len(s.Points))
+	for i, p := range s.Points {
+		ys[i] = p.Y
+	}
+	return ys
+}
+
+// Dominates reports whether series a is strictly below series b at every
+// shared x (a "wins" when lower-is-better).
+func Dominates(a, b *Series) bool {
+	shared := 0
+	for _, p := range a.Points {
+		y := b.Y(p.X)
+		if math.IsNaN(y) {
+			continue
+		}
+		shared++
+		if p.Y >= y {
+			return false
+		}
+	}
+	return shared > 0
+}
+
+// PlateauMean returns the mean y of points whose x lies in [lo, hi].
+func PlateauMean(s *Series, lo, hi float64) float64 {
+	sum, n := 0.0, 0
+	for _, p := range s.Points {
+		if p.X >= lo && p.X <= hi {
+			sum += p.Y
+			n++
+		}
+	}
+	if n == 0 {
+		return math.NaN()
+	}
+	return sum / float64(n)
+}

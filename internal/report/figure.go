@@ -1,0 +1,181 @@
+package report
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Point is one (x, y) sample of a series.
+type Point struct {
+	X float64
+	Y float64
+}
+
+// Series is a named sequence of points, in x order.
+type Series struct {
+	Name   string
+	Points []Point
+}
+
+// Add appends a point.
+func (s *Series) Add(x, y float64) { s.Points = append(s.Points, Point{x, y}) }
+
+// Y returns the y value at the given x (exact match), or NaN.
+func (s *Series) Y(x float64) float64 {
+	for _, p := range s.Points {
+		if p.X == x {
+			return p.Y
+		}
+	}
+	return math.NaN()
+}
+
+// MinY and MaxY return the extreme y values (NaN if empty).
+func (s *Series) MinY() float64 {
+	m := math.Inf(1)
+	for _, p := range s.Points {
+		m = math.Min(m, p.Y)
+	}
+	if math.IsInf(m, 1) {
+		return math.NaN()
+	}
+	return m
+}
+
+// MaxY returns the largest y value in the series.
+func (s *Series) MaxY() float64 {
+	m := math.Inf(-1)
+	for _, p := range s.Points {
+		m = math.Max(m, p.Y)
+	}
+	if math.IsInf(m, -1) {
+		return math.NaN()
+	}
+	return m
+}
+
+// Last returns the final point of the series.
+func (s *Series) Last() Point {
+	if len(s.Points) == 0 {
+		return Point{math.NaN(), math.NaN()}
+	}
+	return s.Points[len(s.Points)-1]
+}
+
+// Figure is a titled collection of series sharing axes.
+type Figure struct {
+	Title  string
+	XLabel string
+	YLabel string
+	XLog   bool
+	Series []*Series
+	Notes  []string
+}
+
+// NewFigure creates an empty figure.
+func NewFigure(title, xlabel, ylabel string) *Figure {
+	return &Figure{Title: title, XLabel: xlabel, YLabel: ylabel}
+}
+
+// NewSeries adds and returns a fresh series.
+func (f *Figure) NewSeries(name string) *Series {
+	s := &Series{Name: name}
+	f.Series = append(f.Series, s)
+	return s
+}
+
+// AddNote attaches a footnote.
+func (f *Figure) AddNote(format string, args ...any) {
+	f.Notes = append(f.Notes, fmt.Sprintf(format, args...))
+}
+
+// Get returns the series with the given name, or nil.
+func (f *Figure) Get(name string) *Series {
+	for _, s := range f.Series {
+		if s.Name == name {
+			return s
+		}
+	}
+	return nil
+}
+
+// String renders the figure as an aligned value table (x in the first
+// column, one column per series) — the faithful textual form of a plot.
+func (f *Figure) String() string {
+	xs := map[float64]struct{}{}
+	for _, s := range f.Series {
+		for _, p := range s.Points {
+			xs[p.X] = struct{}{}
+		}
+	}
+	sorted := make([]float64, 0, len(xs))
+	for x := range xs {
+		sorted = append(sorted, x)
+	}
+	sort.Float64s(sorted)
+
+	tbl := NewTable("", append([]string{f.XLabel}, seriesNames(f.Series)...)...)
+	for _, x := range sorted {
+		row := make([]any, 0, len(f.Series)+1)
+		row = append(row, formatFloat(x))
+		for _, s := range f.Series {
+			y := s.Y(x)
+			if math.IsNaN(y) {
+				row = append(row, "-")
+			} else {
+				row = append(row, y)
+			}
+		}
+		tbl.AddRow(row...)
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s ==\n", f.Title)
+	if f.YLabel != "" {
+		fmt.Fprintf(&b, "(y: %s)\n", f.YLabel)
+	}
+	b.WriteString(tbl.String())
+	for _, n := range f.Notes {
+		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	return b.String()
+}
+
+// CSV renders the figure's merged series grid as CSV.
+func (f *Figure) CSV() string {
+	xs := map[float64]struct{}{}
+	for _, s := range f.Series {
+		for _, p := range s.Points {
+			xs[p.X] = struct{}{}
+		}
+	}
+	sorted := make([]float64, 0, len(xs))
+	for x := range xs {
+		sorted = append(sorted, x)
+	}
+	sort.Float64s(sorted)
+	tbl := NewTable("", append([]string{f.XLabel}, seriesNames(f.Series)...)...)
+	for _, x := range sorted {
+		row := make([]any, 0, len(f.Series)+1)
+		row = append(row, fmt.Sprintf("%g", x))
+		for _, s := range f.Series {
+			y := s.Y(x)
+			if math.IsNaN(y) {
+				row = append(row, "")
+			} else {
+				row = append(row, fmt.Sprintf("%g", y))
+			}
+		}
+		tbl.AddRow(row...)
+	}
+	return tbl.CSV()
+}
+
+func seriesNames(ss []*Series) []string {
+	names := make([]string, len(ss))
+	for i, s := range ss {
+		names[i] = s.Name
+	}
+	return names
+}

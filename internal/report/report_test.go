@@ -1,0 +1,171 @@
+package report
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestTableRender(t *testing.T) {
+	tbl := NewTable("Demo", "name", "value")
+	tbl.AddRow("alpha", 1.5)
+	tbl.AddRow("beta", 42)
+	tbl.AddNote("calibrated")
+	s := tbl.String()
+	for _, want := range []string{"Demo", "alpha", "1.5", "beta", "42", "note: calibrated"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("render missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestTableCSVQuoting(t *testing.T) {
+	tbl := NewTable("", "a", "b")
+	tbl.AddRow(`has "quote"`, "x,y")
+	csv := tbl.CSV()
+	if !strings.Contains(csv, `"has ""quote"""`) {
+		t.Errorf("quote escaping wrong: %s", csv)
+	}
+	if !strings.Contains(csv, `"x,y"`) {
+		t.Errorf("comma quoting wrong: %s", csv)
+	}
+}
+
+func TestSeriesLookup(t *testing.T) {
+	f := NewFigure("f", "x", "y")
+	s := f.NewSeries("s1")
+	s.Add(1, 10)
+	s.Add(2, 20)
+	s.Add(4, 40)
+	if got := s.Y(2); got != 20 {
+		t.Errorf("Y(2) = %v", got)
+	}
+	if !math.IsNaN(s.Y(3)) {
+		t.Errorf("Y(3) should be NaN")
+	}
+	if s.MinY() != 10 || s.MaxY() != 40 {
+		t.Errorf("min/max = %v/%v", s.MinY(), s.MaxY())
+	}
+	if s.Last().X != 4 {
+		t.Errorf("last = %v", s.Last())
+	}
+	if f.Get("s1") != s || f.Get("nope") != nil {
+		t.Errorf("Get lookup broken")
+	}
+}
+
+func TestFigureRenderMergesXs(t *testing.T) {
+	f := NewFigure("fig", "n", "t")
+	a := f.NewSeries("a")
+	a.Add(1, 1)
+	a.Add(2, 2)
+	b := f.NewSeries("b")
+	b.Add(2, 4)
+	b.Add(3, 9)
+	s := f.String()
+	// x=1 row has "-" for series b; x=3 row has "-" for a.
+	if !strings.Contains(s, "a") || !strings.Contains(s, "b") {
+		t.Fatalf("missing series: %s", s)
+	}
+	if !strings.Contains(s, "-") {
+		t.Errorf("missing hole marker: %s", s)
+	}
+	csv := f.CSV()
+	if !strings.HasPrefix(csv, "n,a,b\n") {
+		t.Errorf("csv header: %s", csv)
+	}
+}
+
+func TestChecks(t *testing.T) {
+	var cs Checks
+	cs.Within("close", 101, 100, 0.02)
+	cs.Within("far", 120, 100, 0.02)
+	cs.Exact("same", 5, 5)
+	cs.RatioInBand("ratio", 200, 100, 1.8, 2.2)
+	cs.RatioInBand("ratio-out", 300, 100, 1.8, 2.2)
+	cs.True("cond", true, "ok")
+	if cs.AllOK() {
+		t.Errorf("expected failures")
+	}
+	fails := cs.Failures()
+	if len(fails) != 2 {
+		t.Errorf("failures = %v", fails)
+	}
+	if fails[0].Name != "far" || fails[1].Name != "ratio-out" {
+		t.Errorf("wrong failures: %v", fails)
+	}
+	if !strings.Contains(cs.String(), "[FAIL] far") {
+		t.Errorf("render: %s", cs.String())
+	}
+}
+
+func TestWithinZeroExpected(t *testing.T) {
+	var cs Checks
+	cs.Within("zero-ok", 0, 0, 0.1)
+	cs.Within("zero-bad", 0.1, 0, 0.1)
+	if !cs.Items[0].OK || cs.Items[1].OK {
+		t.Errorf("zero handling: %v", cs.Items)
+	}
+}
+
+func TestMonotoneHelpers(t *testing.T) {
+	if !NonIncreasing([]float64{5, 4, 4, 3}, 0) {
+		t.Error("NonIncreasing false negative")
+	}
+	if NonIncreasing([]float64{5, 6}, 0) {
+		t.Error("NonIncreasing false positive")
+	}
+	if !NonIncreasing([]float64{5, 5.2}, 0.05) {
+		t.Error("slack not applied")
+	}
+	if !NonDecreasing([]float64{1, 2, 2, 3}, 0) {
+		t.Error("NonDecreasing false negative")
+	}
+}
+
+func TestDominates(t *testing.T) {
+	f := NewFigure("", "x", "y")
+	lo := f.NewSeries("lo")
+	hi := f.NewSeries("hi")
+	for x := 1.0; x <= 4; x++ {
+		lo.Add(x, x)
+		hi.Add(x, x*2)
+	}
+	if !Dominates(lo, hi) {
+		t.Error("lo should dominate hi")
+	}
+	if Dominates(hi, lo) {
+		t.Error("hi should not dominate lo")
+	}
+}
+
+func TestPlateauMean(t *testing.T) {
+	s := &Series{Name: "s"}
+	s.Add(0, 2.4)
+	s.Add(1, 2.5)
+	s.Add(2, 2.6)
+	s.Add(100, 4.0)
+	got := PlateauMean(s, 0, 2)
+	if math.Abs(got-2.5) > 1e-12 {
+		t.Errorf("plateau mean = %v", got)
+	}
+	if !math.IsNaN(PlateauMean(s, 50, 60)) {
+		t.Error("empty window should be NaN")
+	}
+}
+
+func TestWithinProperty(t *testing.T) {
+	// Within is symmetric in sign of the deviation and honors tolerance.
+	f := func(base uint16, devPct uint8) bool {
+		expected := float64(base) + 1
+		dev := float64(devPct%50) / 100
+		var cs Checks
+		cs.Within("p", expected*(1+dev), expected, 0.5)
+		cs.Within("m", expected*(1-dev), expected, 0.5)
+		return cs.AllOK()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,167 @@
+// Package sim implements a deterministic discrete-event simulation engine
+// with cooperative goroutine processes.
+//
+// The engine maintains a calendar of timestamped events. Ties are broken by
+// insertion sequence, so a given program always replays identically. On top
+// of raw events the package offers Procs — goroutines that execute
+// simulation logic written in a natural blocking style (Sleep, Park,
+// mailbox Get) — while the engine guarantees that at most one goroutine
+// (the engine loop or exactly one Proc) runs at any instant. This keeps the
+// simulation deterministic and free of data races without any locking in
+// model code.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"sort"
+	"strings"
+
+	"roadrunner/internal/units"
+)
+
+// event is a single calendar entry.
+type event struct {
+	at  units.Time
+	seq int64
+	fn  func()
+}
+
+// eventHeap is a min-heap ordered by (time, sequence).
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+
+func (h *eventHeap) Push(x any) { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return ev
+}
+
+// Engine is a discrete-event simulation engine. The zero value is not
+// usable; construct with NewEngine.
+type Engine struct {
+	now    units.Time
+	seq    int64
+	events eventHeap
+
+	procs  map[*Proc]struct{} // all live (not yet finished) procs
+	parked map[*Proc]struct{} // procs currently blocked
+	closed bool
+}
+
+// NewEngine returns an empty engine at time zero.
+func NewEngine() *Engine {
+	return &Engine{
+		procs:  make(map[*Proc]struct{}),
+		parked: make(map[*Proc]struct{}),
+	}
+}
+
+// Now returns the current simulated time.
+func (e *Engine) Now() units.Time { return e.now }
+
+// Schedule arranges for fn to run at Now()+delay. A negative delay panics:
+// the calendar cannot move backwards.
+func (e *Engine) Schedule(delay units.Time, fn func()) {
+	if delay < 0 {
+		panic(fmt.Sprintf("sim: negative delay %v", delay))
+	}
+	e.At(e.now+delay, fn)
+}
+
+// At arranges for fn to run at absolute time t, which must not precede Now().
+func (e *Engine) At(t units.Time, fn func()) {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: schedule at %v before now %v", t, e.now))
+	}
+	e.seq++
+	heap.Push(&e.events, &event{at: t, seq: e.seq, fn: fn})
+}
+
+// Pending reports the number of events on the calendar.
+func (e *Engine) Pending() int { return len(e.events) }
+
+// DeadlockError is returned by Run when the calendar empties while
+// processes remain blocked with nothing left to wake them.
+type DeadlockError struct {
+	Time  units.Time
+	Procs []string // names and park reasons of the blocked processes
+}
+
+// Error implements the error interface.
+func (d *DeadlockError) Error() string {
+	return fmt.Sprintf("sim: deadlock at %v: %d blocked process(es): %s",
+		d.Time, len(d.Procs), strings.Join(d.Procs, "; "))
+}
+
+// Run processes events until the calendar is empty. It returns nil on a
+// clean finish, or a *DeadlockError if blocked processes remain.
+func (e *Engine) Run() error {
+	return e.run(-1)
+}
+
+// RunUntil processes events with timestamps <= t, then advances the clock
+// to t. Events beyond t remain queued. Blocked processes are not an error
+// here: the caller may still intend to run further.
+func (e *Engine) RunUntil(t units.Time) error {
+	if t < e.now {
+		return fmt.Errorf("sim: RunUntil(%v) before now %v", t, e.now)
+	}
+	err := e.run(t)
+	if err == nil && e.now < t {
+		e.now = t
+	}
+	return err
+}
+
+func (e *Engine) run(until units.Time) error {
+	if e.closed {
+		return fmt.Errorf("sim: engine is closed")
+	}
+	for len(e.events) > 0 {
+		next := e.events[0]
+		if until >= 0 && next.at > until {
+			return nil
+		}
+		heap.Pop(&e.events)
+		e.now = next.at
+		next.fn()
+	}
+	if until < 0 && len(e.parked) > 0 {
+		d := &DeadlockError{Time: e.now}
+		for p := range e.parked {
+			d.Procs = append(d.Procs, p.name+" ("+p.parkReason+")")
+		}
+		sort.Strings(d.Procs)
+		return d
+	}
+	return nil
+}
+
+// Close terminates any still-parked processes so their goroutines exit.
+// The engine is unusable afterwards. It is safe to call Close after Run
+// returned a DeadlockError, and in tests via defer.
+func (e *Engine) Close() {
+	if e.closed {
+		return
+	}
+	e.closed = true
+	for p := range e.parked {
+		p.kill()
+	}
+	e.parked = map[*Proc]struct{}{}
+	e.procs = map[*Proc]struct{}{}
+	e.events = nil
+}

@@ -1,0 +1,85 @@
+package sim
+
+// Mailbox is an unbounded FIFO queue connecting simulation processes.
+// Put never blocks; Get blocks the calling proc until an item is available.
+// Delivery order is insertion order, and wakes are processed in FIFO order,
+// so a mailbox with multiple readers is deterministic.
+type Mailbox[T any] struct {
+	eng     *Engine
+	name    string
+	items   []T
+	waiters []*Proc
+}
+
+// NewMailbox creates a mailbox on the given engine. The name appears in
+// deadlock reports of procs blocked on Get.
+func NewMailbox[T any](eng *Engine, name string) *Mailbox[T] {
+	return &Mailbox[T]{eng: eng, name: name}
+}
+
+// Len returns the number of queued items.
+func (m *Mailbox[T]) Len() int { return len(m.items) }
+
+// Put appends an item and wakes the longest-waiting reader, if any.
+// It may be called from any simulation context (event or proc).
+func (m *Mailbox[T]) Put(v T) {
+	m.items = append(m.items, v)
+	m.wakeOne()
+}
+
+// wakeOne pops the first waiter without a pending wake and wakes it.
+func (m *Mailbox[T]) wakeOne() {
+	for len(m.waiters) > 0 {
+		w := m.waiters[0]
+		m.waiters = m.waiters[1:]
+		if !w.WakePending() && w.Parked() {
+			w.Wake()
+			return
+		}
+	}
+}
+
+// Get removes and returns the oldest item, blocking the calling proc while
+// the mailbox is empty.
+func (m *Mailbox[T]) Get(p *Proc) T {
+	for len(m.items) == 0 {
+		m.waiters = append(m.waiters, p)
+		p.Park("mailbox " + m.name)
+	}
+	v := m.items[0]
+	var zero T
+	m.items[0] = zero
+	m.items = m.items[1:]
+	return v
+}
+
+// TryGet removes and returns the oldest item without blocking.
+func (m *Mailbox[T]) TryGet() (T, bool) {
+	var zero T
+	if len(m.items) == 0 {
+		return zero, false
+	}
+	v := m.items[0]
+	m.items[0] = zero
+	m.items = m.items[1:]
+	return v, true
+}
+
+// GetMatch removes and returns the oldest item satisfying pred, blocking
+// until one arrives. Items not matching stay queued in order. This is the
+// primitive used for tag/source matching in the MPI layers.
+func (m *Mailbox[T]) GetMatch(p *Proc, pred func(T) bool) T {
+	for {
+		for i, v := range m.items {
+			if pred(v) {
+				copy(m.items[i:], m.items[i+1:])
+				var zero T
+				m.items[len(m.items)-1] = zero
+				m.items = m.items[:len(m.items)-1]
+				return v
+			}
+		}
+		m.waiters = append(m.waiters, p)
+		p.Park("mailbox " + m.name + " (match)")
+	}
+}

@@ -1,0 +1,168 @@
+package sim
+
+import (
+	"fmt"
+
+	"roadrunner/internal/units"
+)
+
+// procState tracks where a Proc is in its lifecycle.
+type procState int
+
+const (
+	procRunning procState = iota // currently executing (or scheduled to start)
+	procParked                   // blocked, waiting for a wake
+	procDone                     // body returned or proc was killed
+)
+
+// killSentinel is panicked inside a killed proc to unwind its stack.
+type killSentinel struct{}
+
+// Proc is a simulation process: a goroutine whose execution is interleaved
+// with the event calendar such that exactly one proc (or the engine loop)
+// runs at a time. All blocking Proc methods must be called from inside the
+// proc's own body.
+type Proc struct {
+	eng  *Engine
+	name string
+
+	resume chan struct{} // engine -> proc: continue
+	yield  chan struct{} // proc -> engine: I blocked or finished
+
+	state       procState
+	wakePending bool
+	killed      bool
+	parkReason  string
+}
+
+// Spawn creates a process named name executing body, starting at Now().
+// The body runs in simulation context: it may Sleep, Park and use the
+// blocking structures in this package.
+func (e *Engine) Spawn(name string, body func(p *Proc)) *Proc {
+	return e.SpawnAt(0, name, body)
+}
+
+// SpawnAt creates a process that starts after the given delay.
+func (e *Engine) SpawnAt(delay units.Time, name string, body func(p *Proc)) *Proc {
+	p := &Proc{
+		eng:    e,
+		name:   name,
+		resume: make(chan struct{}),
+		yield:  make(chan struct{}),
+	}
+	e.procs[p] = struct{}{}
+	go p.top(body)
+	// The first resume starts the body.
+	p.wakePending = true
+	p.state = procParked
+	e.parked[p] = struct{}{}
+	e.Schedule(delay, func() { e.resumeProc(p) })
+	return p
+}
+
+// top is the goroutine entry point wrapping the proc body.
+func (p *Proc) top(body func(p *Proc)) {
+	defer func() {
+		if r := recover(); r != nil {
+			if _, ok := r.(killSentinel); ok {
+				// Killed by Engine.Close: state already cleaned up by
+				// kill(); just exit the goroutine without signalling.
+				return
+			}
+			panic(r) // real bug in model code: re-raise
+		}
+	}()
+	<-p.resume // wait for the start event
+	if p.killed {
+		return // engine closed before the proc ever ran
+	}
+	body(p)
+	p.state = procDone
+	delete(p.eng.procs, p)
+	p.yield <- struct{}{}
+}
+
+// Name returns the proc's name.
+func (p *Proc) Name() string { return p.name }
+
+// Engine returns the engine this proc runs on.
+func (p *Proc) Engine() *Engine { return p.eng }
+
+// Now returns the current simulated time.
+func (p *Proc) Now() units.Time { return p.eng.now }
+
+// resumeProc hands control to a parked proc and waits until it parks again
+// or finishes. Must be called from engine context (an event function).
+func (e *Engine) resumeProc(p *Proc) {
+	if p.state != procParked {
+		panic(fmt.Sprintf("sim: resume of proc %q in state %d", p.name, p.state))
+	}
+	delete(e.parked, p)
+	p.state = procRunning
+	p.wakePending = false
+	p.resume <- struct{}{}
+	<-p.yield
+}
+
+// park blocks the calling proc until the engine resumes it.
+func (p *Proc) park(reason string) {
+	p.state = procParked
+	p.parkReason = reason
+	p.eng.parked[p] = struct{}{}
+	p.yield <- struct{}{}
+	<-p.resume
+	if p.killed {
+		panic(killSentinel{})
+	}
+	p.parkReason = ""
+}
+
+// Sleep advances the proc's local time by d; other events and procs run in
+// the interim.
+func (p *Proc) Sleep(d units.Time) {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: proc %q sleep %v", p.name, d))
+	}
+	p.wakePending = true
+	p.eng.Schedule(d, func() { p.eng.resumeProc(p) })
+	p.park(fmt.Sprintf("sleeping %v", d))
+}
+
+// Park blocks the proc until some other party calls Wake. The reason string
+// appears in deadlock reports.
+func (p *Proc) Park(reason string) {
+	p.park(reason)
+}
+
+// Wake schedules a parked proc to resume at the current time. It must be
+// called from simulation context (another proc or an event callback), and
+// panics if the target already has a wake pending or is not parked —
+// double wakes are model bugs.
+func (p *Proc) Wake() {
+	if p.state == procDone {
+		panic(fmt.Sprintf("sim: wake of finished proc %q", p.name))
+	}
+	if p.wakePending {
+		panic(fmt.Sprintf("sim: double wake of proc %q", p.name))
+	}
+	p.wakePending = true
+	p.eng.Schedule(0, func() { p.eng.resumeProc(p) })
+}
+
+// WakePending reports whether the proc already has a wake scheduled.
+func (p *Proc) WakePending() bool { return p.wakePending }
+
+// Parked reports whether the proc is currently blocked.
+func (p *Proc) Parked() bool { return p.state == procParked }
+
+// kill unwinds a parked proc's goroutine. Called only from Engine.Close.
+func (p *Proc) kill() {
+	if p.state != procParked {
+		return
+	}
+	p.killed = true
+	p.state = procDone
+	p.resume <- struct{}{}
+	// The goroutine panics with killSentinel, recovers and exits without
+	// touching the yield channel, so there is nothing to wait for.
+}

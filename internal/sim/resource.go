@@ -1,0 +1,116 @@
+package sim
+
+import (
+	"fmt"
+
+	"roadrunner/internal/units"
+)
+
+// Resource models a server with integer capacity and a FIFO wait queue:
+// links, DMA engines, switch ports. Acquire blocks the calling proc until
+// the requested units are available; Release returns them and wakes
+// waiters in order.
+type Resource struct {
+	eng      *Engine
+	name     string
+	capacity int
+	inUse    int
+	waiters  []resourceWaiter
+
+	// Busy accounting for utilisation statistics.
+	busySince units.Time
+	busyTime  units.Time
+}
+
+type resourceWaiter struct {
+	p *Proc
+	n int
+}
+
+// NewResource creates a resource with the given capacity (must be >= 1).
+func NewResource(eng *Engine, name string, capacity int) *Resource {
+	if capacity < 1 {
+		panic(fmt.Sprintf("sim: resource %q capacity %d", name, capacity))
+	}
+	return &Resource{eng: eng, name: name, capacity: capacity}
+}
+
+// Capacity returns the configured capacity.
+func (r *Resource) Capacity() int { return r.capacity }
+
+// InUse returns the units currently held.
+func (r *Resource) InUse() int { return r.inUse }
+
+// Acquire obtains n units, blocking in FIFO order behind earlier waiters.
+func (r *Resource) Acquire(p *Proc, n int) {
+	if n < 1 || n > r.capacity {
+		panic(fmt.Sprintf("sim: resource %q acquire %d of %d", r.name, n, r.capacity))
+	}
+	// FIFO fairness: even if units are free, queue behind existing waiters.
+	if len(r.waiters) == 0 && r.inUse+n <= r.capacity {
+		r.take(n)
+		return
+	}
+	r.waiters = append(r.waiters, resourceWaiter{p, n})
+	for {
+		p.Park("resource " + r.name)
+		// The waiter stays queued until it can actually proceed; a wake
+		// that raced with another grab simply parks again and will be
+		// re-woken by the next Release.
+		if len(r.waiters) > 0 && r.waiters[0].p == p && r.inUse+n <= r.capacity {
+			r.waiters = r.waiters[1:]
+			r.take(n)
+			r.grantNext() // capacity may allow the next waiter too
+			return
+		}
+	}
+}
+
+// take records n units as held.
+func (r *Resource) take(n int) {
+	if r.inUse == 0 {
+		r.busySince = r.eng.Now()
+	}
+	r.inUse += n
+}
+
+// Release returns n units and wakes eligible waiters.
+func (r *Resource) Release(n int) {
+	if n < 1 || n > r.inUse {
+		panic(fmt.Sprintf("sim: resource %q release %d of %d in use", r.name, n, r.inUse))
+	}
+	r.inUse -= n
+	if r.inUse == 0 {
+		r.busyTime += r.eng.Now() - r.busySince
+	}
+	r.grantNext()
+}
+
+// grantNext wakes the queue head if it can now be satisfied.
+func (r *Resource) grantNext() {
+	if len(r.waiters) == 0 {
+		return
+	}
+	head := r.waiters[0]
+	if r.inUse+head.n <= r.capacity && !head.p.WakePending() && head.p.Parked() {
+		head.p.Wake()
+	}
+}
+
+// Use acquires one unit, holds it for d, then releases it: the common
+// pattern for occupying a link while a message is on the wire.
+func (r *Resource) Use(p *Proc, d units.Time) {
+	r.Acquire(p, 1)
+	p.Sleep(d)
+	r.Release(1)
+}
+
+// BusyTime returns the total time the resource spent with at least one
+// unit in use. If currently busy, time up to Now() is included.
+func (r *Resource) BusyTime() units.Time {
+	t := r.busyTime
+	if r.inUse > 0 {
+		t += r.eng.Now() - r.busySince
+	}
+	return t
+}

@@ -1,0 +1,410 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"roadrunner/internal/units"
+)
+
+func TestEventOrdering(t *testing.T) {
+	e := NewEngine()
+	var got []int
+	e.Schedule(30*units.Nanosecond, func() { got = append(got, 3) })
+	e.Schedule(10*units.Nanosecond, func() { got = append(got, 1) })
+	e.Schedule(20*units.Nanosecond, func() { got = append(got, 2) })
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 || got[0] != 1 || got[1] != 2 || got[2] != 3 {
+		t.Errorf("order = %v", got)
+	}
+	if e.Now() != 30*units.Nanosecond {
+		t.Errorf("final time = %v", e.Now())
+	}
+}
+
+func TestTieBreakBySequence(t *testing.T) {
+	e := NewEngine()
+	var got []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.Schedule(units.Microsecond, func() { got = append(got, i) })
+	}
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("tie order = %v", got)
+		}
+	}
+}
+
+func TestEventOrderProperty(t *testing.T) {
+	// Random delays always fire in nondecreasing time order.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		e := NewEngine()
+		var times []units.Time
+		n := 50
+		var schedule func(depth int)
+		schedule = func(depth int) {
+			d := units.Time(rng.Intn(1000)) * units.Nanosecond
+			e.Schedule(d, func() {
+				times = append(times, e.Now())
+				if depth > 0 && rng.Intn(2) == 0 {
+					schedule(depth - 1)
+				}
+			})
+		}
+		for i := 0; i < n; i++ {
+			schedule(3)
+		}
+		if err := e.Run(); err != nil {
+			return false
+		}
+		for i := 1; i < len(times); i++ {
+			if times[i] < times[i-1] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNegativeDelayPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic on negative delay")
+		}
+	}()
+	e := NewEngine()
+	e.Schedule(-1, func() {})
+}
+
+func TestProcSleep(t *testing.T) {
+	e := NewEngine()
+	defer e.Close()
+	var wake units.Time
+	e.Spawn("sleeper", func(p *Proc) {
+		p.Sleep(5 * units.Microsecond)
+		p.Sleep(3 * units.Microsecond)
+		wake = p.Now()
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if wake != 8*units.Microsecond {
+		t.Errorf("woke at %v, want 8us", wake)
+	}
+}
+
+func TestProcInterleaving(t *testing.T) {
+	e := NewEngine()
+	defer e.Close()
+	var trace []string
+	e.Spawn("a", func(p *Proc) {
+		trace = append(trace, "a0")
+		p.Sleep(2 * units.Nanosecond)
+		trace = append(trace, "a2")
+	})
+	e.Spawn("b", func(p *Proc) {
+		trace = append(trace, "b0")
+		p.Sleep(1 * units.Nanosecond)
+		trace = append(trace, "b1")
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"a0", "b0", "b1", "a2"}
+	if len(trace) != len(want) {
+		t.Fatalf("trace = %v", trace)
+	}
+	for i := range want {
+		if trace[i] != want[i] {
+			t.Fatalf("trace = %v, want %v", trace, want)
+		}
+	}
+}
+
+func TestDeadlockDetection(t *testing.T) {
+	e := NewEngine()
+	defer e.Close()
+	e.Spawn("stuck", func(p *Proc) {
+		p.Park("waiting for nothing")
+	})
+	err := e.Run()
+	de, ok := err.(*DeadlockError)
+	if !ok {
+		t.Fatalf("err = %v, want DeadlockError", err)
+	}
+	if len(de.Procs) != 1 {
+		t.Errorf("blocked procs = %v", de.Procs)
+	}
+}
+
+func TestParkWake(t *testing.T) {
+	e := NewEngine()
+	defer e.Close()
+	var p1 *Proc
+	var order []string
+	p1 = e.Spawn("waiter", func(p *Proc) {
+		p.Park("test")
+		order = append(order, "woken")
+	})
+	e.Spawn("waker", func(p *Proc) {
+		p.Sleep(10 * units.Nanosecond)
+		order = append(order, "waking")
+		p1.Wake()
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(order) != 2 || order[0] != "waking" || order[1] != "woken" {
+		t.Errorf("order = %v", order)
+	}
+}
+
+func TestRunUntil(t *testing.T) {
+	e := NewEngine()
+	fired := 0
+	e.Schedule(10*units.Nanosecond, func() { fired++ })
+	e.Schedule(30*units.Nanosecond, func() { fired++ })
+	if err := e.RunUntil(20 * units.Nanosecond); err != nil {
+		t.Fatal(err)
+	}
+	if fired != 1 {
+		t.Errorf("fired = %d, want 1", fired)
+	}
+	if e.Now() != 20*units.Nanosecond {
+		t.Errorf("now = %v, want 20ns", e.Now())
+	}
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if fired != 2 {
+		t.Errorf("fired = %d, want 2", fired)
+	}
+}
+
+func TestMailboxFIFO(t *testing.T) {
+	e := NewEngine()
+	defer e.Close()
+	mb := NewMailbox[int](e, "test")
+	var got []int
+	e.Spawn("producer", func(p *Proc) {
+		for i := 0; i < 5; i++ {
+			p.Sleep(units.Nanosecond)
+			mb.Put(i)
+		}
+	})
+	e.Spawn("consumer", func(p *Proc) {
+		for i := 0; i < 5; i++ {
+			got = append(got, mb.Get(p))
+		}
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("got = %v", got)
+		}
+	}
+}
+
+func TestMailboxBlocksUntilPut(t *testing.T) {
+	e := NewEngine()
+	defer e.Close()
+	mb := NewMailbox[string](e, "test")
+	var when units.Time
+	e.Spawn("consumer", func(p *Proc) {
+		mb.Get(p)
+		when = p.Now()
+	})
+	e.Spawn("producer", func(p *Proc) {
+		p.Sleep(42 * units.Nanosecond)
+		mb.Put("x")
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if when != 42*units.Nanosecond {
+		t.Errorf("received at %v, want 42ns", when)
+	}
+}
+
+func TestMailboxGetMatch(t *testing.T) {
+	e := NewEngine()
+	defer e.Close()
+	mb := NewMailbox[int](e, "test")
+	var got []int
+	e.Spawn("c", func(p *Proc) {
+		// Want only even numbers, in arrival order.
+		for i := 0; i < 3; i++ {
+			got = append(got, mb.GetMatch(p, func(v int) bool { return v%2 == 0 }))
+		}
+	})
+	e.Spawn("p", func(p *Proc) {
+		for _, v := range []int{1, 2, 3, 4, 5, 6} {
+			p.Sleep(units.Nanosecond)
+			mb.Put(v)
+		}
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 || got[0] != 2 || got[1] != 4 || got[2] != 6 {
+		t.Errorf("got = %v", got)
+	}
+	// The odd ones remain queued in order.
+	if mb.Len() != 3 {
+		t.Errorf("remaining = %d", mb.Len())
+	}
+	v, ok := mb.TryGet()
+	if !ok || v != 1 {
+		t.Errorf("TryGet = %v, %v", v, ok)
+	}
+}
+
+func TestResourceSerialises(t *testing.T) {
+	e := NewEngine()
+	defer e.Close()
+	res := NewResource(e, "link", 1)
+	var done []units.Time
+	for i := 0; i < 3; i++ {
+		e.Spawn("user", func(p *Proc) {
+			res.Use(p, 10*units.Nanosecond)
+			done = append(done, p.Now())
+		})
+	}
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	want := []units.Time{10 * units.Nanosecond, 20 * units.Nanosecond, 30 * units.Nanosecond}
+	for i := range want {
+		if done[i] != want[i] {
+			t.Fatalf("done = %v, want %v", done, want)
+		}
+	}
+	if res.BusyTime() != 30*units.Nanosecond {
+		t.Errorf("busy = %v", res.BusyTime())
+	}
+}
+
+func TestResourceCapacityTwo(t *testing.T) {
+	e := NewEngine()
+	defer e.Close()
+	res := NewResource(e, "dual", 2)
+	var done []units.Time
+	for i := 0; i < 4; i++ {
+		e.Spawn("user", func(p *Proc) {
+			res.Use(p, 10*units.Nanosecond)
+			done = append(done, p.Now())
+		})
+	}
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// Two at a time: finish at 10,10,20,20.
+	want := []units.Time{10 * units.Nanosecond, 10 * units.Nanosecond, 20 * units.Nanosecond, 20 * units.Nanosecond}
+	for i := range want {
+		if done[i] != want[i] {
+			t.Fatalf("done = %v, want %v", done, want)
+		}
+	}
+}
+
+func TestResourceFIFOOrder(t *testing.T) {
+	e := NewEngine()
+	defer e.Close()
+	res := NewResource(e, "link", 1)
+	var order []int
+	for i := 0; i < 5; i++ {
+		i := i
+		e.SpawnAt(units.Time(i)*units.Nanosecond, "user", func(p *Proc) {
+			res.Acquire(p, 1)
+			order = append(order, i)
+			p.Sleep(100 * units.Nanosecond)
+			res.Release(1)
+		})
+	}
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("order = %v", order)
+		}
+	}
+}
+
+func TestDeterminismAcrossRuns(t *testing.T) {
+	run := func() []units.Time {
+		e := NewEngine()
+		defer e.Close()
+		res := NewResource(e, "r", 1)
+		mb := NewMailbox[int](e, "m")
+		var times []units.Time
+		for i := 0; i < 8; i++ {
+			i := i
+			e.Spawn("p", func(p *Proc) {
+				p.Sleep(units.Time(i%3) * units.Nanosecond)
+				res.Use(p, 5*units.Nanosecond)
+				mb.Put(i)
+				times = append(times, p.Now())
+			})
+		}
+		e.Spawn("drain", func(p *Proc) {
+			for i := 0; i < 8; i++ {
+				mb.Get(p)
+				times = append(times, p.Now())
+			}
+		})
+		if err := e.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return times
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatalf("lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("run differs at %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestCloseUnblocksParked(t *testing.T) {
+	e := NewEngine()
+	e.Spawn("stuck", func(p *Proc) {
+		p.Park("forever")
+		t.Error("should never resume normally")
+	})
+	if err := e.Run(); err == nil {
+		t.Fatal("expected deadlock")
+	}
+	e.Close() // must not hang and must not run the post-Park code
+}
+
+func TestSpawnAtDelay(t *testing.T) {
+	e := NewEngine()
+	defer e.Close()
+	var start units.Time
+	e.SpawnAt(7*units.Microsecond, "late", func(p *Proc) {
+		start = p.Now()
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if start != 7*units.Microsecond {
+		t.Errorf("started at %v", start)
+	}
+}

@@ -1,0 +1,130 @@
+package spu
+
+import (
+	"testing"
+	"testing/quick"
+
+	"roadrunner/internal/isa"
+)
+
+func TestIssueWidthNeverExceedsTwo(t *testing.T) {
+	// No cycle may issue more than two instructions, and a dual issue
+	// always pairs one even-pipe with one odd-pipe instruction.
+	f := func(seed int64, nRaw uint8) bool {
+		n := int(nRaw%120) + 2
+		b := isa.NewBuilder()
+		s := seed
+		next := func(mod int) int {
+			s = s*6364136223846793005 + 1442695040888963407
+			v := int((s >> 33) % int64(mod))
+			if v < 0 {
+				v += mod
+			}
+			return v
+		}
+		prog := func() isa.Program {
+			for i := 0; i < n; i++ {
+				b.I(isa.Group(next(isa.NumGroups)), isa.Reg(next(128)), isa.Reg(next(128)))
+			}
+			return b.Program()
+		}()
+		for _, m := range []*Model{CellBE(), PowerXCell8i()} {
+			r := m.Run(prog)
+			perCycle := map[int64][]isa.Pipe{}
+			for i, c := range r.IssueCycles {
+				perCycle[c] = append(perCycle[c], prog[i].Op.Pipe())
+			}
+			for _, pipes := range perCycle {
+				if len(pipes) > 2 {
+					return false
+				}
+				if len(pipes) == 2 && pipes[0] == pipes[1] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGlobalStallEnforcedProperty(t *testing.T) {
+	// On the Cell BE, nothing issues within 6 cycles after any FPD.
+	f := func(seed int64) bool {
+		b := isa.NewBuilder()
+		s := seed
+		next := func(mod int) int {
+			s = s*2862933555777941757 + 3037000493
+			v := int((s >> 33) % int64(mod))
+			if v < 0 {
+				v += mod
+			}
+			return v
+		}
+		for i := 0; i < 60; i++ {
+			g := isa.Group(next(isa.NumGroups))
+			b.I(g, isa.Reg(next(128)), isa.Reg(next(128)))
+		}
+		prog := b.Program()
+		r := CellBE().Run(prog)
+		for i, in := range prog {
+			if in.Op != isa.FPD {
+				continue
+			}
+			fpdAt := r.IssueCycles[i]
+			for j := i + 1; j < len(prog); j++ {
+				c := r.IssueCycles[j]
+				if c > fpdAt && c < fpdAt+7 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRegisterDependenciesRespected(t *testing.T) {
+	// A consumer never issues before its producer's result is ready.
+	f := func(seed int64) bool {
+		b := isa.NewBuilder()
+		s := seed
+		next := func(mod int) int {
+			s = s*6364136223846793005 + 1442695040888963407
+			v := int((s >> 33) % int64(mod))
+			if v < 0 {
+				v += mod
+			}
+			return v
+		}
+		for i := 0; i < 80; i++ {
+			b.I(isa.Group(next(isa.NumGroups)), isa.Reg(next(32)), isa.Reg(next(32)))
+		}
+		prog := b.Program()
+		for _, m := range []*Model{CellBE(), PowerXCell8i()} {
+			r := m.Run(prog)
+			ready := map[isa.Reg]int64{}
+			for i, in := range prog {
+				for _, src := range in.Srcs {
+					if src == isa.NoReg {
+						continue
+					}
+					if t, ok := ready[src]; ok && r.IssueCycles[i] < t {
+						return false
+					}
+				}
+				if in.Dst != isa.NoReg {
+					ready[in.Dst] = r.IssueCycles[i] + int64(m.Timing[in.Op].Latency)
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

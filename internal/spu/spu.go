@@ -1,0 +1,202 @@
+// Package spu implements a cycle-approximate simulator of the SPU
+// (Synergistic Processor Unit) issue pipeline, parameterised for the two
+// chips the paper compares: the original Cell BE and the PowerXCell 8i.
+//
+// The model captures what the paper's assembly microbenchmarks measure:
+// per-group instruction latency, local stall (unit busy), global stall
+// (no issue at all), the dual-issue rule (one even-pipe + one odd-pipe
+// instruction per cycle, in order), and register dependences through a
+// scoreboard. The single architectural difference between the chips — the
+// Cell BE's unpipelined double-precision unit (13-cycle latency, 6-cycle
+// global stall) versus the PowerXCell 8i's fully pipelined one (9-cycle
+// latency, no stall) — reproduces Figs. 4 and 5 and, composed with the
+// rest of the system, the paper's application-level DP speedups.
+package spu
+
+import (
+	"fmt"
+
+	"roadrunner/internal/isa"
+	"roadrunner/internal/params"
+	"roadrunner/internal/units"
+)
+
+// Timing holds the pipeline constants for one execution group.
+type Timing struct {
+	Latency     int // cycles from issue to result available
+	LocalStall  int // extra cycles before the same unit can issue again
+	GlobalStall int // cycles after issue during which nothing can issue
+}
+
+// Repetition returns the issue-to-issue distance for back-to-back
+// instructions on the same unit: 1 means fully pipelined.
+func (t Timing) Repetition() int { return 1 + t.LocalStall + t.GlobalStall }
+
+// Model is a parameterised SPU pipeline.
+type Model struct {
+	Name   string
+	Clock  units.Frequency
+	Timing [isa.NumGroups]Timing
+}
+
+// baseTimings are the execution-group constants shared by both chips
+// (from the SPU ISA's execution classes; the class names in the paper's
+// figures encode the latencies: FP6 = 6 cycles, FP7 = 7, FX2 = 2, ...).
+func baseTimings() [isa.NumGroups]Timing {
+	var t [isa.NumGroups]Timing
+	t[isa.BR] = Timing{Latency: 4}
+	t[isa.FP6] = Timing{Latency: 6}
+	t[isa.FP7] = Timing{Latency: 7}
+	t[isa.FX2] = Timing{Latency: 2}
+	t[isa.FX3] = Timing{Latency: 3}
+	t[isa.FXB] = Timing{Latency: 4}
+	t[isa.LS] = Timing{Latency: 6}
+	t[isa.SHUF] = Timing{Latency: 4}
+	return t
+}
+
+// CellBE returns the original Cell Broadband Engine SPU model: the DP unit
+// is not pipelined — 13-cycle latency and a 6-cycle global issue stall
+// after every FPD instruction (repetition distance 7).
+func CellBE() *Model {
+	t := baseTimings()
+	t[isa.FPD] = Timing{Latency: 13, GlobalStall: 6}
+	return &Model{Name: "Cell BE", Clock: params.CellClock, Timing: t}
+}
+
+// PowerXCell8i returns the PowerXCell 8i SPU model: the redesigned DP unit
+// is fully pipelined with 9-cycle latency.
+func PowerXCell8i() *Model {
+	t := baseTimings()
+	t[isa.FPD] = Timing{Latency: 9}
+	return &Model{Name: "PowerXCell 8i", Clock: params.CellClock, Timing: t}
+}
+
+// Result summarises a pipeline run.
+type Result struct {
+	Cycles      int64   // total cycles until the last result is available
+	Issued      int     // instructions issued
+	DualIssues  int64   // cycles in which two instructions issued
+	IssueCycles []int64 // per-instruction issue cycle
+	FlopsDP     int64   // double-precision flops retired
+	FlopsSP     int64   // single-precision flops retired
+}
+
+// IPC returns instructions per cycle.
+func (r Result) IPC() float64 {
+	if r.Cycles == 0 {
+		return 0
+	}
+	return float64(r.Issued) / float64(r.Cycles)
+}
+
+// Time converts the cycle count to simulated time at the model's clock.
+func (m *Model) Time(cycles int64) units.Time { return m.Clock.Cycles(cycles) }
+
+// Run executes a program through the issue pipeline and returns the
+// resulting schedule. The pipeline is in-order and dual-issue: at most one
+// even-pipe and one odd-pipe instruction issue per cycle, and instruction
+// i+1 never issues before instruction i.
+func (m *Model) Run(prog isa.Program) Result {
+	var (
+		regReady    [isa.NumRegs]int64 // cycle at which each register's value is available
+		unitReady   [isa.NumGroups]int64
+		noIssueTill int64 // global stall horizon
+		lastIssue   int64 = -1
+		pipeUsed    [2]bool
+		res         Result
+		finish      int64
+	)
+	res.IssueCycles = make([]int64, len(prog))
+	for idx, in := range prog {
+		t := m.Timing[in.Op]
+		c := noIssueTill
+		if u := unitReady[in.Op]; u > c {
+			c = u
+		}
+		for _, s := range in.Srcs {
+			if s == isa.NoReg {
+				continue
+			}
+			if r := regReady[s]; r > c {
+				c = r
+			}
+		}
+		if c < lastIssue {
+			c = lastIssue
+		}
+		pipe := in.Op.Pipe()
+		if c == lastIssue {
+			// Same cycle as the previous issue: allowed only as the second
+			// half of a dual issue on the other pipe.
+			if pipeUsed[pipe] {
+				c = lastIssue + 1
+			}
+		}
+		if c > lastIssue {
+			pipeUsed[0], pipeUsed[1] = false, false
+		} else if lastIssue >= 0 {
+			res.DualIssues++
+		}
+		pipeUsed[pipe] = true
+		lastIssue = c
+		res.IssueCycles[idx] = c
+		res.Issued++
+		if in.Dst != isa.NoReg {
+			regReady[in.Dst] = c + int64(t.Latency)
+		}
+		unitReady[in.Op] = c + int64(t.Repetition())
+		if t.GlobalStall > 0 {
+			noIssueTill = c + 1 + int64(t.GlobalStall)
+		}
+		if done := c + int64(t.Latency); done > finish {
+			finish = done
+		}
+		res.FlopsDP += int64(in.Op.FlopsDP())
+		res.FlopsSP += int64(in.Op.FlopsSP())
+	}
+	res.Cycles = finish
+	return res
+}
+
+// MeasureLatency reproduces the paper's latency microbenchmark for one
+// group: a long chain of dependent instructions; the issue-to-issue
+// distance between dependent neighbours is the pipeline latency.
+func (m *Model) MeasureLatency(g isa.Group) int {
+	const n = 64
+	r := m.Run(isa.DependentChain(g, n))
+	// Steady-state distance between consecutive issues.
+	return int(r.IssueCycles[n-1] - r.IssueCycles[n-2])
+}
+
+// MeasureRepetition reproduces the repetition-distance microbenchmark:
+// independent same-group instructions back to back; their issue spacing is
+// the repetition distance (local + global stalls + 1).
+func (m *Model) MeasureRepetition(g isa.Group) int {
+	const n = 64
+	r := m.Run(isa.IndependentStream(g, n))
+	return int(r.IssueCycles[n-1] - r.IssueCycles[n-2])
+}
+
+// PeakDPFlops returns the model-derived peak double-precision rate of one
+// SPE: a stream of independent FPD FMAs pushed through the pipeline.
+func (m *Model) PeakDPFlops() units.Flops {
+	const n = 4096
+	r := m.Run(isa.IndependentStream(isa.FPD, n))
+	secs := m.Time(r.Cycles).Seconds()
+	return units.Flops(float64(r.FlopsDP) / secs)
+}
+
+// PeakSPFlops returns the model-derived peak single-precision rate of one
+// SPE (independent FP6 FMAs).
+func (m *Model) PeakSPFlops() units.Flops {
+	const n = 4096
+	r := m.Run(isa.IndependentStream(isa.FP6, n))
+	secs := m.Time(r.Cycles).Seconds()
+	return units.Flops(float64(r.FlopsSP) / secs)
+}
+
+// String identifies the model.
+func (m *Model) String() string {
+	return fmt.Sprintf("%s @ %v", m.Name, m.Clock)
+}

@@ -1,0 +1,220 @@
+package spu
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"roadrunner/internal/isa"
+	"roadrunner/internal/params"
+)
+
+func TestLatencyTablesMatchPaperFig4(t *testing.T) {
+	cbe, pxc := CellBE(), PowerXCell8i()
+	wantCommon := map[isa.Group]int{
+		isa.BR: 4, isa.FP6: 6, isa.FP7: 7, isa.FX2: 2,
+		isa.FX3: 3, isa.FXB: 4, isa.LS: 6, isa.SHUF: 4,
+	}
+	for g, want := range wantCommon {
+		if got := cbe.MeasureLatency(g); got != want {
+			t.Errorf("CellBE latency %s = %d, want %d", g, got, want)
+		}
+		if got := pxc.MeasureLatency(g); got != want {
+			t.Errorf("PXC8i latency %s = %d, want %d", g, got, want)
+		}
+	}
+	// The single difference: FPD 13 -> 9 cycles.
+	if got := cbe.MeasureLatency(isa.FPD); got != 13 {
+		t.Errorf("CellBE FPD latency = %d, want 13", got)
+	}
+	if got := pxc.MeasureLatency(isa.FPD); got != 9 {
+		t.Errorf("PXC8i FPD latency = %d, want 9", got)
+	}
+}
+
+func TestRepetitionMatchesPaperFig5(t *testing.T) {
+	cbe, pxc := CellBE(), PowerXCell8i()
+	for _, g := range isa.Groups() {
+		wantCBE, wantPXC := 1, 1
+		if g == isa.FPD {
+			wantCBE = 7 // unpipelined DP: 6-cycle global stall
+		}
+		if got := cbe.MeasureRepetition(g); got != wantCBE {
+			t.Errorf("CellBE repetition %s = %d, want %d", g, got, wantCBE)
+		}
+		if got := pxc.MeasureRepetition(g); got != wantPXC {
+			t.Errorf("PXC8i repetition %s = %d, want %d", g, got, wantPXC)
+		}
+	}
+}
+
+func TestPeakDPRatesMatchPaper(t *testing.T) {
+	// Aggregate 8-SPE peaks must reproduce the paper's §II/§IV.A numbers:
+	// Cell BE 14.6 Gflop/s DP, PowerXCell 8i 102.4 Gflop/s DP,
+	// both 204.8 Gflop/s SP.
+	cbe := CellBE().PeakDPFlops().GF() * 8
+	if math.Abs(cbe-14.6) > 0.05*14.6 {
+		t.Errorf("CellBE aggregate DP = %.2f GF/s, want ~14.6", cbe)
+	}
+	pxc := PowerXCell8i().PeakDPFlops().GF() * 8
+	if math.Abs(pxc-102.4) > 0.02*102.4 {
+		t.Errorf("PXC8i aggregate DP = %.2f GF/s, want ~102.4", pxc)
+	}
+	sp := PowerXCell8i().PeakSPFlops().GF() * 8
+	if math.Abs(sp-204.8) > 0.02*204.8 {
+		t.Errorf("PXC8i aggregate SP = %.2f GF/s, want ~204.8", sp)
+	}
+	// The paper's 7x claim: "seven times the peak DP floating-point
+	// performance of the Cell BE".
+	if r := pxc / cbe; math.Abs(r-7.0) > 0.1*7.0 {
+		t.Errorf("DP improvement = %.2fx, want ~7x", r)
+	}
+}
+
+func TestDualIssuePairsEvenOdd(t *testing.T) {
+	m := PowerXCell8i()
+	// Alternating independent even/odd instructions should dual-issue
+	// nearly every cycle.
+	b := isa.NewBuilder()
+	for i := 0; i < 100; i++ {
+		b.I(isa.FX2, isa.Reg(1+i%50), isa.Reg(110))
+		b.I(isa.SHUF, isa.Reg(51+i%50), isa.Reg(111))
+	}
+	r := m.Run(b.Program())
+	if r.IPC() < 1.8 {
+		t.Errorf("IPC = %.2f, want ~2 for even/odd pairs", r.IPC())
+	}
+	// All-even instructions can never dual-issue.
+	r = m.Run(isa.IndependentStream(isa.FX2, 100))
+	if r.DualIssues != 0 {
+		t.Errorf("dual issues on single-pipe stream = %d", r.DualIssues)
+	}
+	if r.IPC() > 1.01 {
+		t.Errorf("IPC = %.2f for single-pipe stream", r.IPC())
+	}
+}
+
+func TestGlobalStallBlocksOtherUnits(t *testing.T) {
+	// On the Cell BE, an FPD instruction stalls the whole issue logic for
+	// 6 cycles: an independent FX2 right after it must wait.
+	m := CellBE()
+	p := isa.NewBuilder().
+		I(isa.FPD, 1, 0, 0).
+		I(isa.FX2, 2, 0).
+		Program()
+	r := m.Run(p)
+	if gap := r.IssueCycles[1] - r.IssueCycles[0]; gap != 7 {
+		t.Errorf("FX2 issued %d cycles after FPD, want 7", gap)
+	}
+	// On the PowerXCell 8i there is no stall; FX2 (even pipe) issues the
+	// next cycle (same-cycle dual issue is impossible: both even pipe).
+	m = PowerXCell8i()
+	r = m.Run(p)
+	if gap := r.IssueCycles[1] - r.IssueCycles[0]; gap != 1 {
+		t.Errorf("PXC8i FX2 gap = %d, want 1", gap)
+	}
+}
+
+func TestDependencyStalls(t *testing.T) {
+	m := PowerXCell8i()
+	// LS (6-cycle) result feeding an FPD: the FPD must wait 6 cycles.
+	p := isa.NewBuilder().
+		I(isa.LS, 1, 0).
+		I(isa.FPD, 2, 1, 1).
+		Program()
+	r := m.Run(p)
+	if r.IssueCycles[1] != r.IssueCycles[0]+6 {
+		t.Errorf("FPD issued at %d, LS at %d", r.IssueCycles[1], r.IssueCycles[0])
+	}
+}
+
+func TestInOrderIssueProperty(t *testing.T) {
+	// Issue cycles are nondecreasing in program order for arbitrary
+	// programs on both models.
+	f := func(seed int64, nRaw uint8) bool {
+		n := int(nRaw%100) + 2
+		b := isa.NewBuilder()
+		s := seed
+		next := func(mod int) int {
+			s = s*6364136223846793005 + 1442695040888963407
+			v := int((s >> 33) % int64(mod))
+			if v < 0 {
+				v += mod
+			}
+			return v
+		}
+		for i := 0; i < n; i++ {
+			g := isa.Group(next(isa.NumGroups))
+			dst := isa.Reg(next(isa.NumRegs))
+			src := isa.Reg(next(isa.NumRegs))
+			b.I(g, dst, src)
+		}
+		for _, m := range []*Model{CellBE(), PowerXCell8i()} {
+			r := m.Run(b.Program())
+			for i := 1; i < len(r.IssueCycles); i++ {
+				if r.IssueCycles[i] < r.IssueCycles[i-1] {
+					return false
+				}
+			}
+			if r.Cycles < r.IssueCycles[len(r.IssueCycles)-1] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPXC8iNeverSlowerProperty(t *testing.T) {
+	// For any program, the PowerXCell 8i finishes no later than the
+	// Cell BE: its only timing change is strictly better.
+	f := func(seed int64, nRaw uint8) bool {
+		n := int(nRaw%80) + 2
+		b := isa.NewBuilder()
+		s := seed
+		next := func(mod int) int {
+			s = s*2862933555777941757 + 3037000493
+			v := int((s >> 33) % int64(mod))
+			if v < 0 {
+				v += mod
+			}
+			return v
+		}
+		for i := 0; i < n; i++ {
+			b.I(isa.Group(next(isa.NumGroups)), isa.Reg(next(128)), isa.Reg(next(128)))
+		}
+		p := b.Program()
+		return PowerXCell8i().Run(p).Cycles <= CellBE().Run(p).Cycles
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTimeConversion(t *testing.T) {
+	m := PowerXCell8i()
+	if m.Clock != params.CellClock {
+		t.Errorf("clock = %v", m.Clock)
+	}
+	// 3200 cycles at 3.2 GHz = 1 us.
+	if got := m.Time(3200); got.Microseconds() != 1 {
+		t.Errorf("3200 cycles = %v", got)
+	}
+}
+
+func TestResultCounters(t *testing.T) {
+	m := PowerXCell8i()
+	p := isa.IndependentStream(isa.FPD, 10)
+	r := m.Run(p)
+	if r.Issued != 10 {
+		t.Errorf("issued = %d", r.Issued)
+	}
+	if r.FlopsDP != 40 {
+		t.Errorf("flops = %d", r.FlopsDP)
+	}
+	if r.FlopsSP != 0 {
+		t.Errorf("sp flops = %d", r.FlopsSP)
+	}
+}

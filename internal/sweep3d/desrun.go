@@ -1,0 +1,109 @@
+package sweep3d
+
+import (
+	"fmt"
+
+	"roadrunner/internal/cml"
+	"roadrunner/internal/fabric"
+	"roadrunner/internal/sim"
+	"roadrunner/internal/units"
+)
+
+// DESResult is the outcome of executing the sweep on the discrete-event
+// machine: the real numerical result plus the simulated iteration time.
+type DESResult struct {
+	*Result
+	IterationTime units.Time
+}
+
+// RunOnDES executes the real block solver rank-by-rank on the simulated
+// machine through the Cell Messaging Layer: px x py SPE ranks placed in
+// canonical order (filling sockets, then cells, then nodes), exchanging
+// actual boundary payloads whose transfer costs come from the CML
+// transport model. It returns the numerical result (bitwise identical to
+// the host solvers) and the simulated wall time of one source iteration.
+//
+// This is the cross-validation tier of DESIGN.md: feasible up to a few
+// thousand ranks; the analytic model in scale.go covers the full
+// machine.
+func RunOnDES(cfg Config, px, py int, cmlCfg cml.Config) (*DESResult, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	nRanks := px * py
+	eng := sim.NewEngine()
+	defer eng.Close()
+	fab := fabric.New()
+	world := cml.NewWorld(eng, fab, cmlCfg)
+	nodes := (nRanks + cml.RanksPerNode - 1) / cml.RanksPerNode
+	if nodes > fab.Nodes() {
+		return nil, fmt.Errorf("sweep3d: %d ranks exceed the machine", nRanks)
+	}
+	for n := 0; n < nodes; n++ {
+		world.AddNodeRanks(fabric.FromGlobal(n))
+	}
+
+	prob := Problem{NX: cfg.I * px, NY: cfg.J * py, NZ: cfg.K,
+		Angles: cfg.Angles, SigT: 0.75, Q: 1.0}
+	states := make([]*LocalState, nRanks)
+	octs := OctantOrder()
+
+	// Tags encode (octant, block, dimension).
+	tag := func(oi, kb int, dim string) int {
+		d := 0
+		if dim == "y" {
+			d = 1
+		}
+		return (oi*4096+kb)*2 + d
+	}
+
+	var finish units.Time
+	// perUpdate carries the calibrated SPE compute cost so the DES time
+	// is comparable with the analytic model.
+	perUpdate := speScalePerUpdate(cfg)
+	for pyi := 0; pyi < py; pyi++ {
+		for pxi := 0; pxi < px; pxi++ {
+			s := NewLocalState(cfg, prob, px, py, pxi, pyi)
+			states[pyi*px+pxi] = s
+			rankID := pyi*px + pxi
+			rank := world.Rank(rankID)
+			eng.Spawn(fmt.Sprintf("sweep-rank%d", rankID), func(p *sim.Proc) {
+				for oi, oct := range octs {
+					s.StartOctant()
+					for kb := 0; kb < cfg.KBlocks(); kb++ {
+						var xin, yin []float64
+						if up := upstreamRank(s.PXi, oct.SI); up >= 0 && up < px {
+							xin = rank.Recv(p, s.PYi*px+up, tag(oi, kb, "x")).Data
+						}
+						if up := upstreamRank(s.PYi, oct.SJ); up >= 0 && up < py {
+							yin = rank.Recv(p, up*px+s.PXi, tag(oi, kb, "y")).Data
+						}
+						xout, yout := s.BlockSweep(oct, kb, xin, yin)
+						p.Sleep(units.Time(cfg.BlockUpdates()) * perUpdate)
+						if dn := downstreamRank(s.PXi, oct.SI); dn >= 0 && dn < px {
+							rank.Send(p, s.PYi*px+dn, tag(oi, kb, "x"), xout)
+						} else {
+							s.AccumulateEdgeLeakage("x", xout)
+						}
+						if dn := downstreamRank(s.PYi, oct.SJ); dn >= 0 && dn < py {
+							rank.Send(p, dn*px+s.PXi, tag(oi, kb, "y"), yout)
+						} else {
+							s.AccumulateEdgeLeakage("y", yout)
+						}
+					}
+					s.FinishOctant()
+				}
+				if p.Now() > finish {
+					finish = p.Now()
+				}
+			})
+		}
+	}
+	if err := eng.Run(); err != nil {
+		return nil, fmt.Errorf("sweep3d: DES run: %w", err)
+	}
+	return &DESResult{
+		Result:        MergeResults(cfg, prob, px, py, states),
+		IterationTime: finish,
+	}, nil
+}

@@ -1,0 +1,105 @@
+package sweep3d
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestFluxLinearInSource(t *testing.T) {
+	// The transport operator is linear: scaling the source scales the
+	// flux exactly.
+	base := Problem{NX: 5, NY: 4, NZ: 6, Angles: 3, SigT: 0.8, Q: 1}
+	scaled := base
+	scaled.Q = 3.5
+	a := SolveSerial(base)
+	b := SolveSerial(scaled)
+	for i := range a.Phi {
+		if math.Abs(b.Phi[i]-3.5*a.Phi[i]) > 1e-12*b.Phi[i] {
+			t.Fatalf("phi[%d]: %v vs 3.5*%v", i, b.Phi[i], a.Phi[i])
+		}
+	}
+}
+
+func TestFluxDecreasesWithAbsorption(t *testing.T) {
+	// Higher cross section means lower flux everywhere.
+	thin := SolveSerial(Problem{NX: 4, NY: 4, NZ: 4, Angles: 2, SigT: 0.2, Q: 1})
+	thick := SolveSerial(Problem{NX: 4, NY: 4, NZ: 4, Angles: 2, SigT: 2.0, Q: 1})
+	for i := range thin.Phi {
+		if thick.Phi[i] >= thin.Phi[i] {
+			t.Fatalf("phi[%d]: thick %v >= thin %v", i, thick.Phi[i], thin.Phi[i])
+		}
+	}
+}
+
+func TestInfiniteMediumLimit(t *testing.T) {
+	// Deep inside a large, optically thick box the flux approaches the
+	// infinite-medium solution phi = Q/SigT (with our weights summing
+	// to 1 over all angles).
+	pr := Problem{NX: 24, NY: 24, NZ: 24, Angles: 4, SigT: 4.0, Q: 2.0}
+	res := SolveSerial(pr)
+	center := res.PhiAt(12, 12, 12)
+	want := pr.Q / pr.SigT
+	if math.Abs(center-want)/want > 0.01 {
+		t.Errorf("center flux = %v, infinite-medium %v", center, want)
+	}
+}
+
+func TestBalancePropertyRandomDecompositions(t *testing.T) {
+	f := func(pxRaw, pyRaw, mkIdx uint8) bool {
+		px := int(pxRaw%3) + 1
+		py := int(pyRaw%3) + 1
+		mks := []int{1, 2, 4}
+		cfg := Config{I: 3, J: 2, K: 8, MK: mks[mkIdx%3], Angles: 2}
+		res := SolveParallelHost(cfg, px, py)
+		return res.BalanceError() < 1e-11
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMergePreservesEveryCell(t *testing.T) {
+	// Each global cell is owned by exactly one rank and lands in the
+	// merged flux: no cell may be zero (flux is strictly positive).
+	res := SolveParallelHost(Config{I: 2, J: 3, K: 4, MK: 2, Angles: 2}, 3, 2)
+	for i, v := range res.Phi {
+		if v <= 0 {
+			t.Fatalf("phi[%d] = %v", i, v)
+		}
+	}
+}
+
+func TestSpillFactorMonotoneInBlockSize(t *testing.T) {
+	// Growing the block can only increase the staging penalty.
+	small := SpillFactor(Config{I: 5, J: 5, K: 400, MK: 20, Angles: 6})
+	big := SpillFactor(Config{I: 50, J: 50, K: 50, MK: 10, Angles: 6})
+	if small > big {
+		t.Errorf("spill %v > %v", small, big)
+	}
+}
+
+func TestScaleModelMonotoneInNodes(t *testing.T) {
+	// Iteration time rises monotonically along the paper's node series.
+	// (Arbitrary node counts need not be monotone: a prime count forces
+	// a 1xN decomposition whose pipeline fill dwarfs its neighbours' —
+	// a real property of wavefront sweeps, not a model bug.)
+	cfg := PaperWeakScaling()
+	counts := PaperNodeCounts()
+	for _, kind := range []RunKind{OpteronOnly, CellMeasured, CellBest} {
+		for i := 1; i < len(counts); i++ {
+			a := CellIterationTime(cfg, counts[i-1], kind)
+			b := CellIterationTime(cfg, counts[i], kind)
+			if a > b {
+				t.Errorf("%v: time(%d)=%v > time(%d)=%v",
+					kind, counts[i-1], a, counts[i], b)
+			}
+		}
+	}
+	// And the prime-count effect is real and visible:
+	prime := CellIterationTime(cfg, 149, CellMeasured)
+	composite := CellIterationTime(cfg, 150, CellMeasured)
+	if prime <= composite {
+		t.Errorf("1x149 decomposition (%v) should cost more than 10x15 (%v)", prime, composite)
+	}
+}

@@ -1,0 +1,209 @@
+package sweep3d
+
+import (
+	"roadrunner/internal/dacs"
+	"roadrunner/internal/ib"
+	"roadrunner/internal/params"
+	"roadrunner/internal/spu"
+	"roadrunner/internal/units"
+	"roadrunner/internal/wavefront"
+)
+
+// The at-scale model behind Figs. 13 and 14. Three run types:
+//
+//   - Opteron only: plain MPI, four ranks per triblade (one per core),
+//     each rank a 5x5x400 subgrid; the 2-D wavefront pipelines over the
+//     core grid.
+//   - Cell (measured): the SPE-centric CML code. Each triblade carries
+//     32 SPE subgrids arranged 8x4; the node-level wavefront pipelines
+//     over the node grid, and every step moves the node's aggregated
+//     east-west and north-south block surfaces over the early-software
+//     DaCS + Open MPI path, store-and-forward (the immature stack does
+//     not overlap the segments — the paper's "flow control and multiple
+//     buffering" remark).
+//   - Cell (best): the same structure with the peak-PCIe DaCS profile
+//     and pipelined segments (only the slowest leg's transfer time is
+//     exposed), the paper's validated-model projection.
+
+// nodeTileX and nodeTileY arrange a triblade's 32 SPE subgrids.
+const (
+	nodeTileX = 8
+	nodeTileY = 4
+)
+
+// RunKind selects a Fig. 13 series.
+type RunKind int
+
+// The three Fig. 13 series.
+const (
+	OpteronOnly RunKind = iota
+	CellMeasured
+	CellBest
+)
+
+// String names the series as the figure legend does.
+func (k RunKind) String() string {
+	switch k {
+	case OpteronOnly:
+		return "Opteron only"
+	case CellMeasured:
+		return "Cell (Measured)"
+	default:
+		return "Cell (best)"
+	}
+}
+
+// interNodeHops is the typical crossbar count between wavefront
+// neighbours at scale (different crossbars within the first switch side).
+const interNodeHops = 5
+
+// OpteronIterationTime models the non-accelerated run at a node count.
+func OpteronIterationTime(cfg Config, nodes int) units.Time {
+	ranks := 4 * nodes
+	nx, ny := wavefront.SquarishGrid(ranks)
+	tBlock := units.Time(float64(cfg.BlockUpdates()) *
+		float64(params.SweepOpteronDCUpdate) / params.HostSocketEfficiencyDual)
+	comm := opteronCommPerStep(cfg, nodes)
+	p := wavefront.Params{
+		Nx: nx, Ny: ny, Octants: Octants, KBlocks: cfg.KBlocks(),
+		TBlock: tBlock, TComm: comm,
+	}
+	return p.IterationTime()
+}
+
+// opteronCommPerStep: two per-rank surface exchanges over MPI (intranode
+// shared memory at one node; InfiniBand beyond).
+func opteronCommPerStep(cfg Config, nodes int) units.Time {
+	pr := ib.OpenMPI()
+	ew := units.Size(cfg.EWSurfaceBytes())
+	ns := units.Size(cfg.NSSurfaceBytes())
+	if nodes == 1 {
+		return 2 * 2 * pr.PerSideOverhead // shared-memory exchanges
+	}
+	return pr.OneWay(ew, interNodeHops, 1, 1) + pr.OneWay(ns, interNodeHops, 1, 1)
+}
+
+// CellIterationTime models the SPE-centric run at a node count, with
+// either the measured early-software transports or the projected
+// peak-PCIe ones.
+func CellIterationTime(cfg Config, nodes int, kind RunKind) units.Time {
+	if kind == OpteronOnly {
+		return OpteronIterationTime(cfg, nodes)
+	}
+	nx, ny := wavefront.SquarishGrid(nodes)
+	tBlock := units.Time(cfg.BlockUpdates()) * speScalePerUpdate(cfg)
+	comm := exposedComm(cellCommPerStep(cfg, nodes, kind), kind)
+	p := wavefront.Params{
+		Nx: nx, Ny: ny, Octants: Octants, KBlocks: cfg.KBlocks(),
+		TBlock: tBlock, TComm: comm,
+	}
+	// The node-level pipeline hides the 8x4 intra-node SPE pipeline in
+	// steady state, but its fill/drain is paid once per sweep corner:
+	// 4*(8+4-2) extra steps at intra-node exchange cost. Dominant at one
+	// node, negligible at full scale.
+	intraFill := units.Time(4*(nodeTileX+nodeTileY-2)) *
+		(tBlock + exposedComm(cellCommPerStep(cfg, 1, kind), kind))
+	return p.IterationTime() + intraFill
+}
+
+// exposedComm applies the measured implementation's partial
+// compute/communication overlap (see params.SweepCMLOverlap). The best
+// model's path is already pipelined; no further hiding applies.
+func exposedComm(comm units.Time, kind RunKind) units.Time {
+	if kind == CellMeasured {
+		return units.Time(float64(comm) * (1 - params.SweepCMLOverlap))
+	}
+	return comm
+}
+
+// speScalePerUpdate returns the per-cell-angle cost of an SPE in the
+// at-scale runs (all SPEs active, MK blocking overlapping DMA).
+func speScalePerUpdate(cfg Config) units.Time {
+	m := spu.PowerXCell8i()
+	return units.Time(float64(SPEUpdateTime(m)) * SpillFactor(cfg) / params.SweepSPEScaleEff)
+}
+
+// nodeSurfaces returns the aggregated east-west and north-south block
+// surface sizes a triblade exchanges per step.
+func nodeSurfaces(cfg Config) (ew, ns units.Size) {
+	ew = units.Size(nodeTileY * cfg.EWSurfaceBytes())
+	ns = units.Size(nodeTileX * cfg.NSSurfaceBytes())
+	return ew, ns
+}
+
+// cellCommPerStep composes the Cell-to-Cell surface-exchange cost from
+// the transport profiles.
+func cellCommPerStep(cfg Config, nodes int, kind RunKind) units.Time {
+	var dpr dacs.Profile
+	pipelined := false
+	if kind == CellBest {
+		dpr = dacs.PeakPCIe()
+		pipelined = true
+	} else {
+		dpr = dacs.Current()
+	}
+	ipr := ib.OpenMPI()
+	ew, ns := nodeSurfaces(cfg)
+
+	if nodes == 1 {
+		// Intra-node: east-west neighbours share a socket (EIB); the
+		// north-south surface crosses sockets via DaCS twice.
+		ewT := params.CMLIntraSocketLatency + params.CMLIntraSocketBandwidth.TransferTime(ew)
+		var nsT units.Time
+		if pipelined {
+			nsT = 2*dpr.OneWay(0) + dpr.StreamBandwidth.TransferTime(ns)
+		} else {
+			nsT = 2 * dpr.OneWay(ns)
+		}
+		return ewT + nsT + 2*params.LocalSegment
+	}
+
+	oneSurface := func(size units.Size) units.Time {
+		ibLat := 2*ipr.PerSideOverhead + units.Time(interNodeHops)*ipr.HopLatency
+		ibRendez := units.Time(0)
+		if size > ipr.EagerThreshold {
+			ibRendez = 2 * ibLat
+		}
+		ibXfer := ipr.MultiFlowBandwidth.TransferTime(size)
+		if pipelined {
+			// Segments overlap; only the slowest leg's transfer shows.
+			dacsXfer := dpr.StreamBandwidth.TransferTime(size)
+			maxXfer := ibXfer
+			if dacsXfer > maxXfer {
+				maxXfer = dacsXfer
+			}
+			return 2*dpr.OneWay(0) + ibLat + ibRendez + maxXfer + 2*params.LocalSegment
+		}
+		// Store-and-forward: each leg completes before the next starts.
+		return 2*dpr.OneWay(size) + ibLat + ibRendez + ibXfer + 2*params.LocalSegment
+	}
+	return oneSurface(ew) + oneSurface(ns)
+}
+
+// ScaleSeries evaluates a Fig. 13 series over the paper's node counts.
+func ScaleSeries(cfg Config, kind RunKind, nodeCounts []int) []wavefrontPoint {
+	out := make([]wavefrontPoint, 0, len(nodeCounts))
+	for _, n := range nodeCounts {
+		out = append(out, wavefrontPoint{n, CellIterationTime(cfg, n, kind)})
+	}
+	return out
+}
+
+// wavefrontPoint is one (nodes, time) sample.
+type wavefrontPoint struct {
+	Nodes int
+	Time  units.Time
+}
+
+// PaperNodeCounts returns Fig. 13's x axis.
+func PaperNodeCounts() []int {
+	return []int{1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024, 2048, 3060}
+}
+
+// Improvement returns Fig. 14's factor at a node count: the
+// non-accelerated time over the accelerated one.
+func Improvement(cfg Config, nodes int, kind RunKind) float64 {
+	opt := OpteronIterationTime(cfg, nodes)
+	cell := CellIterationTime(cfg, nodes, kind)
+	return float64(opt) / float64(cell)
+}

@@ -1,0 +1,154 @@
+package sweep3d
+
+import (
+	"testing"
+
+	"roadrunner/internal/cml"
+	"roadrunner/internal/report"
+)
+
+func TestFig13Shapes(t *testing.T) {
+	cfg := PaperWeakScaling()
+	counts := PaperNodeCounts()
+	var opteron, measured, best []float64
+	for _, n := range counts {
+		opteron = append(opteron, OpteronIterationTime(cfg, n).Seconds())
+		measured = append(measured, CellIterationTime(cfg, n, CellMeasured).Seconds())
+		best = append(best, CellIterationTime(cfg, n, CellBest).Seconds())
+	}
+	// Who wins: Cell below Opteron at every scale, best below measured.
+	for i := range counts {
+		if measured[i] >= opteron[i] {
+			t.Errorf("n=%d: measured %.3f >= opteron %.3f", counts[i], measured[i], opteron[i])
+		}
+		if best[i] > measured[i] {
+			t.Errorf("n=%d: best %.3f > measured %.3f", counts[i], best[i], measured[i])
+		}
+	}
+	// Weak scaling: all three rise with node count (pipeline fill).
+	for _, ys := range [][]float64{opteron, measured, best} {
+		if !report.NonDecreasing(ys, 0.01) {
+			t.Errorf("series not weakly increasing: %v", ys)
+		}
+	}
+	// Magnitudes at full scale: Opteron-only around 0.55-0.65 s,
+	// measured around 0.3 s (Fig. 13's right edge).
+	last := len(counts) - 1
+	if opteron[last] < 0.45 || opteron[last] > 0.75 {
+		t.Errorf("Opteron @3060 = %.3f s", opteron[last])
+	}
+	if measured[last] < 0.2 || measured[last] > 0.42 {
+		t.Errorf("measured @3060 = %.3f s", measured[last])
+	}
+}
+
+func TestFig14ImprovementBands(t *testing.T) {
+	cfg := PaperWeakScaling()
+	// "currently almost a factor of two higher performance is achieved
+	// when using the accelerators" at full scale.
+	m3060 := Improvement(cfg, 3060, CellMeasured)
+	if m3060 < 1.6 || m3060 > 2.4 {
+		t.Errorf("measured improvement @3060 = %.2f, want ~2", m3060)
+	}
+	// "The performance improvement may be as high as 4x at large-scale
+	// if the peak PCIe performance were to be realized."
+	b3060 := Improvement(cfg, 3060, CellBest)
+	if b3060 < 2.4 || b3060 > 4.5 {
+		t.Errorf("best improvement @3060 = %.2f, want 2.5-4.5", b3060)
+	}
+	if b3060 <= m3060 {
+		t.Error("best must exceed measured")
+	}
+	// "the performance of the current implementation is close to the
+	// best achievable at small scale".
+	m1 := CellIterationTime(cfg, 1, CellMeasured)
+	b1 := CellIterationTime(cfg, 1, CellBest)
+	if r := float64(m1) / float64(b1); r > 1.4 {
+		t.Errorf("measured/best at 1 node = %.2f, want close to 1", r)
+	}
+	// "could be improved by almost a factor of two at large scale".
+	m := CellIterationTime(cfg, 3060, CellMeasured)
+	b := CellIterationTime(cfg, 3060, CellBest)
+	if r := float64(m) / float64(b); r < 1.3 || r > 2.2 {
+		t.Errorf("measured/best at 3060 = %.2f, want 1.4-2", r)
+	}
+	// The best-curve advantage grows with scale.
+	if Improvement(cfg, 3060, CellBest) <= Improvement(cfg, 1, CellBest) {
+		t.Error("best improvement should grow with scale")
+	}
+}
+
+func TestScaleSeriesAPI(t *testing.T) {
+	cfg := PaperWeakScaling()
+	pts := ScaleSeries(cfg, CellMeasured, []int{1, 4, 16})
+	if len(pts) != 3 || pts[0].Nodes != 1 || pts[2].Nodes != 16 {
+		t.Fatalf("series = %+v", pts)
+	}
+	if pts[2].Time <= pts[0].Time {
+		t.Error("time should grow with scale")
+	}
+	if OpteronOnly.String() == "" || CellMeasured.String() == "" || CellBest.String() == "" {
+		t.Error("run kind names")
+	}
+}
+
+func TestDESMatchesHostSolverExactly(t *testing.T) {
+	// The DES execution produces bitwise-identical flux to the host
+	// parallel solver (and hence the serial reference).
+	cfg := Config{I: 3, J: 3, K: 8, MK: 4, Angles: 3}
+	px, py := 4, 2
+	des, err := RunOnDES(cfg, px, py, cml.CurrentSoftware())
+	if err != nil {
+		t.Fatal(err)
+	}
+	host := SolveParallelHost(cfg, px, py)
+	for i := range des.Phi {
+		if des.Phi[i] != host.Phi[i] {
+			t.Fatalf("phi[%d]: DES %v vs host %v", i, des.Phi[i], host.Phi[i])
+		}
+	}
+	if des.BalanceError() > 1e-11 {
+		t.Errorf("DES balance = %e", des.BalanceError())
+	}
+	if des.IterationTime <= 0 {
+		t.Error("no simulated time elapsed")
+	}
+}
+
+func TestDESAgreesWithAnalyticModel(t *testing.T) {
+	// Cross-validation (DESIGN.md decision 3): the DES execution of one
+	// full node (32 SPE ranks, 8x4) must agree with the analytic Cell
+	// model at 1 node within 35% — the analytic model idealises the
+	// intra-node transport mix, the DES routes every message.
+	cfg := Config{I: 5, J: 5, K: 40, MK: 20, Angles: 6} // short-K variant
+	des, err := RunOnDES(cfg, 8, 4, cml.CurrentSoftware())
+	if err != nil {
+		t.Fatal(err)
+	}
+	model := CellIterationTime(cfg, 1, CellMeasured)
+	ratio := float64(des.IterationTime) / float64(model)
+	if ratio < 0.65 || ratio > 1.55 {
+		t.Errorf("DES/model = %.2f (DES %v, model %v)", ratio, des.IterationTime, model)
+	}
+}
+
+func TestDESPeakPCIeFasterAtScale(t *testing.T) {
+	cfg := Config{I: 3, J: 3, K: 8, MK: 4, Angles: 2}
+	cur, err := RunOnDES(cfg, 8, 8, cml.CurrentSoftware()) // 2 nodes
+	if err != nil {
+		t.Fatal(err)
+	}
+	best, err := RunOnDES(cfg, 8, 8, cml.PeakPCIe())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if best.IterationTime >= cur.IterationTime {
+		t.Errorf("peak PCIe %v >= current %v", best.IterationTime, cur.IterationTime)
+	}
+	// Identical numerics regardless of transport.
+	for i := range cur.Phi {
+		if cur.Phi[i] != best.Phi[i] {
+			t.Fatal("transport changed numerics")
+		}
+	}
+}

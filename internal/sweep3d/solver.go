@@ -1,0 +1,401 @@
+package sweep3d
+
+import (
+	"fmt"
+	"math"
+	"sync"
+)
+
+// Problem is a global transport problem: a NX x NY x NZ grid of unit
+// cells with a uniform total cross section and uniform isotropic source,
+// vacuum boundaries, swept by Angles directions per octant.
+type Problem struct {
+	NX, NY, NZ int
+	Angles     int
+	SigT       float64 // total cross section
+	Q          float64 // uniform source density
+}
+
+// Angle is one discrete ordinate: positive direction cosines (the octant
+// supplies signs) and a quadrature weight.
+type Angle struct {
+	Mu, Eta, Xi float64
+	W           float64
+}
+
+// Quadrature returns the problem's deterministic angle set. The set is
+// not a physical Sn quadrature (the paper's kernel fixes six angles per
+// octant and so do we); it provides distinct positive cosines and
+// weights that sum to one over all octants.
+func (pr Problem) Quadrature() []Angle {
+	n := pr.Angles
+	qs := make([]Angle, n)
+	for a := 0; a < n; a++ {
+		t := (float64(a) + 0.5) / float64(n)
+		mu := 0.30 + 0.55*t
+		eta := 0.70 - 0.45*t
+		xi := 0.25 + 0.35*(1-t)
+		qs[a] = Angle{Mu: mu, Eta: eta, Xi: xi, W: 1 / float64(8*n)}
+	}
+	return qs
+}
+
+// Dir is an octant's direction signs.
+type Dir struct{ SI, SJ, SK int }
+
+// OctantOrder returns the eight sweep directions in the fixed order all
+// solvers use (so floating-point accumulation orders agree exactly).
+func OctantOrder() [Octants]Dir {
+	var out [Octants]Dir
+	i := 0
+	for _, sk := range []int{1, -1} {
+		for _, sj := range []int{1, -1} {
+			for _, si := range []int{1, -1} {
+				out[i] = Dir{si, sj, sk}
+				i++
+			}
+		}
+	}
+	return out
+}
+
+// Result holds a solve's outputs: the scalar flux and the discrete
+// balance tallies.
+type Result struct {
+	NX, NY, NZ int
+	Phi        []float64 // scalar flux, x-major: idx = (k*NY+j)*NX+i
+	Absorbed   float64   // sum over angles/cells of sigt * psi (unweighted)
+	Outflow    float64   // sum over angles of boundary-exiting cosine-weighted psi
+	Source     float64   // total emitted: q * cells * angles * octants
+}
+
+// BalanceError returns the relative particle-balance defect: for a pure
+// absorber with vacuum boundaries, absorption plus leakage must equal
+// the source, angle by angle; we check the aggregate.
+func (r *Result) BalanceError() float64 {
+	if r.Source == 0 {
+		return 0
+	}
+	return math.Abs(r.Absorbed+r.Outflow-r.Source) / r.Source
+}
+
+// idx flattens (i, j, k).
+func (r *Result) idx(i, j, k int) int { return (k*r.NY+j)*r.NX + i }
+
+// PhiAt returns the scalar flux at a cell.
+func (r *Result) PhiAt(i, j, k int) float64 { return r.Phi[r.idx(i, j, k)] }
+
+// SolveSerial runs the reference solver: straightforward full-grid
+// sweeps, no blocking, no decomposition. It is deliberately an
+// independent implementation from the block solver so the two
+// cross-validate.
+func SolveSerial(pr Problem) *Result {
+	res := &Result{
+		NX: pr.NX, NY: pr.NY, NZ: pr.NZ,
+		Phi:    make([]float64, pr.NX*pr.NY*pr.NZ),
+		Source: pr.Q * float64(pr.NX*pr.NY*pr.NZ) * float64(pr.Angles*Octants),
+	}
+	quad := pr.Quadrature()
+	fz := make([]float64, pr.NX*pr.NY)
+	fy := make([]float64, pr.NX)
+	for _, oct := range OctantOrder() {
+		for _, an := range quad {
+			denom := pr.SigT + an.Mu + an.Eta + an.Xi
+			for i := range fz {
+				fz[i] = 0
+			}
+			for kk := 0; kk < pr.NZ; kk++ {
+				k := upwind(kk, pr.NZ, oct.SK)
+				for i := range fy {
+					fy[i] = 0
+				}
+				for jj := 0; jj < pr.NY; jj++ {
+					j := upwind(jj, pr.NY, oct.SJ)
+					fx := 0.0
+					for ii := 0; ii < pr.NX; ii++ {
+						i := upwind(ii, pr.NX, oct.SI)
+						zin := fz[j*pr.NX+i]
+						psi := (pr.Q + an.Mu*fx + an.Eta*fy[i] + an.Xi*zin) / denom
+						res.Phi[res.idx(i, j, k)] += an.W * psi
+						res.Absorbed += pr.SigT * psi
+						fx = psi
+						fy[i] = psi
+						fz[j*pr.NX+i] = psi
+					}
+					res.Outflow += an.Mu * fx // x leakage for this (j,k) pencil
+				}
+				for i := 0; i < pr.NX; i++ {
+					res.Outflow += an.Eta * fy[i] // y leakage at this k
+				}
+			}
+			for _, v := range fz {
+				res.Outflow += an.Xi * v // z leakage
+			}
+		}
+	}
+	return res
+}
+
+// upwind maps a sweep-order index to a grid index for a direction sign.
+func upwind(pos, n, sign int) int {
+	if sign > 0 {
+		return pos
+	}
+	return n - 1 - pos
+}
+
+// ---------------------------------------------------------------------------
+// Block solver: the decomposed, K-blocked formulation all parallel
+// drivers share.
+// ---------------------------------------------------------------------------
+
+// LocalState is one rank's share of a decomposed problem.
+type LocalState struct {
+	Cfg        Config
+	Prob       Problem
+	PX, PY     int       // processor array
+	PXi, PYi   int       // this rank's coordinates
+	Phi        []float64 // local I x J x K flux, x-major
+	psiZ       []float64 // per-angle z faces: (a*J + j)*I + i
+	absorbed   float64
+	outflow    float64
+	quadrature []Angle
+}
+
+// NewLocalState builds rank (pxi, pyi) of a PX x PY decomposition where
+// every rank owns an identical cfg subgrid.
+func NewLocalState(cfg Config, prob Problem, px, py, pxi, pyi int) *LocalState {
+	if prob.NX != cfg.I*px || prob.NY != cfg.J*py || prob.NZ != cfg.K {
+		panic(fmt.Sprintf("sweep3d: problem %dx%dx%d does not tile %dx%d ranks of %dx%dx%d",
+			prob.NX, prob.NY, prob.NZ, px, py, cfg.I, cfg.J, cfg.K))
+	}
+	return &LocalState{
+		Cfg: cfg, Prob: prob, PX: px, PY: py, PXi: pxi, PYi: pyi,
+		Phi:        make([]float64, cfg.I*cfg.J*cfg.K),
+		psiZ:       make([]float64, prob.Angles*cfg.I*cfg.J),
+		quadrature: prob.Quadrature(),
+	}
+}
+
+// XFaceLen is the element count of an east/west block boundary.
+func (s *LocalState) XFaceLen() int { return s.Prob.Angles * s.Cfg.J * s.Cfg.MK }
+
+// YFaceLen is the element count of a north/south block boundary.
+func (s *LocalState) YFaceLen() int { return s.Prob.Angles * s.Cfg.I * s.Cfg.MK }
+
+// StartOctant resets the per-octant z-face state.
+func (s *LocalState) StartOctant() {
+	for i := range s.psiZ {
+		s.psiZ[i] = 0
+	}
+}
+
+// FinishOctant accumulates the z leakage after an octant's last block.
+func (s *LocalState) FinishOctant() {
+	for a, an := range s.quadrature {
+		base := a * s.Cfg.I * s.Cfg.J
+		for _, v := range s.psiZ[base : base+s.Cfg.I*s.Cfg.J] {
+			s.outflow += an.Xi * v
+		}
+	}
+}
+
+// BlockSweep processes K block kb (0-based in sweep order) of an octant:
+// consumes the upstream x and y faces (nil means global vacuum boundary)
+// and returns the downstream faces. Face layout: x faces are
+// (a*J + j)*MK + kk; y faces are (a*I + i)*MK + kk, with kk the position
+// within the block in sweep order.
+func (s *LocalState) BlockSweep(oct Dir, kb int, xin, yin []float64) (xout, yout []float64) {
+	cfg, pr := s.Cfg, s.Prob
+	if xin == nil {
+		xin = make([]float64, s.XFaceLen())
+	}
+	if yin == nil {
+		yin = make([]float64, s.YFaceLen())
+	}
+	xout = make([]float64, s.XFaceLen())
+	yout = make([]float64, s.YFaceLen())
+	// fy carries y faces across j rows for each (i, kk) of this block.
+	for a, an := range s.quadrature {
+		denom := pr.SigT + an.Mu + an.Eta + an.Xi
+		zbase := a * cfg.I * cfg.J
+		for kk := 0; kk < cfg.MK; kk++ {
+			kSweep := kb*cfg.MK + kk
+			k := upwind(kSweep, cfg.K, oct.SK)
+			for jj := 0; jj < cfg.J; jj++ {
+				j := upwind(jj, cfg.J, oct.SJ)
+				fx := xin[(a*cfg.J+j)*cfg.MK+kk]
+				for ii := 0; ii < cfg.I; ii++ {
+					i := upwind(ii, cfg.I, oct.SI)
+					zi := zbase + j*cfg.I + i
+					yi := (a*cfg.I+i)*cfg.MK + kk
+					var fyv float64
+					if jj == 0 {
+						fyv = yin[yi]
+					} else {
+						fyv = yout[yi]
+					}
+					psi := (pr.Q + an.Mu*fx + an.Eta*fyv + an.Xi*s.psiZ[zi]) / denom
+					s.Phi[(k*cfg.J+j)*cfg.I+i] += an.W * psi
+					s.absorbed += pr.SigT * psi
+					fx = psi
+					yout[yi] = psi
+					s.psiZ[zi] = psi
+				}
+				xout[(a*cfg.J+j)*cfg.MK+kk] = fx
+			}
+		}
+	}
+	return xout, yout
+}
+
+// AccumulateEdgeLeakage adds the cosine-weighted leakage of a departing
+// face when this rank is on the global downstream boundary. which is
+// "x" or "y".
+func (s *LocalState) AccumulateEdgeLeakage(which string, face []float64) {
+	var per int
+	switch which {
+	case "x":
+		per = s.Cfg.J * s.Cfg.MK
+	case "y":
+		per = s.Cfg.I * s.Cfg.MK
+	default:
+		panic("sweep3d: leakage face " + which)
+	}
+	for a, an := range s.quadrature {
+		c := an.Mu
+		if which == "y" {
+			c = an.Eta
+		}
+		for _, v := range face[a*per : (a+1)*per] {
+			s.outflow += c * v
+		}
+	}
+}
+
+// upstreamRank returns this rank's upwind neighbour coordinate in a
+// dimension (or -1 at the global boundary).
+func upstreamRank(pi, sign int) int {
+	if sign > 0 {
+		return pi - 1
+	}
+	return pi + 1
+}
+
+// downstreamRank returns the downwind neighbour (or the array size /
+// -1 when leaving the grid; caller checks bounds).
+func downstreamRank(pi, sign int) int {
+	if sign > 0 {
+		return pi + 1
+	}
+	return pi - 1
+}
+
+// ---------------------------------------------------------------------------
+// Host-parallel driver: one goroutine per rank, channels as links.
+// ---------------------------------------------------------------------------
+
+// faceMsg carries a block boundary between ranks.
+type faceMsg struct {
+	data []float64
+}
+
+// SolveParallelHost runs the block solver on PX x PY concurrent
+// goroutines exchanging real boundary data through channels, and merges
+// the per-rank results. The merged result is bitwise identical to
+// SolveSerial for the composed problem.
+func SolveParallelHost(cfg Config, px, py int) *Result {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	prob := Problem{NX: cfg.I * px, NY: cfg.J * py, NZ: cfg.K,
+		Angles: cfg.Angles, SigT: 0.75, Q: 1.0}
+	return solveParallel(cfg, prob, px, py)
+}
+
+func solveParallel(cfg Config, prob Problem, px, py int) *Result {
+	type linkKey struct {
+		toX, toY int
+		oct      int
+		block    int
+		dim      string
+	}
+	var mu sync.Mutex
+	links := map[linkKey]chan faceMsg{}
+	getLink := func(k linkKey) chan faceMsg {
+		mu.Lock()
+		defer mu.Unlock()
+		if ch, ok := links[k]; ok {
+			return ch
+		}
+		ch := make(chan faceMsg, 1)
+		links[k] = ch
+		return ch
+	}
+
+	states := make([]*LocalState, px*py)
+	var wg sync.WaitGroup
+	octs := OctantOrder()
+	for pyi := 0; pyi < py; pyi++ {
+		for pxi := 0; pxi < px; pxi++ {
+			s := NewLocalState(cfg, prob, px, py, pxi, pyi)
+			states[pyi*px+pxi] = s
+			wg.Add(1)
+			go func(s *LocalState) {
+				defer wg.Done()
+				for oi, oct := range octs {
+					s.StartOctant()
+					for kb := 0; kb < cfg.KBlocks(); kb++ {
+						var xin, yin []float64
+						if up := upstreamRank(s.PXi, oct.SI); up >= 0 && up < px {
+							xin = (<-getLink(linkKey{s.PXi, s.PYi, oi, kb, "x"})).data
+						}
+						if up := upstreamRank(s.PYi, oct.SJ); up >= 0 && up < py {
+							yin = (<-getLink(linkKey{s.PXi, s.PYi, oi, kb, "y"})).data
+						}
+						xout, yout := s.BlockSweep(oct, kb, xin, yin)
+						if dn := downstreamRank(s.PXi, oct.SI); dn >= 0 && dn < px {
+							getLink(linkKey{dn, s.PYi, oi, kb, "x"}) <- faceMsg{xout}
+						} else {
+							s.AccumulateEdgeLeakage("x", xout)
+						}
+						if dn := downstreamRank(s.PYi, oct.SJ); dn >= 0 && dn < py {
+							getLink(linkKey{s.PXi, dn, oi, kb, "y"}) <- faceMsg{yout}
+						} else {
+							s.AccumulateEdgeLeakage("y", yout)
+						}
+					}
+					s.FinishOctant()
+				}
+			}(s)
+		}
+	}
+	wg.Wait()
+	return MergeResults(cfg, prob, px, py, states)
+}
+
+// MergeResults combines per-rank states into a global Result.
+func MergeResults(cfg Config, prob Problem, px, py int, states []*LocalState) *Result {
+	res := &Result{
+		NX: prob.NX, NY: prob.NY, NZ: prob.NZ,
+		Phi:    make([]float64, prob.NX*prob.NY*prob.NZ),
+		Source: prob.Q * float64(prob.NX*prob.NY*prob.NZ) * float64(prob.Angles*Octants),
+	}
+	for pyi := 0; pyi < py; pyi++ {
+		for pxi := 0; pxi < px; pxi++ {
+			s := states[pyi*px+pxi]
+			res.Absorbed += s.absorbed
+			res.Outflow += s.outflow
+			for k := 0; k < cfg.K; k++ {
+				for j := 0; j < cfg.J; j++ {
+					for i := 0; i < cfg.I; i++ {
+						gi := pxi*cfg.I + i
+						gj := pyi*cfg.J + j
+						res.Phi[res.idx(gi, gj, k)] = s.Phi[(k*cfg.J+j)*cfg.I+i]
+					}
+				}
+			}
+		}
+	}
+	return res
+}

@@ -1,0 +1,208 @@
+package sweep3d
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestConfigValidate(t *testing.T) {
+	good := Config{I: 5, J: 5, K: 400, MK: 20, Angles: 6}
+	if err := good.Validate(); err != nil {
+		t.Errorf("good config rejected: %v", err)
+	}
+	bad := Config{I: 5, J: 5, K: 400, MK: 30, Angles: 6} // 30 does not divide 400
+	if err := bad.Validate(); err == nil {
+		t.Error("MK not dividing K accepted")
+	}
+	if err := (Config{}).Validate(); err == nil {
+		t.Error("zero config accepted")
+	}
+}
+
+func TestConfigDerived(t *testing.T) {
+	cfg := PaperWeakScaling()
+	if cfg.KBlocks() != 20 {
+		t.Errorf("KBlocks = %d", cfg.KBlocks())
+	}
+	if cfg.Cells() != 10000 {
+		t.Errorf("cells = %d", cfg.Cells())
+	}
+	if cfg.UpdatesPerIteration() != 10000*6*8 {
+		t.Errorf("updates = %d", cfg.UpdatesPerIteration())
+	}
+	if cfg.BlockCells() != 500 {
+		t.Errorf("block cells = %d", cfg.BlockCells())
+	}
+	// 5x20x6 angles x 8B = 4800 B east-west surface.
+	if cfg.EWSurfaceBytes() != 4800 {
+		t.Errorf("EW surface = %d", cfg.EWSurfaceBytes())
+	}
+}
+
+func TestQuadraturePositiveAndNormalised(t *testing.T) {
+	pr := Problem{NX: 2, NY: 2, NZ: 2, Angles: 6, SigT: 1, Q: 1}
+	var wsum float64
+	for _, a := range pr.Quadrature() {
+		if a.Mu <= 0 || a.Eta <= 0 || a.Xi <= 0 || a.W <= 0 {
+			t.Fatalf("non-positive quadrature: %+v", a)
+		}
+		wsum += a.W
+	}
+	if math.Abs(wsum*8-1) > 1e-12 {
+		t.Errorf("weights sum to %v over octants", wsum*8)
+	}
+}
+
+func TestSerialBalance(t *testing.T) {
+	pr := Problem{NX: 8, NY: 6, NZ: 10, Angles: 6, SigT: 0.75, Q: 1}
+	res := SolveSerial(pr)
+	if be := res.BalanceError(); be > 1e-12 {
+		t.Errorf("balance error = %e", be)
+	}
+	// Every flux positive, and interior cells see more flux than the
+	// inflow corners (flux builds along sweep paths).
+	for _, v := range res.Phi {
+		if v <= 0 {
+			t.Fatal("non-positive flux")
+		}
+	}
+	center := res.PhiAt(4, 3, 5)
+	corner := res.PhiAt(0, 0, 0)
+	if center <= corner {
+		t.Errorf("center flux %v <= corner %v", center, corner)
+	}
+}
+
+func TestBalanceProperty(t *testing.T) {
+	// Balance holds for arbitrary small problems.
+	f := func(nx, ny, nz, na uint8, sigt10 uint8) bool {
+		pr := Problem{
+			NX: int(nx%5) + 1, NY: int(ny%5) + 1, NZ: int(nz%5) + 1,
+			Angles: int(na%4) + 1, SigT: float64(sigt10%30)/10 + 0.1, Q: 1,
+		}
+		return SolveSerial(pr).BalanceError() < 1e-11
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSymmetryOfSymmetricProblem(t *testing.T) {
+	// A cubic uniform problem swept over all 8 octants has mirror
+	// symmetry: phi(i,j,k) == phi(NX-1-i, j, k) etc.
+	pr := Problem{NX: 6, NY: 6, NZ: 6, Angles: 4, SigT: 0.9, Q: 1}
+	res := SolveSerial(pr)
+	for k := 0; k < 6; k++ {
+		for j := 0; j < 6; j++ {
+			for i := 0; i < 6; i++ {
+				a := res.PhiAt(i, j, k)
+				for _, b := range []float64{
+					res.PhiAt(5-i, j, k), res.PhiAt(i, 5-j, k), res.PhiAt(i, j, 5-k),
+				} {
+					if math.Abs(a-b)/a > 1e-12 {
+						t.Fatalf("symmetry broken at %d,%d,%d: %v vs %v", i, j, k, a, b)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestParallelMatchesSerialExactly(t *testing.T) {
+	cases := []struct {
+		cfg    Config
+		px, py int
+	}{
+		{Config{I: 4, J: 4, K: 8, MK: 2, Angles: 3}, 1, 1},
+		{Config{I: 4, J: 4, K: 8, MK: 2, Angles: 3}, 2, 2},
+		{Config{I: 3, J: 5, K: 12, MK: 4, Angles: 6}, 4, 2},
+		{Config{I: 2, J: 2, K: 6, MK: 3, Angles: 2}, 3, 5},
+		{Config{I: 5, J: 5, K: 20, MK: 5, Angles: 6}, 2, 3},
+	}
+	for _, c := range cases {
+		par := SolveParallelHost(c.cfg, c.px, c.py)
+		pr := Problem{NX: c.cfg.I * c.px, NY: c.cfg.J * c.py, NZ: c.cfg.K,
+			Angles: c.cfg.Angles, SigT: 0.75, Q: 1.0}
+		ser := SolveSerial(pr)
+		if len(par.Phi) != len(ser.Phi) {
+			t.Fatalf("%dx%d: size mismatch", c.px, c.py)
+		}
+		for i := range par.Phi {
+			if par.Phi[i] != ser.Phi[i] {
+				t.Fatalf("%dx%d: phi[%d] = %v (parallel) vs %v (serial)",
+					c.px, c.py, i, par.Phi[i], ser.Phi[i])
+			}
+		}
+		// Tallies are summed in different orders: tolerance comparison.
+		if math.Abs(par.Absorbed-ser.Absorbed)/ser.Absorbed > 1e-12 {
+			t.Errorf("%dx%d: absorbed %v vs %v", c.px, c.py, par.Absorbed, ser.Absorbed)
+		}
+		if par.BalanceError() > 1e-11 {
+			t.Errorf("%dx%d: balance %e", c.px, c.py, par.BalanceError())
+		}
+	}
+}
+
+func TestParallelDecompositionInvariance(t *testing.T) {
+	// The same global problem decomposed differently yields identical
+	// flux: 4x2 ranks of 3x10 vs 2x4 ranks of 6x5.
+	a := SolveParallelHost(Config{I: 3, J: 5, K: 8, MK: 4, Angles: 4}, 4, 2)
+	b := SolveParallelHost(Config{I: 6, J: 10, K: 8, MK: 2, Angles: 4}, 2, 1)
+	if len(a.Phi) != len(b.Phi) {
+		t.Fatalf("global sizes differ: %d vs %d", len(a.Phi), len(b.Phi))
+	}
+	for i := range a.Phi {
+		if a.Phi[i] != b.Phi[i] {
+			t.Fatalf("phi[%d] differs across decompositions: %v vs %v", i, a.Phi[i], b.Phi[i])
+		}
+	}
+}
+
+func TestOctantOrderCoversAll(t *testing.T) {
+	seen := map[Dir]bool{}
+	for _, d := range OctantOrder() {
+		if d.SI*d.SI != 1 || d.SJ*d.SJ != 1 || d.SK*d.SK != 1 {
+			t.Fatalf("bad dir %+v", d)
+		}
+		seen[d] = true
+	}
+	if len(seen) != 8 {
+		t.Errorf("octants = %d", len(seen))
+	}
+}
+
+func TestFig11WavefrontOrdering(t *testing.T) {
+	// The Fig. 11 property: for the (+,+) octant, rank (px,py) can only
+	// compute block b after upstream ranks computed it — the earliest
+	// step is px+py+b, and the block solver's data dependencies enforce
+	// exactly that partial order. We verify with a sequential scheduler
+	// that respects dependencies and check the step stamps.
+	cfg := Config{I: 2, J: 2, K: 4, MK: 2, Angles: 2}
+	px, py := 3, 3
+	type key struct{ x, y, b int }
+	step := map[key]int{}
+	// Simulate the schedule: a block runs at step = max(upstream steps)+1.
+	for b := 0; b < cfg.KBlocks(); b++ {
+		for y := 0; y < py; y++ {
+			for x := 0; x < px; x++ {
+				s := 0
+				if x > 0 && step[key{x - 1, y, b}]+1 > s {
+					s = step[key{x - 1, y, b}] + 1
+				}
+				if y > 0 && step[key{x, y - 1, b}]+1 > s {
+					s = step[key{x, y - 1, b}] + 1
+				}
+				if b > 0 && step[key{x, y, b - 1}]+1 > s {
+					s = step[key{x, y, b - 1}] + 1
+				}
+				step[key{x, y, b}] = s
+			}
+		}
+	}
+	for k, s := range step {
+		if want := k.x + k.y + k.b; s != want {
+			t.Errorf("block %+v at step %d, want %d (wavefront distance)", k, s, want)
+		}
+	}
+}

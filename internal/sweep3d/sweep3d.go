@@ -1,0 +1,84 @@
+// Package sweep3d implements the paper's case-study application: a
+// single-group, time-independent discrete-ordinates (Sn) neutron
+// transport sweep over a 3-D Cartesian grid, decomposed in two dimensions
+// with K-dimension blocking — the structure of LANL's Sweep3D kernel
+// (§V.A).
+//
+// The package contains three layers:
+//
+//   - a real solver (solver.go): first-order upwind sweeps over actual
+//     grids with actual angular quadrature, run serially, in parallel on
+//     host goroutines, or rank-by-rank on the DES — all bitwise
+//     identical, and satisfying a discrete particle-balance identity;
+//   - an SPU kernel model (kernel.go): the SIMD-ized inner loop of §V.B
+//     pushed through the spu pipeline simulator, giving cycles per
+//     cell-angle for the Cell BE and PowerXCell 8i;
+//   - timing models (timing.go, scale.go): per-chip iteration times for
+//     Fig. 12 and Table IV, and the at-scale model behind Figs. 13-14.
+package sweep3d
+
+import (
+	"fmt"
+)
+
+// Config is a Sweep3D problem configuration (per-rank subgrid).
+type Config struct {
+	I, J, K int // per-rank subgrid dimensions
+	MK      int // K-blocking factor (block = I x J x MK)
+	Angles  int // angles per octant (the paper fixes 6)
+}
+
+// Octants is the number of sweep directions in 3-D.
+const Octants = 8
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if c.I < 1 || c.J < 1 || c.K < 1 {
+		return fmt.Errorf("sweep3d: grid %dx%dx%d", c.I, c.J, c.K)
+	}
+	if c.MK < 1 || c.K%c.MK != 0 {
+		return fmt.Errorf("sweep3d: MK=%d must divide K=%d", c.MK, c.K)
+	}
+	if c.Angles < 1 {
+		return fmt.Errorf("sweep3d: angles %d", c.Angles)
+	}
+	return nil
+}
+
+// KBlocks returns the number of K blocks per octant.
+func (c Config) KBlocks() int { return c.K / c.MK }
+
+// Cells returns the per-rank cell count.
+func (c Config) Cells() int { return c.I * c.J * c.K }
+
+// UpdatesPerIteration returns cell-angle-octant updates one rank performs
+// per source iteration.
+func (c Config) UpdatesPerIteration() int {
+	return c.Cells() * c.Angles * Octants
+}
+
+// BlockCells returns cells per K block.
+func (c Config) BlockCells() int { return c.I * c.J * c.MK }
+
+// BlockUpdates returns cell-angle updates per block step (one octant's
+// angle set over one block).
+func (c Config) BlockUpdates() int { return c.BlockCells() * c.Angles }
+
+// EWSurfaceBytes returns the east/west boundary payload exchanged per
+// block step: one J x MK plane per angle, 8 bytes per value.
+func (c Config) EWSurfaceBytes() int { return c.J * c.MK * c.Angles * 8 }
+
+// NSSurfaceBytes returns the north/south boundary payload per block step.
+func (c Config) NSSurfaceBytes() int { return c.I * c.MK * c.Angles * 8 }
+
+// PaperWeakScaling returns the at-scale configuration of §VI: a
+// 5x5x400 subgrid per SPE, MK=20, 6 angles.
+func PaperWeakScaling() Config {
+	return Config{I: 5, J: 5, K: 400, MK: 20, Angles: 6}
+}
+
+// PaperTableIV returns the Table IV comparison configuration: 50x50x50
+// per socket, MK=10, 6 angles.
+func PaperTableIV() Config {
+	return Config{I: 50, J: 50, K: 50, MK: 10, Angles: 6}
+}

@@ -1,0 +1,118 @@
+package sweep3d
+
+import (
+	"roadrunner/internal/params"
+	"roadrunner/internal/spu"
+	"roadrunner/internal/units"
+)
+
+// HostChip identifies one of the Fig. 12 comparison processors.
+type HostChip int
+
+// The host processors of Fig. 12.
+const (
+	OpteronDC18   HostChip = iota // dual-core 1.8 GHz (the triblade's)
+	OpteronQC20                   // quad-core 2.0 GHz
+	TigertonQC293                 // quad-core 2.93 GHz Intel
+)
+
+// String names the chip as the figure does.
+func (h HostChip) String() string {
+	switch h {
+	case OpteronDC18:
+		return "Opteron (Dual-core 1.8GHz)"
+	case OpteronQC20:
+		return "Opteron (Quad-core 2.0GHz)"
+	default:
+		return "Tigerton (Quad-core 2.93GHz)"
+	}
+}
+
+// hostUpdate returns the chip's per-cell-angle update time.
+func (h HostChip) hostUpdate() units.Time {
+	switch h {
+	case OpteronDC18:
+		return params.SweepOpteronDCUpdate
+	case OpteronQC20:
+		return params.SweepOpteronQCUpdate
+	default:
+		return params.SweepTigertonUpdate
+	}
+}
+
+// cores and socket efficiency for the socket benchmark.
+func (h HostChip) cores() (int, float64) {
+	if h == OpteronDC18 {
+		return 2, params.HostSocketEfficiencyDual
+	}
+	return 4, params.HostSocketEfficiencyQuad
+}
+
+// SpillFactor returns the local-store pressure multiplier for a
+// configuration: 1 when a K block's working set is resident, the
+// calibrated streaming penalty when it spills to main memory.
+func SpillFactor(cfg Config) float64 {
+	blockBytes := units.Size(cfg.BlockCells() * params.SweepResidentBytesPerCell)
+	if blockBytes <= params.SweepLocalStoreBudget {
+		return 1
+	}
+	return params.SweepSpillFactor
+}
+
+// HostSingleCoreTime returns one iteration's time for the Fig. 12
+// "single core" bars: the full per-rank update count at the host chip's
+// update rate.
+func HostSingleCoreTime(h HostChip, cfg Config) units.Time {
+	return units.Time(cfg.UpdatesPerIteration()) * h.hostUpdate()
+}
+
+// SPESingleTime returns the Fig. 12 "single SPE" bar: one lone SPE
+// sweeping the same subgrid.
+func SPESingleTime(m *spu.Model, cfg Config) units.Time {
+	per := float64(SPEUpdateTime(m)) * SpillFactor(cfg)
+	return units.Time(float64(cfg.UpdatesPerIteration()) * per)
+}
+
+// socketUpdates is the Fig. 12 socket benchmark's total work: the
+// 10 x 20 x 400 grid, eight per-SPE subgrids.
+func socketUpdates(cfg Config) int { return 8 * cfg.UpdatesPerIteration() }
+
+// HostSocketTime returns the Fig. 12 "single socket" bar for a host
+// chip: the socket grid spread over its cores with the measured memory
+// contention.
+func HostSocketTime(h HostChip, cfg Config) units.Time {
+	n, eff := h.cores()
+	per := float64(h.hostUpdate())
+	return units.Time(float64(socketUpdates(cfg)) * per / (float64(n) * eff))
+}
+
+// SPESocketTime returns the Fig. 12 PowerXCell 8i socket bar: eight SPEs
+// with MIC/EIB contention.
+func SPESocketTime(m *spu.Model, cfg Config) units.Time {
+	per := float64(SPEUpdateTime(m)) * SpillFactor(cfg)
+	return units.Time(float64(socketUpdates(cfg)) * per / (8 * params.SweepSPESocketEff))
+}
+
+// TableIVOurs returns our implementation's Table IV iteration time on a
+// full socket for the 50x50x50 problem: per-SPE share of the updates at
+// the contended, spilled rate.
+func TableIVOurs(m *spu.Model) units.Time {
+	cfg := PaperTableIV()
+	perSPE := cfg.UpdatesPerIteration() / 8
+	per := float64(SPEUpdateTime(m)) * SpillFactor(cfg) / params.SweepSPESocketEff
+	return units.Time(float64(perSPE) * per)
+}
+
+// TableIVPrevious models the previous master/worker implementation of
+// [20] on the Cell BE: per-pencil PPE dispatch dominates (the paper:
+// "the approach required a significant number of DMAs ... performance
+// was bounded by the available memory bandwidth"), on top of the same
+// compute.
+func TableIVPrevious(m *spu.Model) units.Time {
+	cfg := PaperTableIV()
+	// One dispatch per (j, k, octant, SIMD angle group) pencil.
+	groups := (cfg.Angles + 1) / 2
+	pencils := cfg.J * cfg.K * Octants * groups
+	dispatch := units.FromMicroseconds(params.PencilDispatchOverhead) * units.Time(pencils)
+	return dispatch + TableIVOurs(m)
+}

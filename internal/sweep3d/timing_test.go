@@ -1,0 +1,114 @@
+package sweep3d
+
+import (
+	"math"
+	"testing"
+
+	"roadrunner/internal/spu"
+)
+
+func TestKernelRatioMatchesTableIV(t *testing.T) {
+	// The CBE/PXC8i per-update ratio comes from the pipeline model and
+	// must land near Table IV's 0.37/0.19 = 1.95.
+	cp := KernelCyclesPerCellAngle(spu.PowerXCell8i())
+	cc := KernelCyclesPerCellAngle(spu.CellBE())
+	ratio := cc / cp
+	if ratio < 1.6 || ratio > 2.2 {
+		t.Errorf("kernel ratio = %.2f, want ~1.9", ratio)
+	}
+	// PXC8i issue cost: a few tens of cycles per update.
+	if cp < 15 || cp > 45 {
+		t.Errorf("PXC8i cycles/update = %.1f", cp)
+	}
+}
+
+func TestSPEUpdateCalibration(t *testing.T) {
+	// One lone PXC8i SPE: ~67 ns per cell-angle update.
+	got := SPEUpdateTime(spu.PowerXCell8i()).Nanoseconds()
+	if math.Abs(got-66.7)/66.7 > 0.05 {
+		t.Errorf("SPE update = %.1f ns, want ~66.7", got)
+	}
+}
+
+func TestSpillFactor(t *testing.T) {
+	if f := SpillFactor(PaperWeakScaling()); f != 1 {
+		t.Errorf("weak config spill = %v, want 1 (resident)", f)
+	}
+	if f := SpillFactor(PaperTableIV()); f <= 1 {
+		t.Errorf("Table IV config spill = %v, want > 1 (streams)", f)
+	}
+}
+
+func TestTableIVValues(t *testing.T) {
+	pxc, cbe := spu.PowerXCell8i(), spu.CellBE()
+	ours := TableIVOurs(pxc).Seconds()
+	oursCBE := TableIVOurs(cbe).Seconds()
+	prev := TableIVPrevious(cbe).Seconds()
+	// Paper: previous 1.3 s, ours 0.37 s (CBE), 0.19 s (PXC8i).
+	if math.Abs(ours-0.19)/0.19 > 0.05 {
+		t.Errorf("ours PXC8i = %.3f s, want 0.19", ours)
+	}
+	if math.Abs(oursCBE-0.37)/0.37 > 0.10 {
+		t.Errorf("ours CBE = %.3f s, want 0.37", oursCBE)
+	}
+	if math.Abs(prev-1.3)/1.3 > 0.10 {
+		t.Errorf("previous = %.3f s, want 1.3", prev)
+	}
+	// The headline ratios: ours beats previous ~3.5x on the CBE; the
+	// PXC8i beats the CBE by ~1.9x.
+	if r := prev / oursCBE; r < 3 || r > 4.2 {
+		t.Errorf("previous/ours = %.2f, want ~3.5", r)
+	}
+	if r := oursCBE / ours; r < 1.6 || r > 2.2 {
+		t.Errorf("CBE/PXC8i = %.2f, want ~1.9", r)
+	}
+}
+
+func TestFig12SingleCoreComparable(t *testing.T) {
+	cfg := PaperWeakScaling()
+	spe := SPESingleTime(spu.PowerXCell8i(), cfg)
+	fastest := HostSingleCoreTime(TigertonQC293, cfg)
+	r := float64(spe) / float64(fastest)
+	// "the implementation ... on a single SPE ... achieves a runtime
+	// comparable to a single core of the Intel and AMD processors".
+	if r < 0.3 || r > 1.3 {
+		t.Errorf("single SPE / fastest host core = %.2f, want comparable", r)
+	}
+}
+
+func TestFig12SocketRatios(t *testing.T) {
+	cfg := PaperWeakScaling()
+	pxc := spu.PowerXCell8i()
+	spe := float64(SPESocketTime(pxc, cfg))
+	dual := float64(HostSocketTime(OpteronDC18, cfg))
+	quad := float64(HostSocketTime(OpteronQC20, cfg))
+	tig := float64(HostSocketTime(TigertonQC293, cfg))
+	// "performance of the full socket (8 SPEs) is twice that of the
+	// quad-core processors and almost 5 times that of a dual-core
+	// Opteron".
+	if r := dual / spe; r < 4.3 || r > 5.5 {
+		t.Errorf("dual-core/SPE socket ratio = %.2f, want ~4.9", r)
+	}
+	if r := quad / spe; r < 1.7 || r > 2.5 {
+		t.Errorf("quad-core/SPE socket ratio = %.2f, want ~2", r)
+	}
+	if r := tig / spe; r < 1.7 || r > 2.5 {
+		t.Errorf("Tigerton/SPE socket ratio = %.2f, want ~2", r)
+	}
+}
+
+func TestFig12CellBESocketSlower(t *testing.T) {
+	cfg := PaperWeakScaling()
+	cbe := SPESocketTime(spu.CellBE(), cfg)
+	pxc := SPESocketTime(spu.PowerXCell8i(), cfg)
+	r := float64(cbe) / float64(pxc)
+	if r < 1.6 || r > 2.2 {
+		t.Errorf("CBE/PXC8i socket = %.2f, want ~1.9", r)
+	}
+}
+
+func TestHostChipNames(t *testing.T) {
+	if OpteronDC18.String() == "" || OpteronQC20.String() == "" || TigertonQC293.String() == "" {
+		t.Error("empty chip names")
+	}
+}

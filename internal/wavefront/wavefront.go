@@ -1,0 +1,91 @@
+// Package wavefront implements the multidimensional wavefront performance
+// model of Hoisie, Lubeck and Wasserman (the paper's reference [19]) that
+// the authors use to project Sweep3D's best achievable performance: a
+// 2-D processor array pipelines K-dimension blocks for each of the eight
+// octants, paying a pipeline-fill cost proportional to the array's
+// half-perimeter plus a steady-state cost per block step.
+package wavefront
+
+import (
+	"fmt"
+
+	"roadrunner/internal/units"
+)
+
+// Params describes one weak-scaled sweep configuration on an Nx x Ny
+// processor array.
+type Params struct {
+	Nx, Ny  int        // processor array dimensions
+	Octants int        // sweep directions (8 for Sweep3D)
+	KBlocks int        // K/MK pipeline blocks per octant
+	TBlock  units.Time // compute time of one block on one processor
+	TComm   units.Time // non-overlapped boundary-exchange time per step
+}
+
+// Validate checks the configuration.
+func (p Params) Validate() error {
+	if p.Nx < 1 || p.Ny < 1 {
+		return fmt.Errorf("wavefront: processor array %dx%d", p.Nx, p.Ny)
+	}
+	if p.Octants < 1 || p.KBlocks < 1 {
+		return fmt.Errorf("wavefront: octants %d, kblocks %d", p.Octants, p.KBlocks)
+	}
+	return nil
+}
+
+// Steps returns the number of pipeline steps in one source iteration:
+// every processor computes Octants*KBlocks blocks, and the sweep front
+// must additionally fill and drain the array once per sweep corner
+// (wavefronts start from each of the four corners of the 2-D array, two
+// octants each).
+func (p Params) Steps() int {
+	fill := 4 * (p.Nx + p.Ny - 2)
+	return p.Octants*p.KBlocks + fill
+}
+
+// IterationTime returns the modelled time of one source iteration.
+func (p Params) IterationTime() units.Time {
+	return units.Time(p.Steps()) * (p.TBlock + p.TComm)
+}
+
+// PipelineEfficiency returns the fraction of steps doing steady-state
+// work rather than filling/draining the pipeline.
+func (p Params) PipelineEfficiency() float64 {
+	work := p.Octants * p.KBlocks
+	return float64(work) / float64(p.Steps())
+}
+
+// ScaleSeries evaluates the model over a series of square-ish processor
+// arrays, returning (ranks, iteration time) pairs. The array for n ranks
+// is the most square factorisation.
+func ScaleSeries(base Params, rankCounts []int) []struct {
+	Ranks int
+	Time  units.Time
+} {
+	out := make([]struct {
+		Ranks int
+		Time  units.Time
+	}, 0, len(rankCounts))
+	for _, n := range rankCounts {
+		nx, ny := SquarishGrid(n)
+		p := base
+		p.Nx, p.Ny = nx, ny
+		out = append(out, struct {
+			Ranks int
+			Time  units.Time
+		}{n, p.IterationTime()})
+	}
+	return out
+}
+
+// SquarishGrid returns the most-square factorisation nx*ny = n with
+// nx <= ny.
+func SquarishGrid(n int) (nx, ny int) {
+	best := 1
+	for d := 1; d*d <= n; d++ {
+		if n%d == 0 {
+			best = d
+		}
+	}
+	return best, n / best
+}

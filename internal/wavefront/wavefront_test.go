@@ -1,0 +1,93 @@
+package wavefront
+
+import (
+	"testing"
+	"testing/quick"
+
+	"roadrunner/internal/units"
+)
+
+func TestSteps(t *testing.T) {
+	p := Params{Nx: 1, Ny: 1, Octants: 8, KBlocks: 20}
+	if p.Steps() != 160 {
+		t.Errorf("1x1 steps = %d, want 160", p.Steps())
+	}
+	p.Nx, p.Ny = 51, 60
+	if p.Steps() != 160+4*109 {
+		t.Errorf("51x60 steps = %d", p.Steps())
+	}
+}
+
+func TestIterationTime(t *testing.T) {
+	p := Params{Nx: 2, Ny: 2, Octants: 8, KBlocks: 5,
+		TBlock: 100 * units.Microsecond, TComm: 10 * units.Microsecond}
+	want := units.Time(8*5+4*2) * 110 * units.Microsecond
+	if got := p.IterationTime(); got != want {
+		t.Errorf("time = %v, want %v", got, want)
+	}
+}
+
+func TestPipelineEfficiency(t *testing.T) {
+	p := Params{Nx: 1, Ny: 1, Octants: 8, KBlocks: 10}
+	if e := p.PipelineEfficiency(); e != 1 {
+		t.Errorf("1x1 efficiency = %v", e)
+	}
+	p.Nx, p.Ny = 100, 100
+	if e := p.PipelineEfficiency(); e >= 0.2 {
+		t.Errorf("100x100 efficiency = %v, should be fill-dominated", e)
+	}
+}
+
+func TestValidate(t *testing.T) {
+	bad := Params{Nx: 0, Ny: 1, Octants: 8, KBlocks: 1}
+	if bad.Validate() == nil {
+		t.Error("accepted zero array")
+	}
+	good := Params{Nx: 2, Ny: 2, Octants: 8, KBlocks: 1}
+	if err := good.Validate(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSquarishGrid(t *testing.T) {
+	cases := map[int][2]int{
+		1: {1, 1}, 12: {3, 4}, 64: {8, 8}, 3060: {51, 60}, 12240: {102, 120},
+		97920: {306, 320},
+	}
+	for n, want := range cases {
+		nx, ny := SquarishGrid(n)
+		if nx != want[0] || ny != want[1] {
+			t.Errorf("SquarishGrid(%d) = %dx%d, want %dx%d", n, nx, ny, want[0], want[1])
+		}
+	}
+}
+
+func TestSquarishGridProperty(t *testing.T) {
+	f := func(n uint16) bool {
+		v := int(n%5000) + 1
+		nx, ny := SquarishGrid(v)
+		return nx*ny == v && nx <= ny && nx >= 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTimeMonotoneInArraySize(t *testing.T) {
+	// Weak scaling: larger arrays take longer per iteration.
+	f := func(a, b uint8) bool {
+		x, y := int(a%40)+1, int(b%40)+1
+		if x > y {
+			x, y = y, x
+		}
+		mk := func(n int) units.Time {
+			p := Params{Nx: n, Ny: n, Octants: 8, KBlocks: 20,
+				TBlock: 100 * units.Microsecond, TComm: 10 * units.Microsecond}
+			return p.IterationTime()
+		}
+		return mk(x) <= mk(y)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

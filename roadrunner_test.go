@@ -1,0 +1,54 @@
+package roadrunner
+
+import (
+	"testing"
+)
+
+func TestFacadeExperiments(t *testing.T) {
+	if len(Experiments()) < 19 {
+		t.Errorf("experiments = %d", len(Experiments()))
+	}
+	if len(ExperimentIDs()) != len(Experiments()) {
+		t.Error("ID list inconsistent")
+	}
+	art, err := RunExperiment("table1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !art.Checks.AllOK() {
+		t.Errorf("table1 failures: %v", art.Checks.Failures())
+	}
+	if _, err := RunExperiment("bogus"); err == nil {
+		t.Error("bogus experiment accepted")
+	}
+}
+
+func TestFacadeMachine(t *testing.T) {
+	m := Machine()
+	if m.Nodes() != 3060 {
+		t.Errorf("nodes = %d", m.Nodes())
+	}
+	if ScaledMachine(2).Nodes() != 360 {
+		t.Error("scaled machine")
+	}
+	if Fabric().Nodes() != 3060 {
+		t.Error("fabric")
+	}
+}
+
+func TestFacadeSweep(t *testing.T) {
+	cfg := SweepConfig{I: 3, J: 3, K: 4, MK: 2, Angles: 2}
+	res := SolveSweep(cfg, 2, 2)
+	if res.BalanceError() > 1e-11 {
+		t.Errorf("balance = %e", res.BalanceError())
+	}
+	for _, series := range []string{"opteron", "measured", "best"} {
+		tm, err := SweepIterationTime(PaperSweepConfig(), 64, series)
+		if err != nil || tm <= 0 {
+			t.Errorf("%s: %v %v", series, tm, err)
+		}
+	}
+	if _, err := SweepIterationTime(PaperSweepConfig(), 64, "nope"); err == nil {
+		t.Error("bad series accepted")
+	}
+}
