@@ -1,0 +1,33 @@
+# Mirrors .github/workflows/ci.yml so local runs and CI are identical.
+
+GO ?= go
+
+.PHONY: all build lint test bench suite clean
+
+all: lint build test
+
+build:
+	$(GO) build ./...
+
+lint:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
+		echo "files need gofmt:"; echo "$$out"; exit 1; fi
+	$(GO) vet ./...
+
+test:
+	$(GO) test -race ./...
+
+# One iteration of every benchmark: the CI smoke that keeps the
+# reproduction-record benches runnable. Use bench-full for measurements.
+bench:
+	$(GO) test -bench=. -benchtime=1x -run '^$$' ./...
+
+bench-full:
+	$(GO) test -bench=. -benchmem -run '^$$' ./internal/sim/ .
+
+# The full evaluation through the orchestrator, all cores.
+suite:
+	$(GO) run ./cmd/rrexp -run all -parallel -quiet
+
+clean:
+	$(GO) clean ./...

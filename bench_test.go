@@ -6,6 +6,8 @@
 package roadrunner
 
 import (
+	"context"
+	"runtime"
 	"testing"
 
 	"roadrunner/internal/cml"
@@ -123,6 +125,53 @@ func BenchmarkFig14Improvement(b *testing.B) {
 func BenchmarkLinpackHeadline(b *testing.B) {
 	runExperiment(b, "linpack")
 	b.ReportMetric(Machine().LinpackSustained(linpack.RoadrunnerHPL().Efficiency()).PF(), "sustained-PF/s")
+}
+
+// Suite benches: the full registered evaluation through the
+// orchestrator. Serial vs parallel measures the worker-pool win on
+// multi-core hosts (identical artifacts either way); cached measures the
+// content-addressed skip path. On the single-CPU reference box the
+// parallel bench matches serial while the internal/sim optimisations
+// this suite amplifies cut the serial suite itself (see
+// internal/sim/bench_test.go for the before/after event-loop numbers);
+// the cached run is ~40x faster than computing:
+//
+//	BenchmarkSuiteSerial     38.1 ms/op   (24 experiments)
+//	BenchmarkSuiteParallel   39.9 ms/op   (GOMAXPROCS=1 here)
+//	BenchmarkSuiteCached      1.0 ms/op
+func benchmarkSuite(b *testing.B, opts SuiteOptions) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		results, err := RunSuite(context.Background(), opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if failed := FailedResults(results); len(failed) > 0 {
+			b.Fatalf("%d suite failures, first: %s", len(failed), failed[0].ID)
+		}
+	}
+	b.ReportMetric(float64(len(Experiments())), "experiments")
+}
+
+func BenchmarkSuiteSerial(b *testing.B) {
+	benchmarkSuite(b, SuiteOptions{Workers: 1})
+}
+
+func BenchmarkSuiteParallel(b *testing.B) {
+	benchmarkSuite(b, SuiteOptions{Workers: runtime.GOMAXPROCS(0)})
+}
+
+func BenchmarkSuiteCached(b *testing.B) {
+	cache, err := OpenArtifactCache(b.TempDir())
+	if err != nil {
+		b.Fatal(err)
+	}
+	// Warm the cache once, then measure the hit path.
+	if _, err := RunSuite(context.Background(), SuiteOptions{Cache: cache}); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	benchmarkSuite(b, SuiteOptions{Cache: cache})
 }
 
 // Ablation benches: the design choices DESIGN.md calls out.

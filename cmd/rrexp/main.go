@@ -1,95 +1,186 @@
-// Command rrexp runs the paper-reproduction experiments: every table and
-// figure of the evaluation section, the LINPACK headline, and the
-// ablations. Output is the rendered artifact plus its paper-vs-measured
-// checks; -csv writes each table/figure as CSV files.
+// Command rrexp runs the paper-reproduction experiments through the
+// orchestrator: every table and figure of the evaluation section, the
+// LINPACK headline, and the ablations. The suite is embarrassingly
+// parallel (one deterministic DES engine per experiment), so -parallel
+// spreads it over all CPUs with byte-identical output to a serial run,
+// and -cache skips experiments whose artifact for the current model
+// inputs is already stored.
 //
 // Usage:
 //
 //	rrexp -list
 //	rrexp -run fig13
-//	rrexp -run all [-csv out/]
+//	rrexp -run all -parallel -cache [-csv out/] [-jsonl results.jsonl]
+//	rrexp -run all -workers 4 -timeout 30s -quiet
+//
+// Exit status: 0 all experiments passed their paper-vs-measured checks,
+// 1 some failed or errored, 2 usage or I/O error.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
+	"io"
 	"os"
-	"path/filepath"
+	"os/signal"
+	"runtime"
 	"strings"
+	"time"
 
 	"roadrunner"
 )
 
 func main() {
+	os.Exit(run())
+}
+
+func run() int {
 	list := flag.Bool("list", false, "list experiments and exit")
-	run := flag.String("run", "all", "experiment ID to run, or 'all'")
+	runIDs := flag.String("run", "all", "comma-separated experiment IDs to run, or 'all'")
+	parallel := flag.Bool("parallel", false, "run the suite on a GOMAXPROCS-sized worker pool")
+	workers := flag.Int("workers", 0, "explicit worker-pool size (overrides -parallel; 0 = serial unless -parallel)")
+	cache := flag.Bool("cache", false, "reuse/store artifacts in the content-addressed cache")
+	cacheDir := flag.String("cache-dir", defaultCacheDir(), "artifact cache location")
+	timeout := flag.Duration("timeout", 0, "per-experiment timeout (0 = none)")
+	jsonl := flag.String("jsonl", "", "stream one JSON line per result to this file ('-' = stdout)")
 	csvDir := flag.String("csv", "", "directory to write CSV artifacts into")
-	quiet := flag.Bool("quiet", false, "print only the check summaries")
+	quiet := flag.Bool("quiet", false, "print only the per-experiment summaries")
 	flag.Parse()
 
 	if *list {
 		for _, e := range roadrunner.Experiments() {
 			fmt.Printf("%-22s %-45s %s\n", e.ID, e.Title, e.PaperRef)
 		}
-		return
+		return 0
 	}
 
 	var ids []string
-	if *run == "all" {
+	if *runIDs == "all" {
 		for _, e := range roadrunner.Experiments() {
 			ids = append(ids, e.ID)
 		}
 	} else {
-		ids = strings.Split(*run, ",")
+		for _, id := range strings.Split(*runIDs, ",") {
+			ids = append(ids, strings.TrimSpace(id))
+		}
+	}
+
+	opts := roadrunner.SuiteOptions{Timeout: *timeout}
+	switch {
+	case *workers > 0:
+		opts.Workers = *workers
+	case *parallel:
+		opts.Workers = runtime.GOMAXPROCS(0)
+	default:
+		opts.Workers = 1
+	}
+
+	if *cache {
+		c, err := roadrunner.OpenArtifactCache(*cacheDir)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 2
+		}
+		opts.Cache = c
+	}
+
+	// Human-readable per-experiment output; moved to stderr when the
+	// JSONL stream owns stdout so `-jsonl - | jq .` stays parseable.
+	human := os.Stdout
+	var jsonlW *os.File
+	if *jsonl == "-" {
+		jsonlW = os.Stdout
+		human = os.Stderr
+	} else if *jsonl != "" {
+		f, err := os.Create(*jsonl)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 2
+		}
+		defer f.Close()
+		jsonlW = f
+	}
+	var streamer *roadrunner.SuiteStreamer
+	if jsonlW != nil || *csvDir != "" {
+		var w io.Writer
+		if jsonlW != nil {
+			w = jsonlW
+		}
+		streamer = roadrunner.NewSuiteStreamer(w, *csvDir)
+		opts.OnResult = streamer.OnResult
+	}
+
+	// Ctrl-C cancels the remainder of the suite; completed artifacts and
+	// cache entries are kept.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	start := time.Now()
+	results, err := roadrunner.RunExperiments(ctx, ids, opts)
+	if err != nil && results == nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
 	}
 
 	failures := 0
-	for _, id := range ids {
-		art, err := roadrunner.RunExperiment(strings.TrimSpace(id))
-		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(2)
-		}
-		if *quiet {
-			status := "PASS"
-			if !art.Checks.AllOK() {
-				status = "FAIL"
-			}
-			fmt.Printf("[%s] %-22s %s (%d checks)\n", status, art.ID, art.Title, len(art.Checks.Items))
-		} else {
-			fmt.Println(art)
-		}
-		if !art.Checks.AllOK() {
+	for _, r := range results {
+		switch {
+		case r.Err != nil:
+			fmt.Fprintf(os.Stderr, "[ERR ] %-22s %v\n", r.ID, r.Err)
 			failures++
-		}
-		if *csvDir != "" {
-			if err := writeCSVs(*csvDir, art); err != nil {
-				fmt.Fprintln(os.Stderr, err)
-				os.Exit(2)
+		case *quiet:
+			status := "PASS"
+			if !r.Artifact.Checks.AllOK() {
+				status = "FAIL"
+				failures++
+			}
+			tag := ""
+			if r.CacheHit {
+				tag = " (cached)"
+			}
+			fmt.Fprintf(human, "[%s] %-22s %s (%d checks, %v)%s\n",
+				status, r.ID, r.Title, len(r.Artifact.Checks.Items),
+				r.Elapsed.Round(time.Millisecond), tag)
+		default:
+			fmt.Fprintln(human, r.Artifact)
+			if !r.Artifact.Checks.AllOK() {
+				failures++
 			}
 		}
+		if r.CacheErr != nil {
+			fmt.Fprintf(os.Stderr, "[warn] %-22s %v\n", r.ID, r.CacheErr)
+		}
+	}
+	if streamer != nil {
+		if err := streamer.Err(); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 2
+		}
+	}
+	if opts.Cache != nil {
+		hits, misses := opts.Cache.Stats()
+		fmt.Fprintf(os.Stderr, "cache: %d hit(s), %d miss(es) under %s\n",
+			hits, misses, opts.Cache.Dir())
+	}
+	fmt.Fprintf(os.Stderr, "%d experiment(s) in %v with %d worker(s)\n",
+		len(results), time.Since(start).Round(time.Millisecond), opts.Workers)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "suite cancelled:", err)
+		return 1
 	}
 	if failures > 0 {
-		fmt.Fprintf(os.Stderr, "%d experiment(s) failed checks\n", failures)
-		os.Exit(1)
+		fmt.Fprintf(os.Stderr, "%d experiment(s) failed\n", failures)
+		return 1
 	}
+	return 0
 }
 
-func writeCSVs(dir string, art *roadrunner.Artifact) error {
-	if err := os.MkdirAll(dir, 0o755); err != nil {
-		return err
+// defaultCacheDir places the artifact cache under the user cache
+// directory, falling back to a dot directory in the CWD.
+func defaultCacheDir() string {
+	if base, err := os.UserCacheDir(); err == nil {
+		return base + "/roadrunner/artifacts"
 	}
-	for i, t := range art.Tables {
-		name := filepath.Join(dir, fmt.Sprintf("%s-table%d.csv", art.ID, i))
-		if err := os.WriteFile(name, []byte(t.CSV()), 0o644); err != nil {
-			return err
-		}
-	}
-	for i, f := range art.Figures {
-		name := filepath.Join(dir, fmt.Sprintf("%s-fig%d.csv", art.ID, i))
-		if err := os.WriteFile(name, []byte(f.CSV()), 0o644); err != nil {
-			return err
-		}
-	}
-	return nil
+	return ".rrexp-cache"
 }

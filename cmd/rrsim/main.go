@@ -9,17 +9,21 @@
 //	rrsim -audit                # fabric structural audit
 //	rrsim -chip                 # SPU pipeline microbenchmarks
 //	rrsim -memory               # Table III memory characterisation
+//	rrsim -des                  # Sweep3D on the DES machine + engine stats
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
+	"roadrunner/internal/cml"
 	"roadrunner/internal/fabric"
 	"roadrunner/internal/isa"
 	"roadrunner/internal/microbench"
 	"roadrunner/internal/spu"
+	"roadrunner/internal/sweep3d"
 )
 
 func main() {
@@ -27,6 +31,8 @@ func main() {
 	audit := flag.Bool("audit", false, "print the fabric structural audit")
 	chip := flag.Bool("chip", false, "print SPU pipeline microbenchmarks")
 	memory := flag.Bool("memory", false, "print the Table III memory characterisation")
+	des := flag.Bool("des", false, "run Sweep3D on the discrete-event machine and print engine stats")
+	ranks := flag.Int("ranks", 32, "SPE ranks for -des (placed px x py, px = ranks/4)")
 	flag.Parse()
 
 	fab := fabric.New()
@@ -71,7 +77,35 @@ func main() {
 				r.Processor, r.Triad.GBps(), r.Latency.Nanoseconds())
 		}
 	}
-	if !*census && !*audit && !*chip && !*memory && len(args) == 0 {
+	if *des {
+		px := *ranks / 4
+		if px < 1 {
+			px = 1
+		}
+		py := *ranks / px
+		if py < 1 {
+			py = 1
+		}
+		if px*py != *ranks {
+			fmt.Fprintf(os.Stderr, "note: -ranks %d is not px*py factorable here; running %dx%d = %d ranks\n",
+				*ranks, px, py, px*py)
+		}
+		cfg := sweep3d.Config{I: 5, J: 5, K: 40, MK: 10, Angles: 6}
+		start := time.Now()
+		res, err := sweep3d.RunOnDES(cfg, px, py, cml.CurrentSoftware())
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		wall := time.Since(start)
+		st := res.EngineStats
+		fmt.Printf("sweep3d %dx%d ranks: iteration %v (simulated), balance err %.2e\n",
+			px, py, res.IterationTime, res.BalanceError())
+		fmt.Printf("engine: %d events dispatched, calendar peak %d, %.0f events/s host\n",
+			st.Dispatched, st.CalendarPeak,
+			float64(st.Dispatched)/wall.Seconds())
+	}
+	if !*census && !*audit && !*chip && !*memory && !*des && len(args) == 0 {
 		flag.Usage()
 	}
 }

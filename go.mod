@@ -1,0 +1,3 @@
+module roadrunner
+
+go 1.24

@@ -1,0 +1,357 @@
+package orchestrator
+
+import (
+	"bytes"
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"os"
+	"path/filepath"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+
+	"roadrunner/internal/experiments"
+	"roadrunner/internal/params"
+	"roadrunner/internal/report"
+)
+
+// renderAll renders every artifact in suite order; byte-identical output
+// is the determinism contract between serial and parallel runs.
+func renderAll(t *testing.T, results []*Result) string {
+	t.Helper()
+	var b strings.Builder
+	for _, r := range results {
+		if r.Err != nil {
+			t.Fatalf("%s: %v", r.ID, r.Err)
+		}
+		b.WriteString(r.Artifact.String())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+func TestParallelMatchesSerial(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full suite")
+	}
+	ctx := context.Background()
+	serial, err := RunAll(ctx, Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := RunAll(ctx, Options{Workers: runtime.GOMAXPROCS(0)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := renderAll(t, serial), renderAll(t, parallel)
+	if a != b {
+		t.Fatal("parallel suite output differs from serial")
+	}
+	if len(serial) != len(experiments.All()) {
+		t.Fatalf("got %d results, want %d", len(serial), len(experiments.All()))
+	}
+}
+
+func TestResultsInSuiteOrder(t *testing.T) {
+	exps := experiments.All()[:4]
+	results, err := Run(context.Background(), exps, Options{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range results {
+		if r.ID != exps[i].ID {
+			t.Errorf("result %d = %s, want %s", i, r.ID, exps[i].ID)
+		}
+	}
+}
+
+func TestCacheHitSkipsRecomputeAndMatches(t *testing.T) {
+	cache, err := OpenCache(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	exps := experiments.All()[:3]
+	ctx := context.Background()
+
+	cold, err := Run(ctx, exps, Options{Workers: 2, Cache: cache})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range cold {
+		if r.CacheHit {
+			t.Errorf("%s: unexpected cache hit on cold run", r.ID)
+		}
+	}
+	hits, misses := cache.Stats()
+	if hits != 0 || misses != int64(len(exps)) {
+		t.Errorf("cold stats = %d hits / %d misses", hits, misses)
+	}
+
+	warm, err := Run(ctx, exps, Options{Workers: 2, Cache: cache})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range warm {
+		if !r.CacheHit {
+			t.Errorf("%s: expected cache hit on warm run", r.ID)
+		}
+	}
+	if renderAll(t, cold) != renderAll(t, warm) {
+		t.Fatal("cached artifacts render differently from computed ones")
+	}
+}
+
+func TestCacheCorruptEntryIsMiss(t *testing.T) {
+	dir := t.TempDir()
+	cache, err := OpenCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := experiments.All()[0]
+	key := cache.Key(e.ID)
+	if err := cache.Put(key, e.Run()); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, key[:2], key+".json")
+	if err := os.WriteFile(path, []byte("{torn"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := cache.Get(key); ok {
+		t.Fatal("corrupt entry served as a hit")
+	}
+	results, err := Run(context.Background(), experiments.All()[:1],
+		Options{Workers: 1, Cache: cache})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if results[0].Err != nil || results[0].CacheHit {
+		t.Fatalf("recompute after corruption: err=%v hit=%v", results[0].Err, results[0].CacheHit)
+	}
+}
+
+func TestCacheStoreFailureIsWarningNotError(t *testing.T) {
+	dir := t.TempDir()
+	cache, err := OpenCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := experiments.All()[0]
+	// Occupy the shard directory path with a plain file so Put's MkdirAll
+	// fails even when running as root (permission bits would not).
+	key := cache.Key(e.ID)
+	if err := os.WriteFile(filepath.Join(dir, key[:2]), []byte("in the way"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	results, err := Run(context.Background(), []experiments.Experiment{e},
+		Options{Workers: 1, Cache: cache})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := results[0]
+	if r.Err != nil {
+		t.Fatalf("store failure escalated to Err: %v", r.Err)
+	}
+	if r.Artifact == nil || !r.Artifact.Checks.AllOK() {
+		t.Fatal("artifact lost on store failure")
+	}
+	if r.CacheErr == nil {
+		t.Fatal("store failure not surfaced as CacheErr")
+	}
+	if len(Failed(results)) != 0 {
+		t.Error("cache warning counted as suite failure")
+	}
+	if rec := RecordFor(r); rec.Status != "ok" || rec.CacheError == "" {
+		t.Errorf("stream record = %+v", rec)
+	}
+}
+
+func TestKeyIncludesBuildDigest(t *testing.T) {
+	cache, err := OpenCache(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if buildDigest() == "unknown" {
+		t.Skip("executable not hashable here")
+	}
+	// The key must differ from a params-only digest: rebuilding changed
+	// model code yields a different executable and must miss.
+	h := sha256.New()
+	h.Write([]byte("roadrunner-artifact-v1\ntable1\n"))
+	h.Write([]byte(params.Fingerprint()))
+	if cache.Key("table1") == hex.EncodeToString(h.Sum(nil)) {
+		t.Fatal("cache key ignores the build digest")
+	}
+}
+
+func TestKeyDependsOnExperimentID(t *testing.T) {
+	cache, err := OpenCache(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cache.Key("table1") == cache.Key("table2") {
+		t.Fatal("distinct experiments share a cache key")
+	}
+	if cache.Key("table1") != cache.Key("table1") {
+		t.Fatal("cache key is not stable")
+	}
+}
+
+func TestCancellationMidSuite(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	exps := experiments.All()
+	var completed int
+	results, err := Run(ctx, exps, Options{
+		Workers: 1,
+		OnResult: func(r *Result) {
+			completed++
+			if completed == 2 {
+				cancel() // cancel while the suite is mid-flight
+			}
+		},
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	var ok, cancelled int
+	for _, r := range results {
+		switch {
+		case r.Err == nil:
+			ok++
+		case errors.Is(r.Err, context.Canceled):
+			cancelled++
+		default:
+			t.Errorf("%s: unexpected error %v", r.ID, r.Err)
+		}
+	}
+	if ok == 0 || cancelled == 0 {
+		t.Fatalf("ok=%d cancelled=%d: want some of both", ok, cancelled)
+	}
+	if ok+cancelled != len(exps) {
+		t.Fatalf("accounted for %d of %d experiments", ok+cancelled, len(exps))
+	}
+}
+
+func TestPerExperimentTimeout(t *testing.T) {
+	slow := experiments.Experiment{
+		ID: "slow", Title: "never finishes", PaperRef: "test",
+		Run: func() *experiments.Artifact {
+			time.Sleep(5 * time.Second)
+			return &experiments.Artifact{ID: "slow"}
+		},
+	}
+	results, err := Run(context.Background(), []experiments.Experiment{slow},
+		Options{Workers: 1, Timeout: 20 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if results[0].Err == nil || !strings.Contains(results[0].Err.Error(), "exceeded") {
+		t.Fatalf("err = %v, want timeout", results[0].Err)
+	}
+}
+
+func TestPanickingExperimentIsIsolated(t *testing.T) {
+	bad := experiments.Experiment{
+		ID: "bad", Title: "panics", PaperRef: "test",
+		Run: func() *experiments.Artifact { panic("boom") },
+	}
+	good := experiments.All()[0]
+	results, err := Run(context.Background(),
+		[]experiments.Experiment{bad, good}, Options{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if results[0].Err == nil || !strings.Contains(results[0].Err.Error(), "panicked") {
+		t.Fatalf("bad: err = %v, want panic error", results[0].Err)
+	}
+	if results[1].Err != nil {
+		t.Fatalf("good experiment poisoned by neighbour: %v", results[1].Err)
+	}
+	if len(Failed(results)) != 1 {
+		t.Errorf("Failed = %v", Failed(results))
+	}
+}
+
+func TestStreamerEmitsJSONLAndCSV(t *testing.T) {
+	var buf bytes.Buffer
+	csvDir := t.TempDir()
+	s := NewStreamer(&buf, csvDir)
+	exps := experiments.All()[:2]
+	results, err := Run(context.Background(), exps,
+		Options{Workers: 2, OnResult: s.OnResult})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Err(); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != len(exps) {
+		t.Fatalf("%d JSONL lines, want %d", len(lines), len(exps))
+	}
+	seen := map[string]bool{}
+	for _, line := range lines {
+		var rec StreamRecord
+		if err := json.Unmarshal([]byte(line), &rec); err != nil {
+			t.Fatalf("bad JSONL line %q: %v", line, err)
+		}
+		if rec.Status != "ok" {
+			t.Errorf("%s: status %s (%s)", rec.ID, rec.Status, rec.Error)
+		}
+		seen[rec.ID] = true
+	}
+	nCSV := 0
+	entries, err := os.ReadDir(csvDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ent := range entries {
+		if strings.HasSuffix(ent.Name(), ".csv") {
+			nCSV++
+		}
+	}
+	wantCSV := 0
+	for _, r := range results {
+		if !seen[r.ID] {
+			t.Errorf("no JSONL record for %s", r.ID)
+		}
+		wantCSV += len(r.Artifact.Tables) + len(r.Artifact.Figures)
+	}
+	if nCSV != wantCSV {
+		t.Errorf("%d CSV files, want %d", nCSV, wantCSV)
+	}
+}
+
+func TestJSONLEmitterConcurrentLinesIntact(t *testing.T) {
+	var buf bytes.Buffer
+	em := report.NewJSONLEmitter(&buf)
+	done := make(chan struct{})
+	for g := 0; g < 8; g++ {
+		go func(g int) {
+			defer func() { done <- struct{}{} }()
+			for i := 0; i < 50; i++ {
+				if err := em.Emit(map[string]int{"g": g, "i": i}); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(g)
+	}
+	for g := 0; g < 8; g++ {
+		<-done
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 400 {
+		t.Fatalf("%d lines, want 400", len(lines))
+	}
+	for _, line := range lines {
+		var m map[string]int
+		if err := json.Unmarshal([]byte(line), &m); err != nil {
+			t.Fatalf("interleaved line %q", line)
+		}
+	}
+}

@@ -1,0 +1,122 @@
+package orchestrator
+
+import (
+	"fmt"
+	"io"
+	"sync"
+
+	"roadrunner/internal/report"
+)
+
+// StreamRecord is the JSON-lines schema emitted per completed experiment.
+type StreamRecord struct {
+	ID           string   `json:"id"`
+	Title        string   `json:"title"`
+	PaperRef     string   `json:"paper_ref,omitempty"`
+	Status       string   `json:"status"` // "ok", "check-fail" or "error"
+	Error        string   `json:"error,omitempty"`
+	CacheHit     bool     `json:"cache_hit"`
+	CacheError   string   `json:"cache_error,omitempty"` // store failed; artifact still good
+	ElapsedMS    float64  `json:"elapsed_ms"`
+	Checks       int      `json:"checks,omitempty"`
+	FailedChecks []string `json:"failed_checks,omitempty"`
+	Tables       int      `json:"tables,omitempty"`
+	Figures      int      `json:"figures,omitempty"`
+}
+
+// RecordFor flattens a result into its stream form.
+func RecordFor(r *Result) StreamRecord {
+	rec := StreamRecord{
+		ID:        r.ID,
+		Title:     r.Title,
+		PaperRef:  r.PaperRef,
+		CacheHit:  r.CacheHit,
+		ElapsedMS: float64(r.Elapsed.Microseconds()) / 1000,
+	}
+	if r.CacheErr != nil {
+		rec.CacheError = r.CacheErr.Error()
+	}
+	switch {
+	case r.Err != nil:
+		rec.Status = "error"
+		rec.Error = r.Err.Error()
+	case r.Artifact == nil:
+		rec.Status = "error"
+		rec.Error = "no artifact"
+	default:
+		rec.Status = "ok"
+		if !r.Artifact.Checks.AllOK() {
+			rec.Status = "check-fail"
+			for _, c := range r.Artifact.Checks.Failures() {
+				rec.FailedChecks = append(rec.FailedChecks, c.Name)
+			}
+		}
+		rec.Checks = len(r.Artifact.Checks.Items)
+		rec.Tables = len(r.Artifact.Tables)
+		rec.Figures = len(r.Artifact.Figures)
+	}
+	return rec
+}
+
+// Streamer adapts the report emitters into an Options.OnResult callback:
+// each completed experiment becomes one JSONL record and, when a CSV
+// directory is configured, one CSV file per table and figure. Emit errors
+// are collected rather than interrupting the pool; read them with Err
+// after the run.
+type Streamer struct {
+	jsonl *report.JSONLEmitter
+	csv   *report.CSVDir
+
+	mu   sync.Mutex
+	errs []error
+}
+
+// NewStreamer builds a streamer. Either destination may be nil/empty:
+// jsonlW == nil disables the JSONL stream, csvDir == "" disables CSV.
+func NewStreamer(jsonlW io.Writer, csvDir string) *Streamer {
+	s := &Streamer{}
+	if jsonlW != nil {
+		s.jsonl = report.NewJSONLEmitter(jsonlW)
+	}
+	if csvDir != "" {
+		s.csv = report.NewCSVDir(csvDir)
+	}
+	return s
+}
+
+// OnResult is the Options.OnResult hook.
+func (s *Streamer) OnResult(r *Result) {
+	if s.jsonl != nil {
+		if err := s.jsonl.Emit(RecordFor(r)); err != nil {
+			s.record(fmt.Errorf("jsonl %s: %w", r.ID, err))
+		}
+	}
+	if s.csv != nil && r.Artifact != nil {
+		for i, t := range r.Artifact.Tables {
+			if err := s.csv.WriteTable(fmt.Sprintf("%s-table%d", r.ID, i), t); err != nil {
+				s.record(err)
+			}
+		}
+		for i, f := range r.Artifact.Figures {
+			if err := s.csv.WriteFigure(fmt.Sprintf("%s-fig%d", r.ID, i), f); err != nil {
+				s.record(err)
+			}
+		}
+	}
+}
+
+func (s *Streamer) record(err error) {
+	s.mu.Lock()
+	s.errs = append(s.errs, err)
+	s.mu.Unlock()
+}
+
+// Err returns the first emit error, or nil.
+func (s *Streamer) Err() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.errs) == 0 {
+		return nil
+	}
+	return fmt.Errorf("orchestrator: %d emit error(s), first: %w", len(s.errs), s.errs[0])
+}

@@ -1,0 +1,129 @@
+package params
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"strings"
+	"sync"
+)
+
+// Fingerprint returns a stable hex digest over every calibrated input in
+// this package. Experiment artifacts are pure functions of these inputs
+// plus code structure, so the digest is the content-address component the
+// orchestrator's artifact cache keys on: change any paper constant and
+// every cached artifact is invalidated automatically.
+func Fingerprint() string {
+	fingerprintOnce.Do(func() {
+		var b strings.Builder
+		for _, kv := range inventory() {
+			fmt.Fprintf(&b, "%s=%v\n", kv.name, kv.value)
+		}
+		sum := sha256.Sum256([]byte(b.String()))
+		fingerprint = hex.EncodeToString(sum[:])
+	})
+	return fingerprint
+}
+
+var (
+	fingerprintOnce sync.Once
+	fingerprint     string
+)
+
+type namedValue struct {
+	name  string
+	value any
+}
+
+// inventory lists every constant and variable above, in declaration
+// order. Constants cannot be enumerated by reflection, so the list is
+// explicit; TestFingerprintInventoryComplete cross-checks it against the
+// package's declarations so additions cannot be silently dropped.
+func inventory() []namedValue {
+	return []namedValue{
+		{"OpteronClock", float64(OpteronClock)},
+		{"CellClock", float64(CellClock)},
+		{"OpteronDPFlopsPerCycle", OpteronDPFlopsPerCycle},
+		{"OpteronSPFlopsPerCycle", OpteronSPFlopsPerCycle},
+		{"PPEDPFlopsPerCycle", PPEDPFlopsPerCycle},
+		{"SPEDPFlopsPerCycle", SPEDPFlopsPerCycle},
+		{"SPESPFlopsPerCycle", SPESPFlopsPerCycle},
+		{"CellBESPEAggregateSP", float64(CellBESPEAggregateSP)},
+		{"CellBESPEAggregateDP", float64(CellBESPEAggregateDP)},
+		{"LocalStoreSize", int64(LocalStoreSize)},
+		{"LocalStoreLoadBytes", LocalStoreLoadBytes},
+		{"LocalStoreLoadLatencyCycles", LocalStoreLoadLatencyCycles},
+		{"CellMemBandwidth", float64(CellMemBandwidth)},
+		{"OpteronMemBandwidth", float64(OpteronMemBandwidth)},
+		{"EIBBytesPerCycle", EIBBytesPerCycle},
+		{"MemPerOpteronCore", int64(MemPerOpteronCore)},
+		{"MemPerCell", int64(MemPerCell)},
+		{"OpteronL1D", int64(OpteronL1D)},
+		{"OpteronL1I", int64(OpteronL1I)},
+		{"OpteronL2", int64(OpteronL2)},
+		{"PPEL1D", int64(PPEL1D)},
+		{"PPEL1I", int64(PPEL1I)},
+		{"PPEL2", int64(PPEL2)},
+		{"OpteronStreamTriad", float64(OpteronStreamTriad)},
+		{"PPEStreamTriad", float64(PPEStreamTriad)},
+		{"SPEStreamTriad", float64(SPEStreamTriad)},
+		{"OpteronMemLatency", int64(OpteronMemLatency)},
+		{"PPEMemLatency", int64(PPEMemLatency)},
+		{"SPELocalStoreLat", int64(SPELocalStoreLat)},
+		{"PCIeBandwidthPeak", float64(PCIeBandwidthPeak)},
+		{"PCIeAchievableBandwidth", float64(PCIeAchievableBandwidth)},
+		{"HTBandwidth", float64(HTBandwidth)},
+		{"IBLinkBandwidth", float64(IBLinkBandwidth)},
+		{"PCIeMinLatency", int64(PCIeMinLatency)},
+		{"DaCSLatency", int64(DaCSLatency)},
+		{"MPIIBLatency", int64(MPIIBLatency)},
+		{"LocalSegment", int64(LocalSegment)},
+		{"CMLIntraSocketLatency", int64(CMLIntraSocketLatency)},
+		{"CMLIntraSocketBandwidth", float64(CMLIntraSocketBandwidth)},
+		{"DaCSLargeMessageBandwidth", float64(DaCSLargeMessageBandwidth)},
+		{"DaCSChunkSize", int64(DaCSChunkSize)},
+		{"DaCSPerChunkOverhead", int64(DaCSPerChunkOverhead)},
+		{"MPISoftwareOverhead", int64(MPISoftwareOverhead)},
+		{"SwitchHopLatency", int64(SwitchHopLatency)},
+		{"Fig10HarnessOverhead", int64(Fig10HarnessOverhead)},
+		{"IBNearCoreBandwidth", float64(IBNearCoreBandwidth)},
+		{"IBFarCoreBandwidth", float64(IBFarCoreBandwidth)},
+		{"IBDefaultScatterBandwidth", float64(IBDefaultScatterBandwidth)},
+		{"IBPinnedBandwidth", float64(IBPinnedBandwidth)},
+		{"IBEagerThreshold", int64(IBEagerThreshold)},
+		{"DaCSEndpointShareFraction", DaCSEndpointShareFraction},
+		{"IBEndpointShareFraction", IBEndpointShareFraction},
+		{"NumCUs", NumCUs},
+		{"NodesPerCU", NodesPerCU},
+		{"IONodesPerCU", IONodesPerCU},
+		{"CrossbarPorts", CrossbarPorts},
+		{"SwitchLowerXbars", SwitchLowerXbars},
+		{"SwitchUpperXbars", SwitchUpperXbars},
+		{"InterCUSwitches", InterCUSwitches},
+		{"InterCULevelsXbars", InterCULevelsXbars},
+		{"UplinksPerCUSwitch", UplinksPerCUSwitch},
+		{"FirstSideCUs", FirstSideCUs},
+		{"LastSideCUs", LastSideCUs},
+		{"MaxCUs", MaxCUs},
+		{"SweepFlopsPerCellAngle", SweepFlopsPerCellAngle},
+		{"SweepOpteronDCUpdate", int64(SweepOpteronDCUpdate)},
+		{"SweepOpteronQCUpdate", int64(SweepOpteronQCUpdate)},
+		{"SweepTigertonUpdate", int64(SweepTigertonUpdate)},
+		{"HostSocketEfficiencyDual", HostSocketEfficiencyDual},
+		{"HostSocketEfficiencyQuad", HostSocketEfficiencyQuad},
+		{"SweepSPEMemFactor", SweepSPEMemFactor},
+		{"SweepSPESocketEff", SweepSPESocketEff},
+		{"SweepSPEScaleEff", SweepSPEScaleEff},
+		{"SweepSpillFactor", SweepSpillFactor},
+		{"SweepResidentBytesPerCell", SweepResidentBytesPerCell},
+		{"SweepLocalStoreBudget", int64(SweepLocalStoreBudget)},
+		{"PencilDispatchOverhead", PencilDispatchOverhead},
+		{"SweepCMLOverlap", SweepCMLOverlap},
+		{"PowerPerCell", float64(PowerPerCell)},
+		{"PowerPerOpteronChip", float64(PowerPerOpteronChip)},
+		{"PowerPerNodeOther", float64(PowerPerNodeOther)},
+		{"PowerPerSwitch", float64(PowerPerSwitch)},
+		{"PowerIONode", float64(PowerIONode)},
+		{"LinpackEfficiency", LinpackEfficiency},
+	}
+}

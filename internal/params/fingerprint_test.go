@@ -1,0 +1,66 @@
+package params
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"regexp"
+	"testing"
+)
+
+func TestFingerprintStable(t *testing.T) {
+	a, b := Fingerprint(), Fingerprint()
+	if a != b {
+		t.Fatalf("fingerprint not stable: %s vs %s", a, b)
+	}
+	if !regexp.MustCompile(`^[0-9a-f]{64}$`).MatchString(a) {
+		t.Fatalf("fingerprint %q is not a sha256 hex digest", a)
+	}
+}
+
+// TestFingerprintInventoryComplete parses params.go and asserts every
+// exported const and var it declares appears in the fingerprint
+// inventory, so a new calibration constant cannot silently escape the
+// cache key.
+func TestFingerprintInventoryComplete(t *testing.T) {
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "params.go", nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inInventory := map[string]bool{}
+	for _, kv := range inventory() {
+		if inInventory[kv.name] {
+			t.Errorf("inventory lists %s twice", kv.name)
+		}
+		inInventory[kv.name] = true
+	}
+	declared := 0
+	for _, decl := range f.Decls {
+		gd, ok := decl.(*ast.GenDecl)
+		if !ok || (gd.Tok != token.CONST && gd.Tok != token.VAR) {
+			continue
+		}
+		for _, spec := range gd.Specs {
+			vs, ok := spec.(*ast.ValueSpec)
+			if !ok {
+				continue
+			}
+			for _, name := range vs.Names {
+				if !name.IsExported() {
+					continue
+				}
+				declared++
+				if !inInventory[name.Name] {
+					t.Errorf("params.%s is not in the fingerprint inventory", name.Name)
+				}
+			}
+		}
+	}
+	if declared == 0 {
+		t.Fatal("parsed no declarations from params.go")
+	}
+	if declared != len(inventory()) {
+		t.Errorf("inventory has %d entries, params.go declares %d", len(inventory()), declared)
+	}
+}

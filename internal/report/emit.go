@@ -1,0 +1,101 @@
+package report
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sync"
+)
+
+// JSONLEmitter streams records as JSON lines (one object per line) to an
+// underlying writer. It is safe for concurrent use: the orchestrator's
+// workers emit results as they complete, and lines are never interleaved.
+type JSONLEmitter struct {
+	mu  sync.Mutex
+	enc *json.Encoder
+}
+
+// NewJSONLEmitter wraps w in a line-oriented JSON emitter.
+func NewJSONLEmitter(w io.Writer) *JSONLEmitter {
+	return &JSONLEmitter{enc: json.NewEncoder(w)}
+}
+
+// Emit writes v as one JSON line.
+func (e *JSONLEmitter) Emit(v any) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.enc.Encode(v)
+}
+
+// CSVDir writes tables and figures as CSV files under one directory,
+// creating it on first use. Writes go through a temp file and rename so a
+// cancelled run never leaves a torn artifact. It is safe for concurrent
+// use as long as file names are distinct (the orchestrator derives them
+// from experiment IDs, which are unique).
+type CSVDir struct {
+	Dir string
+
+	mkdir sync.Once
+	err   error
+}
+
+// NewCSVDir returns a CSV writer rooted at dir.
+func NewCSVDir(dir string) *CSVDir { return &CSVDir{Dir: dir} }
+
+// WriteTable writes t as <name>.csv.
+func (d *CSVDir) WriteTable(name string, t *Table) error {
+	return d.write(name, t.CSV())
+}
+
+// WriteFigure writes f's merged series grid as <name>.csv.
+func (d *CSVDir) WriteFigure(name string, f *Figure) error {
+	return d.write(name, f.CSV())
+}
+
+func (d *CSVDir) write(name, content string) error {
+	d.mkdir.Do(func() { d.err = os.MkdirAll(d.Dir, 0o755) })
+	if d.err != nil {
+		return d.err
+	}
+	final := filepath.Join(d.Dir, name+".csv")
+	if err := WriteFileAtomic(final, []byte(content)); err != nil {
+		return fmt.Errorf("report: write %s: %w", final, err)
+	}
+	return nil
+}
+
+// WriteFileAtomic writes data to path via a temp file in the same
+// directory plus rename, so readers never observe a torn file and a
+// failure leaves no partial artifact behind. The file ends up
+// world-readable (0644, umask permitting) like a plain create would.
+func WriteFileAtomic(path string, data []byte) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp-*")
+	if err != nil {
+		return err
+	}
+	cleanup := func(err error) error {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
+	}
+	if _, err := tmp.Write(data); err != nil {
+		return cleanup(err)
+	}
+	// CreateTemp makes 0600 files; artifacts should be readable like any
+	// normally created file.
+	if err := tmp.Chmod(0o644); err != nil {
+		return cleanup(err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	return nil
+}

@@ -9,10 +9,18 @@
 // (the engine loop or exactly one Proc) runs at any instant. This keeps the
 // simulation deterministic and free of data races without any locking in
 // model code.
+//
+// The calendar is a binary min-heap of event values held in one slab
+// slice: scheduling an event costs no allocation beyond amortised slice
+// growth, and dispatching never touches the garbage collector. Process
+// bookkeeping (the live set and the parked set) uses intrusive doubly
+// linked lists threaded through the Procs themselves, so park/unpark is
+// pointer surgery rather than map churn. Both choices matter because the
+// experiment orchestrator runs one engine per experiment across all CPUs
+// at once.
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"sort"
 	"strings"
@@ -20,33 +28,12 @@ import (
 	"roadrunner/internal/units"
 )
 
-// event is a single calendar entry.
+// event is a single calendar entry. Events are stored by value in the
+// engine's heap slab.
 type event struct {
 	at  units.Time
 	seq int64
 	fn  func()
-}
-
-// eventHeap is a min-heap ordered by (time, sequence).
-type eventHeap []*event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
-	}
-	return h[i].seq < h[j].seq
-}
-func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-
-func (h *eventHeap) Push(x any) { *h = append(*h, x.(*event)) }
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	ev := old[n-1]
-	old[n-1] = nil
-	*h = old[:n-1]
-	return ev
 }
 
 // Engine is a discrete-event simulation engine. The zero value is not
@@ -54,18 +41,21 @@ func (h *eventHeap) Pop() any {
 type Engine struct {
 	now    units.Time
 	seq    int64
-	events eventHeap
+	events []event // binary min-heap ordered by (at, seq)
 
-	procs  map[*Proc]struct{} // all live (not yet finished) procs
-	parked map[*Proc]struct{} // procs currently blocked
+	procs  procList // all live (not yet finished) procs
+	parked procList // procs currently blocked
 	closed bool
+
+	dispatched int64 // events executed over the engine's lifetime
+	peakEvents int   // calendar high-water mark
 }
 
 // NewEngine returns an empty engine at time zero.
 func NewEngine() *Engine {
 	return &Engine{
-		procs:  make(map[*Proc]struct{}),
-		parked: make(map[*Proc]struct{}),
+		procs:  procList{kind: listAll},
+		parked: procList{kind: listParked},
 	}
 }
 
@@ -87,11 +77,81 @@ func (e *Engine) At(t units.Time, fn func()) {
 		panic(fmt.Sprintf("sim: schedule at %v before now %v", t, e.now))
 	}
 	e.seq++
-	heap.Push(&e.events, &event{at: t, seq: e.seq, fn: fn})
+	e.push(event{at: t, seq: e.seq, fn: fn})
+}
+
+// less orders heap slots by (time, sequence).
+func (e *Engine) less(i, j int) bool {
+	a, b := &e.events[i], &e.events[j]
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	return a.seq < b.seq
+}
+
+// push appends an event value to the slab and restores the heap property.
+func (e *Engine) push(ev event) {
+	e.events = append(e.events, ev)
+	if len(e.events) > e.peakEvents {
+		e.peakEvents = len(e.events)
+	}
+	i := len(e.events) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !e.less(i, parent) {
+			break
+		}
+		e.events[i], e.events[parent] = e.events[parent], e.events[i]
+		i = parent
+	}
+}
+
+// pop removes and returns the earliest event. The vacated slab slot is
+// zeroed so the event closure can be collected.
+func (e *Engine) pop() event {
+	top := e.events[0]
+	n := len(e.events) - 1
+	e.events[0] = e.events[n]
+	e.events[n] = event{}
+	e.events = e.events[:n]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		least := i
+		if l < n && e.less(l, least) {
+			least = l
+		}
+		if r < n && e.less(r, least) {
+			least = r
+		}
+		if least == i {
+			return top
+		}
+		e.events[i], e.events[least] = e.events[least], e.events[i]
+		i = least
+	}
 }
 
 // Pending reports the number of events on the calendar.
 func (e *Engine) Pending() int { return len(e.events) }
+
+// Stats is a snapshot of engine counters, cheap enough to read anywhere.
+type Stats struct {
+	Dispatched   int64 // events executed so far
+	CalendarPeak int   // calendar high-water mark (slab length)
+	LiveProcs    int   // procs spawned and not yet finished
+	ParkedProcs  int   // procs currently blocked
+}
+
+// Stats returns the engine's lifetime counters.
+func (e *Engine) Stats() Stats {
+	return Stats{
+		Dispatched:   e.dispatched,
+		CalendarPeak: e.peakEvents,
+		LiveProcs:    e.procs.n,
+		ParkedProcs:  e.parked.n,
+	}
+}
 
 // DeadlockError is returned by Run when the calendar empties while
 // processes remain blocked with nothing left to wake them.
@@ -131,17 +191,17 @@ func (e *Engine) run(until units.Time) error {
 		return fmt.Errorf("sim: engine is closed")
 	}
 	for len(e.events) > 0 {
-		next := e.events[0]
-		if until >= 0 && next.at > until {
+		if until >= 0 && e.events[0].at > until {
 			return nil
 		}
-		heap.Pop(&e.events)
-		e.now = next.at
-		next.fn()
+		ev := e.pop()
+		e.now = ev.at
+		e.dispatched++
+		ev.fn()
 	}
-	if until < 0 && len(e.parked) > 0 {
+	if until < 0 && e.parked.n > 0 {
 		d := &DeadlockError{Time: e.now}
-		for p := range e.parked {
+		for p := e.parked.head; p != nil; p = p.links[listParked].next {
 			d.Procs = append(d.Procs, p.name+" ("+p.parkReason+")")
 		}
 		sort.Strings(d.Procs)
@@ -158,10 +218,12 @@ func (e *Engine) Close() {
 		return
 	}
 	e.closed = true
-	for p := range e.parked {
+	for p := e.parked.head; p != nil; {
+		next := p.links[listParked].next
 		p.kill()
+		p = next
 	}
-	e.parked = map[*Proc]struct{}{}
-	e.procs = map[*Proc]struct{}{}
+	e.parked = procList{kind: listParked}
+	e.procs = procList{kind: listAll}
 	e.events = nil
 }

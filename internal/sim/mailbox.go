@@ -9,12 +9,22 @@ type Mailbox[T any] struct {
 	name    string
 	items   []T
 	waiters []*Proc
+
+	// Park reasons are built once at construction so the blocking hot
+	// path never concatenates strings.
+	reason      string
+	reasonMatch string
 }
 
 // NewMailbox creates a mailbox on the given engine. The name appears in
 // deadlock reports of procs blocked on Get.
 func NewMailbox[T any](eng *Engine, name string) *Mailbox[T] {
-	return &Mailbox[T]{eng: eng, name: name}
+	return &Mailbox[T]{
+		eng:         eng,
+		name:        name,
+		reason:      "mailbox " + name,
+		reasonMatch: "mailbox " + name + " (match)",
+	}
 }
 
 // Len returns the number of queued items.
@@ -44,7 +54,7 @@ func (m *Mailbox[T]) wakeOne() {
 func (m *Mailbox[T]) Get(p *Proc) T {
 	for len(m.items) == 0 {
 		m.waiters = append(m.waiters, p)
-		p.Park("mailbox " + m.name)
+		p.Park(m.reason)
 	}
 	v := m.items[0]
 	var zero T
@@ -80,6 +90,6 @@ func (m *Mailbox[T]) GetMatch(p *Proc, pred func(T) bool) T {
 			}
 		}
 		m.waiters = append(m.waiters, p)
-		p.Park("mailbox " + m.name + " (match)")
+		p.Park(m.reasonMatch)
 	}
 }

@@ -15,6 +15,64 @@ const (
 	procDone                     // body returned or proc was killed
 )
 
+// The engine threads every Proc through up to two intrusive lists; each
+// list uses its own pair of link fields so membership is independent.
+const (
+	listAll    = iota // all live procs
+	listParked        // procs currently blocked
+	numLists
+)
+
+// procLinks is one list's worth of intrusive pointers.
+type procLinks struct {
+	next, prev *Proc
+}
+
+// procList is an intrusive doubly linked list of Procs. Insertion and
+// removal are O(1) pointer updates on the Proc itself — no allocation, no
+// map churn on the park/unpark hot path.
+type procList struct {
+	kind int
+	head *Proc
+	n    int
+}
+
+// push prepends p. Order is irrelevant to engine semantics (the lists are
+// only iterated for deadlock reports, which sort, and for Close).
+func (l *procList) push(p *Proc) {
+	if p.inList[l.kind] {
+		return
+	}
+	lk := &p.links[l.kind]
+	lk.prev = nil
+	lk.next = l.head
+	if l.head != nil {
+		l.head.links[l.kind].prev = p
+	}
+	l.head = p
+	l.n++
+	p.inList[l.kind] = true
+}
+
+// remove unlinks p; removing a proc not on the list is a no-op.
+func (l *procList) remove(p *Proc) {
+	if !p.inList[l.kind] {
+		return
+	}
+	lk := &p.links[l.kind]
+	if lk.prev != nil {
+		lk.prev.links[l.kind].next = lk.next
+	} else {
+		l.head = lk.next
+	}
+	if lk.next != nil {
+		lk.next.links[l.kind].prev = lk.prev
+	}
+	lk.next, lk.prev = nil, nil
+	p.inList[l.kind] = false
+	l.n--
+}
+
 // killSentinel is panicked inside a killed proc to unwind its stack.
 type killSentinel struct{}
 
@@ -28,6 +86,13 @@ type Proc struct {
 
 	resume chan struct{} // engine -> proc: continue
 	yield  chan struct{} // proc -> engine: I blocked or finished
+
+	// resumeFn is the proc's reusable wake event, allocated once at spawn
+	// so Sleep and Wake schedule it without a fresh closure each time.
+	resumeFn func()
+
+	links  [numLists]procLinks
+	inList [numLists]bool
 
 	state       procState
 	wakePending bool
@@ -50,13 +115,14 @@ func (e *Engine) SpawnAt(delay units.Time, name string, body func(p *Proc)) *Pro
 		resume: make(chan struct{}),
 		yield:  make(chan struct{}),
 	}
-	e.procs[p] = struct{}{}
+	p.resumeFn = func() { e.resumeProc(p) }
+	e.procs.push(p)
 	go p.top(body)
 	// The first resume starts the body.
 	p.wakePending = true
 	p.state = procParked
-	e.parked[p] = struct{}{}
-	e.Schedule(delay, func() { e.resumeProc(p) })
+	e.parked.push(p)
+	e.Schedule(delay, p.resumeFn)
 	return p
 }
 
@@ -78,7 +144,7 @@ func (p *Proc) top(body func(p *Proc)) {
 	}
 	body(p)
 	p.state = procDone
-	delete(p.eng.procs, p)
+	p.eng.procs.remove(p)
 	p.yield <- struct{}{}
 }
 
@@ -97,7 +163,7 @@ func (e *Engine) resumeProc(p *Proc) {
 	if p.state != procParked {
 		panic(fmt.Sprintf("sim: resume of proc %q in state %d", p.name, p.state))
 	}
-	delete(e.parked, p)
+	e.parked.remove(p)
 	p.state = procRunning
 	p.wakePending = false
 	p.resume <- struct{}{}
@@ -108,7 +174,7 @@ func (e *Engine) resumeProc(p *Proc) {
 func (p *Proc) park(reason string) {
 	p.state = procParked
 	p.parkReason = reason
-	p.eng.parked[p] = struct{}{}
+	p.eng.parked.push(p)
 	p.yield <- struct{}{}
 	<-p.resume
 	if p.killed {
@@ -124,8 +190,8 @@ func (p *Proc) Sleep(d units.Time) {
 		panic(fmt.Sprintf("sim: proc %q sleep %v", p.name, d))
 	}
 	p.wakePending = true
-	p.eng.Schedule(d, func() { p.eng.resumeProc(p) })
-	p.park(fmt.Sprintf("sleeping %v", d))
+	p.eng.Schedule(d, p.resumeFn)
+	p.park("sleeping")
 }
 
 // Park blocks the proc until some other party calls Wake. The reason string
@@ -146,7 +212,7 @@ func (p *Proc) Wake() {
 		panic(fmt.Sprintf("sim: double wake of proc %q", p.name))
 	}
 	p.wakePending = true
-	p.eng.Schedule(0, func() { p.eng.resumeProc(p) })
+	p.eng.Schedule(0, p.resumeFn)
 }
 
 // WakePending reports whether the proc already has a wake scheduled.
@@ -155,7 +221,8 @@ func (p *Proc) WakePending() bool { return p.wakePending }
 // Parked reports whether the proc is currently blocked.
 func (p *Proc) Parked() bool { return p.state == procParked }
 
-// kill unwinds a parked proc's goroutine. Called only from Engine.Close.
+// kill unwinds a parked proc's goroutine. Called only from Engine.Close,
+// which resets the lists wholesale afterwards.
 func (p *Proc) kill() {
 	if p.state != procParked {
 		return

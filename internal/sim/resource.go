@@ -13,6 +13,7 @@ import (
 type Resource struct {
 	eng      *Engine
 	name     string
+	reason   string // precomputed park reason for the blocking path
 	capacity int
 	inUse    int
 	waiters  []resourceWaiter
@@ -32,7 +33,7 @@ func NewResource(eng *Engine, name string, capacity int) *Resource {
 	if capacity < 1 {
 		panic(fmt.Sprintf("sim: resource %q capacity %d", name, capacity))
 	}
-	return &Resource{eng: eng, name: name, capacity: capacity}
+	return &Resource{eng: eng, name: name, reason: "resource " + name, capacity: capacity}
 }
 
 // Capacity returns the configured capacity.
@@ -53,7 +54,7 @@ func (r *Resource) Acquire(p *Proc, n int) {
 	}
 	r.waiters = append(r.waiters, resourceWaiter{p, n})
 	for {
-		p.Park("resource " + r.name)
+		p.Park(r.reason)
 		// The waiter stays queued until it can actually proceed; a wake
 		// that raced with another grab simply parks again and will be
 		// re-woken by the next Release.

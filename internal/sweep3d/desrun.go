@@ -14,6 +14,9 @@ import (
 type DESResult struct {
 	*Result
 	IterationTime units.Time
+	// EngineStats snapshots the DES engine counters at completion:
+	// events dispatched and the calendar high-water mark.
+	EngineStats sim.Stats
 }
 
 // RunOnDES executes the real block solver rank-by-rank on the simulated
@@ -105,5 +108,6 @@ func RunOnDES(cfg Config, px, py int, cmlCfg cml.Config) (*DESResult, error) {
 	return &DESResult{
 		Result:        MergeResults(cfg, prob, px, py, states),
 		IterationTime: finish,
+		EngineStats:   eng.Stats(),
 	}, nil
 }

@@ -1,6 +1,8 @@
 package roadrunner
 
 import (
+	"context"
+	"regexp"
 	"testing"
 )
 
@@ -20,6 +22,40 @@ func TestFacadeExperiments(t *testing.T) {
 	}
 	if _, err := RunExperiment("bogus"); err == nil {
 		t.Error("bogus experiment accepted")
+	}
+}
+
+func TestFacadeSuite(t *testing.T) {
+	ctx := context.Background()
+	results, err := RunExperiments(ctx, []string{"table1", "table2"}, SuiteOptions{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 2 || results[0].ID != "table1" || results[1].ID != "table2" {
+		t.Fatalf("results = %v", results)
+	}
+	if n := len(FailedResults(results)); n != 0 {
+		t.Errorf("%d failed results", n)
+	}
+	if _, err := RunExperiments(ctx, []string{"bogus"}, SuiteOptions{}); err == nil {
+		t.Error("bogus suite accepted")
+	}
+	cache, err := OpenArtifactCache(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := RunExperiments(ctx, []string{"table1"}, SuiteOptions{Cache: cache}); err != nil {
+		t.Fatal(err)
+	}
+	again, err := RunExperiments(ctx, []string{"table1"}, SuiteOptions{Cache: cache})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !again[0].CacheHit {
+		t.Error("no cache hit through the facade")
+	}
+	if !regexp.MustCompile(`^[0-9a-f]{64}$`).MatchString(ModelFingerprint()) {
+		t.Errorf("fingerprint = %q", ModelFingerprint())
 	}
 }
 
