@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build lint test bench suite clean
+.PHONY: all build lint test bench bench-full bench-artifact suite clean
 
 all: lint build test
 
@@ -23,7 +23,13 @@ bench:
 	$(GO) test -bench=. -benchtime=1x -run '^$$' ./...
 
 bench-full:
-	$(GO) test -bench=. -benchmem -run '^$$' ./internal/sim/ .
+	$(GO) test -bench=. -benchmem -run '^$$' ./internal/sim/ ./internal/collectives/ .
+
+# Collective + sim hot-path benches as BENCH_<short-sha>.json, the
+# per-commit perf record CI uploads as an artifact.
+bench-artifact:
+	$(GO) test -json -run '^$$' -bench 'Collective|EventLoop|ProcParkUnpark|MailboxPingPong' \
+		-benchmem ./internal/collectives ./internal/sim > BENCH_$$(git rev-parse --short HEAD).json
 
 # The full evaluation through the orchestrator, all cores.
 suite:

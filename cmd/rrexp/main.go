@@ -10,6 +10,7 @@
 //
 //	rrexp -list
 //	rrexp -run fig13
+//	rrexp -filter '^coll-' -parallel
 //	rrexp -run all -parallel -cache [-csv out/] [-jsonl results.jsonl]
 //	rrexp -run all -workers 4 -timeout 30s -quiet
 //
@@ -24,7 +25,9 @@ import (
 	"io"
 	"os"
 	"os/signal"
+	"regexp"
 	"runtime"
+	"sort"
 	"strings"
 	"time"
 
@@ -36,8 +39,9 @@ func main() {
 }
 
 func run() int {
-	list := flag.Bool("list", false, "list experiments and exit")
+	list := flag.Bool("list", false, "list experiments (sorted by ID) and exit")
 	runIDs := flag.String("run", "all", "comma-separated experiment IDs to run, or 'all'")
+	filter := flag.String("filter", "", "regular expression selecting experiment IDs (applies to -run and -list)")
 	parallel := flag.Bool("parallel", false, "run the suite on a GOMAXPROCS-sized worker pool")
 	workers := flag.Int("workers", 0, "explicit worker-pool size (overrides -parallel; 0 = serial unless -parallel)")
 	cache := flag.Bool("cache", false, "reuse/store artifacts in the content-addressed cache")
@@ -48,8 +52,25 @@ func run() int {
 	quiet := flag.Bool("quiet", false, "print only the per-experiment summaries")
 	flag.Parse()
 
+	var matches func(string) bool
+	if *filter != "" {
+		re, err := regexp.Compile(*filter)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "bad -filter: %v\n", err)
+			return 2
+		}
+		matches = re.MatchString
+	}
+
 	if *list {
-		for _, e := range roadrunner.Experiments() {
+		// Sorted by ID and independent of registration order, so the
+		// inventory is stable across refactors and diffable in CI logs.
+		exps := roadrunner.Experiments()
+		sort.Slice(exps, func(i, j int) bool { return exps[i].ID < exps[j].ID })
+		for _, e := range exps {
+			if matches != nil && !matches(e.ID) {
+				continue
+			}
 			fmt.Printf("%-22s %-45s %s\n", e.ID, e.Title, e.PaperRef)
 		}
 		return 0
@@ -63,6 +84,19 @@ func run() int {
 	} else {
 		for _, id := range strings.Split(*runIDs, ",") {
 			ids = append(ids, strings.TrimSpace(id))
+		}
+	}
+	if matches != nil {
+		kept := ids[:0]
+		for _, id := range ids {
+			if matches(id) {
+				kept = append(kept, id)
+			}
+		}
+		ids = kept
+		if len(ids) == 0 {
+			fmt.Fprintf(os.Stderr, "no experiments match -filter %q\n", *filter)
+			return 2
 		}
 	}
 

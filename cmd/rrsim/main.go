@@ -10,6 +10,9 @@
 //	rrsim -chip                 # SPU pipeline microbenchmarks
 //	rrsim -memory               # Table III memory characterisation
 //	rrsim -des                  # Sweep3D on the DES machine + engine stats
+//	rrsim -collective allreduce-ring -ranks 64 -msg 1048576
+//	                            # one collective on the DES + engine stats
+//	rrsim -collective list      # the implemented algorithms
 package main
 
 import (
@@ -18,12 +21,14 @@ import (
 	"os"
 	"time"
 
+	"roadrunner"
 	"roadrunner/internal/cml"
 	"roadrunner/internal/fabric"
 	"roadrunner/internal/isa"
 	"roadrunner/internal/microbench"
 	"roadrunner/internal/spu"
 	"roadrunner/internal/sweep3d"
+	"roadrunner/internal/units"
 )
 
 func main() {
@@ -32,7 +37,9 @@ func main() {
 	chip := flag.Bool("chip", false, "print SPU pipeline microbenchmarks")
 	memory := flag.Bool("memory", false, "print the Table III memory characterisation")
 	des := flag.Bool("des", false, "run Sweep3D on the discrete-event machine and print engine stats")
-	ranks := flag.Int("ranks", 32, "SPE ranks for -des (placed px x py, px = ranks/4)")
+	ranks := flag.Int("ranks", 32, "ranks for -des (placed px x py) and -collective (one per node)")
+	coll := flag.String("collective", "", "run one collective algorithm by name, or 'list'")
+	msg := flag.Int64("msg", 8, "per-rank payload bytes for -collective")
 	flag.Parse()
 
 	fab := fabric.New()
@@ -44,8 +51,8 @@ func main() {
 			os.Exit(2)
 		}
 		na, nb := fabric.FromGlobal(a), fabric.FromGlobal(b)
-		fmt.Printf("%v -> %v: %d crossbar hops, %v switch latency, %v MPI zero-byte\n",
-			na, nb, fab.Hops(na, nb), fab.HopLatency(na, nb),
+		fmt.Printf("%v -> %v (%s): %d crossbar hops, %v switch latency, %v MPI zero-byte\n",
+			na, nb, fab.PairClass(na, nb), fab.HopsGlobal(a, b), fab.HopLatency(na, nb),
 			microbench.Fig10Latency(fab, nb))
 		return
 	}
@@ -105,7 +112,32 @@ func main() {
 			st.Dispatched, st.CalendarPeak,
 			float64(st.Dispatched)/wall.Seconds())
 	}
-	if !*census && !*audit && !*chip && !*memory && !*des && len(args) == 0 {
+	if *coll != "" {
+		if *coll == "list" {
+			for _, op := range roadrunner.CollectiveOps() {
+				fmt.Println(op)
+			}
+			return
+		}
+		start := time.Now()
+		res, err := roadrunner.RunCollective(roadrunner.CollectiveOp(*coll), *ranks, units.Size(*msg))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		wall := time.Since(start)
+		bw := ""
+		if res.WireBytes > 0 {
+			bw = fmt.Sprintf(", %.4g MB/s effective", res.Bandwidth().MBps())
+		}
+		fmt.Printf("%s over %d ranks, %v per rank: %v (fastest rank %v%s)\n",
+			res.Op, res.Ranks, res.Size, res.Time, res.MinTime, bw)
+		fmt.Printf("%d messages, %v on the wire\n", res.Messages, res.WireBytes)
+		st := res.EngineStats
+		fmt.Printf("engine: %d events dispatched, calendar peak %d, %.0f events/s host\n",
+			st.Dispatched, st.CalendarPeak, float64(st.Dispatched)/wall.Seconds())
+	}
+	if !*census && !*audit && !*chip && !*memory && !*des && *coll == "" && len(args) == 0 {
 		flag.Usage()
 	}
 }

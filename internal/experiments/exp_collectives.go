@@ -1,0 +1,194 @@
+package experiments
+
+import (
+	"fmt"
+
+	"roadrunner/internal/collectives"
+	"roadrunner/internal/linpack"
+	"roadrunner/internal/report"
+	"roadrunner/internal/scenario"
+	"roadrunner/internal/units"
+)
+
+// The collective-scenario experiments go beyond the paper's figures:
+// they compose the calibrated point-to-point models (Figs. 6-10) into
+// the collective operations that gate LINPACK and Sweep3D at scale, and
+// sweep them across communicator sizes and algorithms. Checks pin the
+// structural laws (O(log2 P) growth in hop-limited regimes, linear
+// growth for dense exchanges, algorithm crossovers) and the consistency
+// of the panel-broadcast phase cost with the calibrated hybrid-HPL
+// overlap budget.
+func init() {
+	register("coll-scaling", "Collective latency scaling to 3,060 nodes", "§II.B-C scenario", runCollScaling)
+	register("coll-crossover", "Allreduce algorithm crossover", "§IV.C scenario", runCollCrossover)
+	register("coll-cu-exchange", "Dense exchanges within a CU", "§II.B scenario", runCollCUExchange)
+	register("coll-linpack-panel", "LINPACK panel-broadcast phase cost", "§I / [10] scenario", runCollLinpackPanel)
+}
+
+// seriesByOp collects one figure series per collective op over a sweep.
+func seriesByOp(fig *report.Figure, points []scenario.Point, x func(scenario.Point) float64) map[collectives.Op]*report.Series {
+	series := map[collectives.Op]*report.Series{}
+	for _, p := range points {
+		s, ok := series[p.Op]
+		if !ok {
+			s = fig.NewSeries(string(p.Op))
+			series[p.Op] = s
+		}
+		s.Add(x(p), p.Time.Microseconds())
+	}
+	return series
+}
+
+// log2Ceil returns ceil(log2 n) for n >= 1.
+func log2Ceil(n int) int {
+	r := 0
+	for p := 1; p < n; p *= 2 {
+		r++
+	}
+	return r
+}
+
+func runCollScaling() *Artifact {
+	a := newArtifact("coll-scaling", "Collective latency scaling to 3,060 nodes", "§II.B-C scenario")
+	points, err := scenario.LatencyScaling()
+	if err != nil {
+		a.Checks.True("sweep runs", false, err.Error())
+		return a
+	}
+	fig := report.NewFigure("Collective latency vs communicator size (8 B)", "nodes", "us")
+	fig.XLog = true
+	series := seriesByOp(fig, points, func(p scenario.Point) float64 { return float64(p.Nodes) })
+	fig.AddNote("one rank per node, near-core placement; rounds stretch with the hop profile")
+	a.Figures = append(a.Figures, fig)
+
+	for _, op := range scenario.ScalingOps {
+		s := series[op]
+		ys := report.SeriesYs(s)
+		a.Checks.True(fmt.Sprintf("%s monotone in P", op), report.NonDecreasing(ys, 0.001),
+			"latency never drops as the communicator grows")
+		first := s.Y(float64(scenario.ScalingNodeCounts[0]))
+		last := s.Y(float64(scenario.ScalingNodeCounts[len(scenario.ScalingNodeCounts)-1]))
+		// Hop-limited O(log2 P): rounds grow 3 -> 12 from one crossbar to
+		// the full machine, stretched by deeper routes (1 -> 7 hops).
+		a.Checks.RatioInBand(fmt.Sprintf("%s scale 8->3060", op), last, first, 3.0, 7.0)
+		minNorm, maxNorm := 0.0, 0.0
+		for _, n := range scenario.ScalingNodeCounts {
+			norm := s.Y(float64(n)) / float64(log2Ceil(n))
+			if minNorm == 0 || norm < minNorm {
+				minNorm = norm
+			}
+			if norm > maxNorm {
+				maxNorm = norm
+			}
+		}
+		a.Checks.RatioInBand(fmt.Sprintf("%s per-round cost spread", op), maxNorm, minNorm, 1.0, 1.8)
+	}
+	barrier := series[collectives.BarrierRecursiveDoubling]
+	a.Checks.Within("barrier on one crossbar (us)", barrier.Y(8), 6.48, 0.05)
+	a.Checks.Within("barrier full machine (us)", barrier.Y(3060), 34.7, 0.05)
+	return a
+}
+
+func runCollCrossover() *Artifact {
+	a := newArtifact("coll-crossover", "Allreduce algorithm crossover", "§IV.C scenario")
+	points, err := scenario.AllreduceCrossover()
+	if err != nil {
+		a.Checks.True("sweep runs", false, err.Error())
+		return a
+	}
+	fig := report.NewFigure(
+		fmt.Sprintf("Allreduce time vs message size (%d ranks)", scenario.CrossoverRanks),
+		"message size (B)", "us")
+	fig.XLog = true
+	series := seriesByOp(fig, points, func(p scenario.Point) float64 { return float64(p.Size) })
+	a.Figures = append(a.Figures, fig)
+
+	rd := series[collectives.AllreduceRecursiveDoubling]
+	rab := series[collectives.AllreduceRabenseifner]
+	ring := series[collectives.AllreduceRing]
+	small := float64(scenario.CrossoverSizes[0])
+	big := float64(scenario.CrossoverSizes[len(scenario.CrossoverSizes)-1])
+	a.Checks.True("recursive doubling wins the latency regime",
+		rd.Y(small) < rab.Y(small) && rd.Y(small) < ring.Y(small),
+		"fewest rounds at 64 B")
+	a.Checks.True("ring wins over rd in the bandwidth regime",
+		ring.Y(big) < 0.5*rd.Y(big),
+		"2(P-1) small steps move 2*size vs log2(P)*size")
+	a.Checks.True("rabenseifner wins over rd in the bandwidth regime",
+		rab.Y(big) < 0.5*rd.Y(big),
+		"reduce-scatter + allgather halves the traffic per round")
+	ringX := scenario.CrossoverSize(points, collectives.AllreduceRecursiveDoubling, collectives.AllreduceRing)
+	rabX := scenario.CrossoverSize(points, collectives.AllreduceRecursiveDoubling, collectives.AllreduceRabenseifner)
+	fig.AddNote("ring overtakes recursive doubling at %v, rabenseifner at %v", ringX, rabX)
+	a.Checks.True("ring crossover in the KB-to-MB window",
+		ringX >= 8*units.KB && ringX <= 512*units.KB,
+		fmt.Sprintf("measured %v", ringX))
+	a.Checks.True("rabenseifner crossover below the ring's",
+		rabX > 0 && rabX <= ringX,
+		fmt.Sprintf("measured %v", rabX))
+	return a
+}
+
+func runCollCUExchange() *Artifact {
+	a := newArtifact("coll-cu-exchange", "Dense exchanges within a CU", "§II.B scenario")
+	points, err := scenario.CUExchange()
+	if err != nil {
+		a.Checks.True("sweep runs", false, err.Error())
+		return a
+	}
+	fig := report.NewFigure("Allgather and alltoall within one CU (4 KB blocks)", "ranks", "us")
+	series := seriesByOp(fig, points, func(p scenario.Point) float64 { return float64(p.Ranks) })
+	a.Figures = append(a.Figures, fig)
+
+	first := float64(scenario.ExchangeRankCounts[0])
+	last := float64(scenario.ExchangeRankCounts[len(scenario.ExchangeRankCounts)-1])
+	for _, op := range []collectives.Op{collectives.AllgatherRing, collectives.AlltoallPairwise} {
+		s := series[op]
+		a.Checks.True(fmt.Sprintf("%s monotone in P", op),
+			report.NonDecreasing(report.SeriesYs(s), 0.001), "")
+		// Dense exchange: P-1 rounds of fixed-size blocks, so time grows
+		// linearly in the rank count (180/8 = 22.5x rounds).
+		a.Checks.RatioInBand(fmt.Sprintf("%s linear growth 8->180", op),
+			s.Y(last), s.Y(first), 20, 40)
+		a.Checks.RatioInBand(fmt.Sprintf("%s doubling 32->64", op),
+			s.Y(64), s.Y(32), 1.8, 2.4)
+	}
+	return a
+}
+
+func runCollLinpackPanel() *Artifact {
+	a := newArtifact("coll-linpack-panel", "LINPACK panel-broadcast phase cost", "§I / [10] scenario")
+	res, err := scenario.PanelBroadcast()
+	if err != nil {
+		a.Checks.True("scenario runs", false, err.Error())
+		return a
+	}
+	t := newTableHelper("HPL panel broadcast on the full machine", "quantity", "value")
+	t.AddRow("problem order N", res.Spec.N)
+	t.AddRow("panel width NB", res.Spec.NB)
+	t.AddRow("process grid", fmt.Sprintf("%dx%d", res.Spec.GridRows, res.Spec.GridCols))
+	t.AddRow("row communicator (ranks)", res.RowRanks)
+	t.AddRow("mid-run panel size", res.PanelBytes.String())
+	t.AddRow("panel broadcasts", res.Spec.Panels())
+	t.AddRow("binomial bcast per panel (DES)", res.BinomialPerPanel.String())
+	t.AddRow("pipelined bound per panel", res.PipelinedPerPanel.String())
+	t.AddRow("binomial fraction of runtime", fmt.Sprintf("%.3f", res.BinomialFraction))
+	t.AddRow("pipelined fraction of runtime", fmt.Sprintf("%.3f", res.PipelinedFraction))
+	t.AddRow("hybrid model overlap loss", linpack.RoadrunnerHPL().OverlapLoss)
+	a.Tables = append(a.Tables, t)
+
+	loss := linpack.RoadrunnerHPL().OverlapLoss
+	a.Checks.Within("mid-run panel (MB)", res.PanelBytes.MBytes(), 22.0, 0.05)
+	a.Checks.Within("binomial per panel (ms)", res.BinomialPerPanel.Milliseconds(), 93.8, 0.05)
+	a.Checks.Within("pipelined bound per panel (ms)", res.PipelinedPerPanel.Milliseconds(), 15.6, 0.05)
+	a.Checks.Within("binomial runtime fraction", res.BinomialFraction, 0.213, 0.05)
+	a.Checks.True("overlap budget covers a pipelined broadcast",
+		res.PipelinedFraction < loss,
+		fmt.Sprintf("%.3f < %.3f", res.PipelinedFraction, loss))
+	a.Checks.True("overlap budget cannot cover the binomial tree",
+		res.BinomialFraction > loss,
+		"why HPL pipelines its long broadcasts")
+	a.Checks.True("tree bcast above the pipelined bound",
+		res.BinomialPerPanel > res.PipelinedPerPanel, "")
+	return a
+}

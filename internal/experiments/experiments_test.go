@@ -12,6 +12,8 @@ func TestRegistryComplete(t *testing.T) {
 		"fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7",
 		"fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "fig14",
 		"linpack",
+		// Collective-scenario experiments (beyond the paper's figures).
+		"coll-scaling", "coll-crossover", "coll-cu-exchange", "coll-linpack-panel",
 	}
 	for _, id := range want {
 		if _, ok := ByID(id); !ok {

@@ -1,0 +1,134 @@
+package fabric
+
+import (
+	"testing"
+
+	"roadrunner/internal/params"
+)
+
+// TestExhaustiveHopAuditFullScale audits every one of the 3,060 x 3,060
+// node pairs of the full machine against Table I: each pair is
+// classified (same crossbar, same CU, same/cross switch side, same/other
+// crossbar index) and its hop count checked against the class, and every
+// source's census is checked against the closed-form class populations.
+// Table I itself is the node-0 row of this audit.
+func TestExhaustiveHopAuditFullScale(t *testing.T) {
+	s := New()
+	nodes := s.Nodes()
+
+	// computeNodesOnXbar: crossbars 0..21 carry 8 compute nodes, crossbar
+	// 22 carries the last 4 (plus I/O ports the census does not count).
+	computeNodesOnXbar := func(k int) int {
+		if k < 22 {
+			return 8
+		}
+		return 4
+	}
+
+	classCount := map[string]int{}
+	for a := 0; a < nodes; a++ {
+		na := FromGlobal(a)
+		for b := 0; b < nodes; b++ {
+			nb := FromGlobal(b)
+			class := s.PairClass(na, nb)
+			h := s.Hops(na, nb)
+			if want := ClassHops[class]; h != want {
+				t.Fatalf("%v -> %v: class %s has %d hops, want %d", na, nb, class, h, want)
+			}
+			if hBack := s.Hops(nb, na); hBack != h {
+				t.Fatalf("%v <-> %v asymmetric: %d vs %d", na, nb, h, hBack)
+			}
+			classCount[class]++
+		}
+	}
+
+	// Closed-form populations summed over all sources. A source on a
+	// crossbar with m compute nodes sees m-1 same-crossbar peers, m
+	// same-index peers per other CU of its side, and so on; its side has
+	// sameSide CUs and the other side 17 - sameSide.
+	want := map[string]int{}
+	for cu := 0; cu < params.NumCUs; cu++ {
+		sameSide := params.FirstSideCUs
+		if cu >= params.FirstSideCUs {
+			sameSide = params.LastSideCUs
+		}
+		otherSide := params.NumCUs - sameSide
+		for n := 0; n < params.NodesPerCU; n++ {
+			m := computeNodesOnXbar(LineXbar(n))
+			want["self"]++
+			want["same-xbar"] += m - 1
+			want["same-cu"] += params.NodesPerCU - m
+			want["same-side-same-xbar"] += (sameSide - 1) * m
+			want["same-side-other-xbar"] += (sameSide - 1) * (params.NodesPerCU - m)
+			want["cross-side-same-xbar"] += otherSide * m
+			want["cross-side-other-xbar"] += otherSide * (params.NodesPerCU - m)
+		}
+	}
+	for class, n := range want {
+		if classCount[class] != n {
+			t.Errorf("class %s: %d pairs, want %d", class, classCount[class], n)
+		}
+	}
+	total := 0
+	for _, n := range classCount {
+		total += n
+	}
+	if total != nodes*nodes {
+		t.Errorf("classified %d pairs, want %d", total, nodes*nodes)
+	}
+
+	// Node 0's row of the audit is Table I verbatim.
+	c := s.Census(NodeID{0, 0})
+	tableI := []struct {
+		name string
+		got  int
+		want int
+	}{
+		{"self", c.Self, 1},
+		{"same crossbar", c.SameXbar, 7},
+		{"same CU", c.SameCU, 172},
+		{"CUs 2-12 same crossbar", c.NearCUsSameXbar, 88},
+		{"CUs 2-12 other crossbar", c.NearCUsOtherXbar, 1892},
+		{"CUs 13-17 same crossbar", c.FarCUsSameXbar, 40},
+		{"CUs 13-17 other crossbar", c.FarCUsOtherXbar, 860},
+	}
+	for _, row := range tableI {
+		if row.got != row.want {
+			t.Errorf("Table I %s: %d, want %d", row.name, row.got, row.want)
+		}
+	}
+}
+
+// TestHopsGlobalMatchesHops cross-checks the global-index route query
+// used by rank->node mappings.
+func TestHopsGlobalMatchesHops(t *testing.T) {
+	s := New()
+	for _, pair := range [][2]int{{0, 0}, {0, 1}, {0, 179}, {0, 180}, {5, 2345}, {2000, 3059}} {
+		a, b := FromGlobal(pair[0]), FromGlobal(pair[1])
+		if s.HopsGlobal(pair[0], pair[1]) != s.Hops(a, b) {
+			t.Errorf("HopsGlobal(%d, %d) != Hops(%v, %v)", pair[0], pair[1], a, b)
+		}
+	}
+}
+
+// TestPairClassValues pins one example of each class.
+func TestPairClassValues(t *testing.T) {
+	s := New()
+	cases := []struct {
+		a, b  NodeID
+		class string
+	}{
+		{NodeID{0, 0}, NodeID{0, 0}, "self"},
+		{NodeID{0, 0}, NodeID{0, 7}, "same-xbar"},
+		{NodeID{0, 0}, NodeID{0, 100}, "same-cu"},
+		{NodeID{0, 0}, NodeID{5, 3}, "same-side-same-xbar"},
+		{NodeID{0, 0}, NodeID{5, 100}, "same-side-other-xbar"},
+		{NodeID{0, 0}, NodeID{14, 3}, "cross-side-same-xbar"},
+		{NodeID{0, 0}, NodeID{14, 100}, "cross-side-other-xbar"},
+	}
+	for _, tc := range cases {
+		if got := s.PairClass(tc.a, tc.b); got != tc.class {
+			t.Errorf("PairClass(%v, %v) = %s, want %s", tc.a, tc.b, got, tc.class)
+		}
+	}
+}

@@ -138,6 +138,53 @@ func (s *System) Hops(a, b NodeID) int {
 	return 7
 }
 
+// HopsGlobal returns Hops between two system-wide node indices, for
+// callers that address nodes globally (rrsim's hop query, placement
+// tools) rather than by (CU, node).
+func (s *System) HopsGlobal(a, b int) int {
+	return s.Hops(FromGlobal(a), FromGlobal(b))
+}
+
+// PairClass names the Table I destination class of the route from a to
+// b: "self", "same-xbar", "same-cu", "same-side-same-xbar",
+// "same-side-other-xbar", "cross-side-same-xbar" or
+// "cross-side-other-xbar". The class determines the hop count; the audit
+// tests and topology tools use it to label routes.
+func (s *System) PairClass(a, b NodeID) string {
+	s.validate(a)
+	s.validate(b)
+	ka, kb := LineXbar(a.Node), LineXbar(b.Node)
+	switch {
+	case a == b:
+		return "self"
+	case a.CU == b.CU && ka == kb:
+		return "same-xbar"
+	case a.CU == b.CU:
+		return "same-cu"
+	case firstSide(a.CU) == firstSide(b.CU) && ka == kb:
+		return "same-side-same-xbar"
+	case firstSide(a.CU) == firstSide(b.CU):
+		return "same-side-other-xbar"
+	case ka == kb:
+		return "cross-side-same-xbar"
+	default:
+		return "cross-side-other-xbar"
+	}
+}
+
+// ClassHops maps each PairClass name to its crossbar hop count (the
+// Table I metric). The audit tests cross-check Hops against this table
+// for every node pair.
+var ClassHops = map[string]int{
+	"self":                  0,
+	"same-xbar":             1,
+	"same-cu":               3,
+	"same-side-same-xbar":   3,
+	"same-side-other-xbar":  5,
+	"cross-side-same-xbar":  5,
+	"cross-side-other-xbar": 7,
+}
+
 func (s *System) validate(n NodeID) {
 	if n.CU < 0 || n.CU >= s.CUs || n.Node < 0 || n.Node >= params.NodesPerCU {
 		panic(fmt.Sprintf("fabric: node %v outside %d-CU system", n, s.CUs))

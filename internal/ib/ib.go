@@ -163,3 +163,44 @@ func (h *HCA) Stream(p *sim.Proc, dir int, size units.Size, pairBW units.Bandwid
 	}
 	h.active[dir]--
 }
+
+// ActiveFlows reports the number of flows currently streaming in the
+// given direction (0 egress, 1 ingress).
+func (h *HCA) ActiveFlows(dir int) int { return h.active[dir] }
+
+// StreamBetween blocks p while size bytes flow from the src HCA (egress
+// side) to the dst HCA (ingress side), re-evaluating the rate chunk by
+// chunk against the sharing state of BOTH adapters: the sender's egress
+// flows serialize at the chipset rate, the receiver's ingress flows do
+// the same, and a node that is simultaneously sending and receiving hits
+// its duplex aggregate cap. This is the wire model for collective stages,
+// where ring and recursive-doubling exchanges keep every HCA busy in both
+// directions at once.
+func StreamBetween(p *sim.Proc, src, dst *HCA, size units.Size, pairBW units.Bandwidth) {
+	if size <= 0 {
+		return
+	}
+	if src == dst {
+		// Same adapter (loopback pairing): a single egress flow accounts
+		// for the shared engines.
+		src.Stream(p, 0, size, pairBW)
+		return
+	}
+	src.active[0]++
+	dst.active[1]++
+	remaining := size
+	for remaining > 0 {
+		chunk := remaining
+		if chunk > chunkSize {
+			chunk = chunkSize
+		}
+		rate := src.flowRate(0, pairBW)
+		if r := dst.flowRate(1, pairBW); r < rate {
+			rate = r
+		}
+		p.Sleep(rate.TransferTime(chunk))
+		remaining -= chunk
+	}
+	src.active[0]--
+	dst.active[1]--
+}

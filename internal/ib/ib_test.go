@@ -153,3 +153,109 @@ func TestNearCore(t *testing.T) {
 		t.Error("core proximity map")
 	}
 }
+
+func TestStreamBetweenSingleFlowFullRate(t *testing.T) {
+	// With idle adapters on both ends, a pair stream runs at the pair
+	// bandwidth, identical to a single-ended Stream.
+	eng := sim.NewEngine()
+	defer eng.Close()
+	pr := OpenMPI()
+	src, dst := NewHCA(eng, pr), NewHCA(eng, pr)
+	size := 1 * units.MB
+	var dur units.Time
+	eng.Spawn("f", func(p *sim.Proc) {
+		start := p.Now()
+		StreamBetween(p, src, dst, size, pr.NearBandwidth)
+		dur = p.Now() - start
+	})
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	want := pr.NearBandwidth.TransferTime(size)
+	if d := dur - want; d < -units.Nanosecond || d > units.Nanosecond {
+		t.Errorf("pair stream = %v, want %v", dur, want)
+	}
+	if src.ActiveFlows(0) != 0 || dst.ActiveFlows(1) != 0 {
+		t.Error("flow accounting leaked")
+	}
+}
+
+func TestStreamBetweenDuplexExchange(t *testing.T) {
+	// A symmetric exchange (each node sends to and receives from the
+	// other, as every ring/recursive-doubling collective stage does) puts
+	// one flow in each direction on both HCAs: the duplex aggregate cap
+	// bounds each direction at 1.5 GB/s / 2 = 750 MB/s.
+	eng := sim.NewEngine()
+	defer eng.Close()
+	pr := OpenMPI()
+	a, b := NewHCA(eng, pr), NewHCA(eng, pr)
+	size := 1 * units.MB
+	var slowest units.Time
+	run := func(src, dst *HCA) {
+		eng.Spawn("f", func(p *sim.Proc) {
+			start := p.Now()
+			StreamBetween(p, src, dst, size, pr.PairBandwidth(1, 3))
+			if d := p.Now() - start; d > slowest {
+				slowest = d
+			}
+		})
+	}
+	run(a, b)
+	run(b, a)
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	bw := float64(size) / slowest.Seconds() / 1e6
+	if math.Abs(bw-750)/750 > 0.05 {
+		t.Errorf("duplex exchange per-direction = %.0f MB/s, want ~750", bw)
+	}
+}
+
+func TestStreamBetweenIngressSerialization(t *testing.T) {
+	// Two senders into one receiver: the receiver's ingress side
+	// serializes the flows at the chipset rate, so each sees ~MultiFlow/2
+	// even though both egress adapters are otherwise idle.
+	eng := sim.NewEngine()
+	defer eng.Close()
+	pr := OpenMPI()
+	dst := NewHCA(eng, pr)
+	size := 1 * units.MB
+	var slowest units.Time
+	for i := 0; i < 2; i++ {
+		src := NewHCA(eng, pr)
+		eng.Spawn("f", func(p *sim.Proc) {
+			start := p.Now()
+			StreamBetween(p, src, dst, size, pr.PairBandwidth(1, 3))
+			if d := p.Now() - start; d > slowest {
+				slowest = d
+			}
+		})
+	}
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	want := float64(pr.MultiFlowBandwidth) / 2 / 1e6
+	bw := float64(size) / slowest.Seconds() / 1e6
+	if math.Abs(bw-want)/want > 0.05 {
+		t.Errorf("2-into-1 per-flow = %.0f MB/s, want ~%.0f", bw, want)
+	}
+}
+
+func TestStreamBetweenSameHCALoopback(t *testing.T) {
+	eng := sim.NewEngine()
+	defer eng.Close()
+	pr := OpenMPI()
+	h := NewHCA(eng, pr)
+	var dur units.Time
+	eng.Spawn("f", func(p *sim.Proc) {
+		start := p.Now()
+		StreamBetween(p, h, h, 64*units.KB, pr.NearBandwidth)
+		dur = p.Now() - start
+	})
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if want := pr.NearBandwidth.TransferTime(64 * units.KB); dur != want {
+		t.Errorf("loopback = %v, want %v", dur, want)
+	}
+}

@@ -16,6 +16,8 @@ import (
 	"errors"
 	"fmt"
 	"math"
+
+	"roadrunner/internal/units"
 )
 
 // Matrix is a dense row-major square matrix.
@@ -251,4 +253,82 @@ func RoadrunnerHPL() HybridModel {
 // Efficiency returns sustained/peak for the whole machine.
 func (h HybridModel) Efficiency() float64 {
 	return h.DGEMMFraction * h.SPEDGEMMEff * (1 - h.OverlapLoss)
+}
+
+// ---------------------------------------------------------------------------
+// Panel-broadcast phase model.
+// ---------------------------------------------------------------------------
+
+// PanelBroadcast describes HPL's panel-broadcast phase on a P×Q process
+// grid (column-major rank order, the HPL default): after each panel of
+// NB columns is factorised by one process column, it is broadcast along
+// every process row before the trailing update — the communication phase
+// whose cost the hybrid model's OverlapLoss must absorb. The collective
+// scenario layer measures one such broadcast on the DES and this model
+// scales it to the whole factorisation.
+type PanelBroadcast struct {
+	N        int // global problem order
+	NB       int // panel width (columns per broadcast)
+	GridRows int // process-grid rows (P)
+	GridCols int // process-grid columns (Q) — the broadcast communicator size
+}
+
+// RoadrunnerPanelBroadcast returns a representative configuration for
+// the full machine: one rank per triblade on a 51×60 grid (51·60 =
+// 3,060), NB=128, and N sized to fill the Opteron memory the way the
+// record run did.
+func RoadrunnerPanelBroadcast() PanelBroadcast {
+	return PanelBroadcast{N: 2_300_000, NB: 128, GridRows: 51, GridCols: 60}
+}
+
+// Panels returns the number of panel broadcasts in the factorisation.
+func (pb PanelBroadcast) Panels() int { return (pb.N + pb.NB - 1) / pb.NB }
+
+// PanelBytes returns the local panel size one broadcast moves at the
+// factorisation's midpoint: N/2 remaining rows spread over GridRows
+// processes, NB columns, 8 bytes per element.
+func (pb PanelBroadcast) PanelBytes() units.Size {
+	rows := pb.N / 2 / pb.GridRows
+	return units.Size(rows) * units.Size(pb.NB) * 8
+}
+
+// RowStride is the rank distance between neighbours of one process row
+// under column-major grid ordering — the stride at which a row's ranks
+// walk across the machine's nodes.
+func (pb PanelBroadcast) RowStride() int { return pb.GridRows }
+
+// TotalFlops returns the factorisation's operation count, 2/3·N³.
+func (pb PanelBroadcast) TotalFlops() float64 {
+	n := float64(pb.N)
+	return 2.0 / 3.0 * n * n * n
+}
+
+// RunTime returns the wall-clock of the factorisation at the given
+// sustained rate.
+func (pb PanelBroadcast) RunTime(sustained units.Flops) units.Time {
+	if sustained <= 0 {
+		return 0
+	}
+	return units.FromSeconds(pb.TotalFlops() / float64(sustained))
+}
+
+// BroadcastFraction returns the share of the run an unoverlapped
+// broadcast costing perPanel would consume: Panels()·perPanel over
+// RunTime. A fraction exceeding the hybrid model's OverlapLoss means
+// that broadcast algorithm could not hide inside the measured overlap
+// budget.
+func (pb PanelBroadcast) BroadcastFraction(perPanel units.Time, sustained units.Flops) float64 {
+	rt := pb.RunTime(sustained)
+	if rt <= 0 {
+		return 0
+	}
+	return float64(pb.Panels()) * float64(perPanel) / float64(rt)
+}
+
+// PipelinedPerPanel returns the per-panel lower bound for a pipelined
+// (ring/segmented) broadcast: the panel streams through each link once,
+// so the cost approaches PanelBytes at the link bandwidth independent of
+// the row size — the reason HPL's long broadcasts are rings, not trees.
+func (pb PanelBroadcast) PipelinedPerPanel(bw units.Bandwidth) units.Time {
+	return bw.TransferTime(pb.PanelBytes())
 }

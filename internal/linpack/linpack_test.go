@@ -7,6 +7,7 @@ import (
 
 	"roadrunner/internal/machine"
 	"roadrunner/internal/params"
+	"roadrunner/internal/units"
 )
 
 func TestFactorizeAndSolve(t *testing.T) {
@@ -145,5 +146,41 @@ func TestHeadlineNumbers(t *testing.T) {
 	mfw := sys.MFlopsPerWatt(sustained)
 	if math.Abs(mfw-437)/437 > 0.05 {
 		t.Errorf("Green500 = %.0f MF/W, want ~437", mfw)
+	}
+}
+
+func TestPanelBroadcastModel(t *testing.T) {
+	pb := RoadrunnerPanelBroadcast()
+	if pb.GridRows*pb.GridCols != 3060 {
+		t.Errorf("grid %dx%d != 3060 nodes", pb.GridRows, pb.GridCols)
+	}
+	if got := pb.Panels(); got != (pb.N+pb.NB-1)/pb.NB {
+		t.Errorf("panels = %d", got)
+	}
+	// Mid-run panel: N/2/51 rows x 128 cols x 8 B ~ 22 MB.
+	if mb := pb.PanelBytes().MBytes(); mb < 20 || mb > 26 {
+		t.Errorf("panel = %.1f MB", mb)
+	}
+	if pb.RowStride() != pb.GridRows {
+		t.Error("row stride != grid rows under column-major ordering")
+	}
+	sys := machine.New(machine.Full())
+	sustained := sys.LinpackSustained(RoadrunnerHPL().Efficiency())
+	// 2/3 N^3 at ~1.026 PF/s is a couple of hours.
+	rt := pb.RunTime(sustained)
+	if h := rt.Seconds() / 3600; h < 1 || h > 4 {
+		t.Errorf("run time = %.2f h", h)
+	}
+	// A broadcast costing 1% of runtime per-panel-share reports 0.01.
+	perPanel := units.Time(float64(rt) / float64(pb.Panels()) * 0.01)
+	if frac := pb.BroadcastFraction(perPanel, sustained); math.Abs(frac-0.01) > 0.0005 {
+		t.Errorf("fraction = %.4f, want 0.01", frac)
+	}
+	// Pipelined bound is bytes at bandwidth.
+	if got := pb.PipelinedPerPanel(1 * units.GBPerSec); got != (1 * units.GBPerSec).TransferTime(pb.PanelBytes()) {
+		t.Errorf("pipelined bound = %v", got)
+	}
+	if pb.BroadcastFraction(0, 0) != 0 || pb.RunTime(0) != 0 {
+		t.Error("zero sustained rate must not divide by zero")
 	}
 }

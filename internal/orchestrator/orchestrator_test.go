@@ -10,6 +10,8 @@ import (
 	"os"
 	"path/filepath"
 	"runtime"
+	"sort"
+	"strconv"
 	"strings"
 	"testing"
 	"time"
@@ -314,7 +316,7 @@ func TestStreamerEmitsJSONLAndCSV(t *testing.T) {
 			nCSV++
 		}
 	}
-	wantCSV := 0
+	wantCSV := 1 // suite-summary.csv
 	for _, r := range results {
 		if !seen[r.ID] {
 			t.Errorf("no JSONL record for %s", r.ID)
@@ -323,6 +325,62 @@ func TestStreamerEmitsJSONLAndCSV(t *testing.T) {
 	}
 	if nCSV != wantCSV {
 		t.Errorf("%d CSV files, want %d", nCSV, wantCSV)
+	}
+
+	// The summary carries one row per experiment with the wall-clock
+	// duration and cache-hit flag, sorted by ID.
+	sum, err := os.ReadFile(filepath.Join(csvDir, "suite-summary.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sumLines := strings.Split(strings.TrimSpace(string(sum)), "\n")
+	if len(sumLines) != len(exps)+1 {
+		t.Fatalf("summary rows = %d, want %d + header:\n%s", len(sumLines)-1, len(exps), sum)
+	}
+	if !strings.Contains(sumLines[0], "elapsed_ms") || !strings.Contains(sumLines[0], "cache_hit") {
+		t.Errorf("summary header missing duration/cache columns: %s", sumLines[0])
+	}
+	wantIDs := []string{exps[0].ID, exps[1].ID}
+	sort.Strings(wantIDs)
+	for i, id := range wantIDs {
+		fields := strings.Split(sumLines[i+1], ",")
+		if fields[0] != id {
+			t.Errorf("summary row %d = %s, want %s (sorted)", i, fields[0], id)
+		}
+		if fields[2] != "false" {
+			t.Errorf("%s: cache_hit = %q, want false", id, fields[2])
+		}
+		if ms, err := strconv.ParseFloat(fields[3], 64); err != nil || ms < 0 {
+			t.Errorf("%s: elapsed_ms = %q", id, fields[3])
+		}
+	}
+}
+
+func TestStreamerSummaryRecordsCacheHits(t *testing.T) {
+	cache, err := OpenCache(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	exps := experiments.All()[:1]
+	if _, err := Run(context.Background(), exps, Options{Workers: 1, Cache: cache}); err != nil {
+		t.Fatal(err)
+	}
+	csvDir := t.TempDir()
+	s := NewStreamer(nil, csvDir)
+	if _, err := Run(context.Background(), exps,
+		Options{Workers: 1, Cache: cache, OnResult: s.OnResult}); err != nil {
+		t.Fatal(err)
+	}
+	sum, err := os.ReadFile(filepath.Join(csvDir, "suite-summary.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := strings.Split(strings.TrimSpace(string(sum)), "\n")
+	if len(rows) != 2 {
+		t.Fatalf("summary:\n%s", sum)
+	}
+	if fields := strings.Split(rows[1], ","); fields[2] != "true" {
+		t.Errorf("cache_hit = %q, want true", fields[2])
 	}
 }
 

@@ -3,6 +3,8 @@ package orchestrator
 import (
 	"fmt"
 	"io"
+	"sort"
+	"strings"
 	"sync"
 
 	"roadrunner/internal/report"
@@ -60,15 +62,17 @@ func RecordFor(r *Result) StreamRecord {
 
 // Streamer adapts the report emitters into an Options.OnResult callback:
 // each completed experiment becomes one JSONL record and, when a CSV
-// directory is configured, one CSV file per table and figure. Emit errors
-// are collected rather than interrupting the pool; read them with Err
-// after the run.
+// directory is configured, one CSV file per table and figure plus a
+// running suite-summary.csv with one row per experiment (status, cache
+// hit, wall-clock duration). Emit errors are collected rather than
+// interrupting the pool; read them with Err after the run.
 type Streamer struct {
 	jsonl *report.JSONLEmitter
 	csv   *report.CSVDir
 
-	mu   sync.Mutex
-	errs []error
+	mu      sync.Mutex
+	errs    []error
+	summary []StreamRecord
 }
 
 // NewStreamer builds a streamer. Either destination may be nil/empty:
@@ -86,12 +90,16 @@ func NewStreamer(jsonlW io.Writer, csvDir string) *Streamer {
 
 // OnResult is the Options.OnResult hook.
 func (s *Streamer) OnResult(r *Result) {
+	rec := RecordFor(r)
 	if s.jsonl != nil {
-		if err := s.jsonl.Emit(RecordFor(r)); err != nil {
+		if err := s.jsonl.Emit(rec); err != nil {
 			s.record(fmt.Errorf("jsonl %s: %w", r.ID, err))
 		}
 	}
-	if s.csv != nil && r.Artifact != nil {
+	if s.csv == nil {
+		return
+	}
+	if r.Artifact != nil {
 		for i, t := range r.Artifact.Tables {
 			if err := s.csv.WriteTable(fmt.Sprintf("%s-table%d", r.ID, i), t); err != nil {
 				s.record(err)
@@ -102,6 +110,27 @@ func (s *Streamer) OnResult(r *Result) {
 				s.record(err)
 			}
 		}
+	}
+	// The summary is rewritten atomically after every result (the suite
+	// is small), so a cancelled run still leaves a complete file covering
+	// everything that finished. The lock is held across the write: every
+	// call targets the same file name, so unsynchronized writers could
+	// otherwise land a stale snapshot last and lose rows.
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.summary = append(s.summary, rec)
+	rows := make([]StreamRecord, len(s.summary))
+	copy(rows, s.summary)
+	sort.Slice(rows, func(i, j int) bool { return rows[i].ID < rows[j].ID })
+	t := report.NewTable("", "id", "status", "cache_hit", "elapsed_ms",
+		"checks", "failed_checks", "error")
+	for _, row := range rows {
+		t.AddRow(row.ID, row.Status, fmt.Sprintf("%t", row.CacheHit),
+			fmt.Sprintf("%.3f", row.ElapsedMS), row.Checks,
+			strings.Join(row.FailedChecks, ";"), row.Error)
+	}
+	if err := s.csv.WriteTable("suite-summary", t); err != nil {
+		s.errs = append(s.errs, err)
 	}
 }
 

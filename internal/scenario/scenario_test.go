@@ -1,0 +1,102 @@
+package scenario
+
+import (
+	"testing"
+
+	"roadrunner/internal/collectives"
+	"roadrunner/internal/linpack"
+	"roadrunner/internal/units"
+)
+
+func TestRunPointDeterministic(t *testing.T) {
+	a, err := runPoint("t", collectives.BcastBinomial, 32, 1*units.KB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := runPoint("t", collectives.BcastBinomial, 32, 1*units.KB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Errorf("rerun diverged: %v vs %v", a, b)
+	}
+	if a.Time <= 0 || a.Messages != 31 || a.Events <= 0 {
+		t.Errorf("implausible point: %+v", a)
+	}
+}
+
+func TestCrossoverDetection(t *testing.T) {
+	// Synthetic points: candidate overtakes baseline at 64KB.
+	mk := func(op collectives.Op, size units.Size, us float64) Point {
+		return Point{Op: op, Size: size, Time: units.FromMicroseconds(us)}
+	}
+	rd, ring := collectives.AllreduceRecursiveDoubling, collectives.AllreduceRing
+	points := []Point{
+		mk(rd, 64*units.Byte, 10), mk(ring, 64*units.Byte, 50),
+		mk(rd, 64*units.KB, 100), mk(ring, 64*units.KB, 60),
+	}
+	if got := CrossoverSize(points, rd, ring); got != 64*units.KB {
+		t.Errorf("crossover = %v, want 64KB", got)
+	}
+	if got := CrossoverSize(points[:2], rd, ring); got != 0 {
+		t.Errorf("no-crossover = %v, want 0", got)
+	}
+}
+
+func TestCUExchangeScalesLinearly(t *testing.T) {
+	// A reduced version of the sweep: pairwise alltoall traffic grows
+	// linearly in P per rank, so 4x the ranks is >3x the time.
+	p8, err := runPoint("t", collectives.AlltoallPairwise, 8, exchangeSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p32, err := runPoint("t", collectives.AlltoallPairwise, 32, exchangeSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ratio := float64(p32.Time) / float64(p8.Time); ratio < 3 || ratio > 10 {
+		t.Errorf("alltoall time(32)/time(8) = %.2f, want ~31/7", ratio)
+	}
+}
+
+func TestPanelBroadcastScenario(t *testing.T) {
+	res, err := PanelBroadcast()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.RowRanks != 60 {
+		t.Errorf("row ranks = %d", res.RowRanks)
+	}
+	// ~23 MB panels: N/2/51 rows × 128 cols × 8 B.
+	if mb := res.PanelBytes.MBytes(); mb < 20 || mb > 26 {
+		t.Errorf("panel = %.1f MB", mb)
+	}
+	if res.BinomialPerPanel <= res.PipelinedPerPanel {
+		t.Error("binomial tree cannot beat the pipelined lower bound")
+	}
+	// The overlap budget of the calibrated hybrid model covers a
+	// pipelined broadcast but not the binomial tree.
+	loss := linpack.RoadrunnerHPL().OverlapLoss
+	if res.PipelinedFraction >= loss {
+		t.Errorf("pipelined fraction %.3f >= overlap loss %.3f", res.PipelinedFraction, loss)
+	}
+	if res.BinomialFraction <= loss {
+		t.Errorf("binomial fraction %.3f <= overlap loss %.3f", res.BinomialFraction, loss)
+	}
+}
+
+func TestLatencyScalingSmallSubset(t *testing.T) {
+	// The full sweep runs as an experiment; here spot-check the growth
+	// law on a cheap subset: barrier rounds scale ceil(log2 P).
+	p8, err := runPoint("t", collectives.BarrierRecursiveDoubling, 8, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p128, err := runPoint("t", collectives.BarrierRecursiveDoubling, 128, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ratio := float64(p128.Time) / float64(p8.Time); ratio < 1.8 || ratio > 3.5 {
+		t.Errorf("barrier time(128)/time(8) = %.2f, want ~7/3 rounds", ratio)
+	}
+}

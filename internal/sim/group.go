@@ -1,0 +1,59 @@
+package sim
+
+// Group is a reusable rendezvous barrier for a fixed-size set of procs:
+// each participant calls Arrive and blocks until all n have arrived, at
+// which point every member is released and the group resets for the next
+// generation. The collective-communication layer uses a Group to align
+// rank processes between measured operations so each operation starts
+// from a common simulated instant; any model that phases a set of procs
+// can use it the same way.
+//
+// Releases preserve arrival order (the wakes are scheduled FIFO at the
+// instant the last member arrives), so a Group is deterministic like
+// every other structure in this package.
+type Group struct {
+	eng     *Engine
+	name    string
+	n       int
+	arrived []*Proc // members blocked in the current generation
+
+	// Park reason built once so the blocking hot path never allocates.
+	reason string
+}
+
+// NewGroup creates a rendezvous group of size n on the engine. The name
+// appears in deadlock reports of procs blocked in Arrive.
+func NewGroup(eng *Engine, name string, n int) *Group {
+	if n < 1 {
+		panic("sim: group size < 1")
+	}
+	return &Group{
+		eng:    eng,
+		name:   name,
+		n:      n,
+		reason: "group " + name,
+	}
+}
+
+// Size returns the number of participants the group waits for.
+func (g *Group) Size() int { return g.n }
+
+// Waiting returns how many procs are currently blocked in Arrive.
+func (g *Group) Waiting() int { return len(g.arrived) }
+
+// Arrive blocks the calling proc until all n members of the group have
+// arrived. The last arrival does not block: it wakes the others and
+// returns immediately, and the group resets for reuse.
+func (g *Group) Arrive(p *Proc) {
+	if len(g.arrived)+1 == g.n {
+		// Last one in: release the generation in arrival order.
+		waiters := g.arrived
+		g.arrived = nil
+		for _, w := range waiters {
+			w.Wake()
+		}
+		return
+	}
+	g.arrived = append(g.arrived, p)
+	p.Park(g.reason)
+}

@@ -1,0 +1,96 @@
+package sim
+
+import (
+	"testing"
+
+	"roadrunner/internal/units"
+)
+
+func TestGroupReleasesTogether(t *testing.T) {
+	eng := NewEngine()
+	defer eng.Close()
+	g := NewGroup(eng, "phase", 3)
+	var release []units.Time
+	for i := 0; i < 3; i++ {
+		d := units.Time(i*10) * units.Nanosecond
+		eng.SpawnAt(d, "member", func(p *Proc) {
+			g.Arrive(p)
+			release = append(release, p.Now())
+		})
+	}
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(release) != 3 {
+		t.Fatalf("released %d of 3", len(release))
+	}
+	// Everyone leaves at the last arrival's time.
+	for _, at := range release {
+		if at != 20*units.Nanosecond {
+			t.Errorf("release at %v, want 20ns", at)
+		}
+	}
+}
+
+func TestGroupReusableAcrossGenerations(t *testing.T) {
+	eng := NewEngine()
+	defer eng.Close()
+	const n, gens = 4, 5
+	g := NewGroup(eng, "gen", n)
+	counts := make([]int, gens)
+	for i := 0; i < n; i++ {
+		i := i
+		eng.Spawn("member", func(p *Proc) {
+			for gen := 0; gen < gens; gen++ {
+				// Skewed per-member work before each rendezvous.
+				p.Sleep(units.Time((i+1)*(gen+1)) * units.Nanosecond)
+				g.Arrive(p)
+				counts[gen]++
+			}
+		})
+	}
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for gen, c := range counts {
+		if c != n {
+			t.Errorf("generation %d released %d of %d", gen, c, n)
+		}
+	}
+	if g.Waiting() != 0 {
+		t.Errorf("%d procs still waiting", g.Waiting())
+	}
+}
+
+func TestGroupSizeOneNeverBlocks(t *testing.T) {
+	eng := NewEngine()
+	defer eng.Close()
+	g := NewGroup(eng, "solo", 1)
+	ran := false
+	eng.Spawn("solo", func(p *Proc) {
+		g.Arrive(p)
+		g.Arrive(p)
+		ran = true
+	})
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !ran {
+		t.Error("solo proc blocked")
+	}
+}
+
+func TestGroupDeadlockReportsName(t *testing.T) {
+	eng := NewEngine()
+	defer eng.Close()
+	g := NewGroup(eng, "missing-member", 2)
+	eng.Spawn("alone", func(p *Proc) { g.Arrive(p) })
+	err := eng.Run()
+	de, ok := err.(*DeadlockError)
+	if !ok {
+		t.Fatalf("want deadlock, got %v", err)
+	}
+	if len(de.Procs) != 1 {
+		t.Fatalf("blocked procs: %v", de.Procs)
+	}
+}

@@ -72,6 +72,31 @@ func TestFacadeMachine(t *testing.T) {
 	}
 }
 
+func TestFacadeCollectives(t *testing.T) {
+	if len(CollectiveOps()) < 7 {
+		t.Errorf("ops = %d", len(CollectiveOps()))
+	}
+	res, err := RunCollective(CollectiveOps()[0], 16, 1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Ranks != 16 || res.Time <= 0 {
+		t.Errorf("result = %+v", res)
+	}
+	if _, err := RunCollective("bcast-binomial", 4000, 0); err == nil {
+		t.Error("oversized communicator accepted")
+	}
+	if _, err := RunCollective("bcast-binomial", -1, 0); err == nil {
+		t.Error("negative node count accepted")
+	}
+	if _, err := RunCollective("bcast-binomial", 0, 0); err == nil {
+		t.Error("zero node count accepted")
+	}
+	if _, err := RunCollective("nope", 4, 0); err == nil {
+		t.Error("unknown op accepted")
+	}
+}
+
 func TestFacadeSweep(t *testing.T) {
 	cfg := SweepConfig{I: 3, J: 3, K: 4, MK: 2, Angles: 2}
 	res := SolveSweep(cfg, 2, 2)
