@@ -23,13 +23,16 @@ bench:
 	$(GO) test -bench=. -benchtime=1x -run '^$$' ./...
 
 bench-full:
-	$(GO) test -bench=. -benchmem -run '^$$' ./internal/sim/ ./internal/collectives/ .
+	$(GO) test -bench=. -benchmem -run '^$$' ./internal/sim/ ./internal/collectives/ ./internal/scenario/ .
 
-# Collective + sim hot-path benches as BENCH_<short-sha>.json, the
-# per-commit perf record CI uploads as an artifact.
+# Collective + congested-transport + sim hot-path benches as
+# BENCH_<short-sha>.json, the per-commit perf record CI uploads as an
+# artifact. The Saturation benches track the congested path's hot-loop
+# cost (routing, sorted link admission, queueing) alongside the PR 2
+# benches.
 bench-artifact:
-	$(GO) test -json -run '^$$' -bench 'Collective|EventLoop|ProcParkUnpark|MailboxPingPong' \
-		-benchmem ./internal/collectives ./internal/sim > BENCH_$$(git rev-parse --short HEAD).json
+	$(GO) test -json -run '^$$' -bench 'Collective|Saturation|EventLoop|ProcParkUnpark|MailboxPingPong' \
+		-benchmem ./internal/collectives ./internal/scenario ./internal/sim > BENCH_$$(git rev-parse --short HEAD).json
 
 # The full evaluation through the orchestrator, all cores.
 suite:

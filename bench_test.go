@@ -139,10 +139,26 @@ func BenchmarkLinpackHeadline(b *testing.B) {
 //	BenchmarkSuiteSerial     38.1 ms/op   (24 experiments)
 //	BenchmarkSuiteParallel   39.9 ms/op   (GOMAXPROCS=1 here)
 //	BenchmarkSuiteCached      1.0 ms/op
+//
+// These benches measure the orchestrator (scheduling, streaming, the
+// cache path), so experiments flagged Expensive — the congestion sweep
+// is minutes of DES on its own, with dedicated benches in
+// internal/scenario — sit out.
+func suiteBenchIDs() []string {
+	var ids []string
+	for _, e := range Experiments() {
+		if !e.Expensive {
+			ids = append(ids, e.ID)
+		}
+	}
+	return ids
+}
+
 func benchmarkSuite(b *testing.B, opts SuiteOptions) {
 	b.Helper()
+	ids := suiteBenchIDs()
 	for i := 0; i < b.N; i++ {
-		results, err := RunSuite(context.Background(), opts)
+		results, err := RunExperiments(context.Background(), ids, opts)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -150,7 +166,7 @@ func benchmarkSuite(b *testing.B, opts SuiteOptions) {
 			b.Fatalf("%d suite failures, first: %s", len(failed), failed[0].ID)
 		}
 	}
-	b.ReportMetric(float64(len(Experiments())), "experiments")
+	b.ReportMetric(float64(len(ids)), "experiments")
 }
 
 func BenchmarkSuiteSerial(b *testing.B) {
@@ -167,7 +183,7 @@ func BenchmarkSuiteCached(b *testing.B) {
 		b.Fatal(err)
 	}
 	// Warm the cache once, then measure the hit path.
-	if _, err := RunSuite(context.Background(), SuiteOptions{Cache: cache}); err != nil {
+	if _, err := RunExperiments(context.Background(), suiteBenchIDs(), SuiteOptions{Cache: cache}); err != nil {
 		b.Fatal(err)
 	}
 	b.ResetTimer()

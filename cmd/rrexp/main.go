@@ -65,6 +65,8 @@ func run() int {
 	if *list {
 		// Sorted by ID and independent of registration order, so the
 		// inventory is stable across refactors and diffable in CI logs.
+		// Each entry carries its registered description, so the listing
+		// says what an experiment sweeps, not just what it is called.
 		exps := roadrunner.Experiments()
 		sort.Slice(exps, func(i, j int) bool { return exps[i].ID < exps[j].ID })
 		for _, e := range exps {
@@ -72,6 +74,7 @@ func run() int {
 				continue
 			}
 			fmt.Printf("%-22s %-45s %s\n", e.ID, e.Title, e.PaperRef)
+			fmt.Printf("%22s   %s\n", "", e.Description)
 		}
 		return 0
 	}

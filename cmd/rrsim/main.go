@@ -13,6 +13,10 @@
 //	rrsim -collective allreduce-ring -ranks 64 -msg 1048576
 //	                            # one collective on the DES + engine stats
 //	rrsim -collective list      # the implemented algorithms
+//	rrsim -collective alltoall-pairwise -ranks 360 -msg 65536 -toplinks 8
+//	                            # congested run + the most contended links
+//	rrsim -collective alltoall-pairwise -ranks 360 -congestion=off
+//	                            # infinite-capacity fabric (the PR 2 model)
 package main
 
 import (
@@ -40,6 +44,9 @@ func main() {
 	ranks := flag.Int("ranks", 32, "ranks for -des (placed px x py) and -collective (one per node)")
 	coll := flag.String("collective", "", "run one collective algorithm by name, or 'list'")
 	msg := flag.Int64("msg", 8, "per-rank payload bytes for -collective")
+	congestion := flag.String("congestion", "on",
+		"link congestion for -collective: on routes messages over the cable topology with finite-capacity channels; off reproduces the infinite-capacity fabric")
+	toplinks := flag.Int("toplinks", 5, "contended links to print after a congested -collective run (the census keeps the 10 hottest)")
 	flag.Parse()
 
 	fab := fabric.New()
@@ -119,8 +126,21 @@ func main() {
 			}
 			return
 		}
+		congested := true
+		switch *congestion {
+		case "on":
+		case "off":
+			congested = false
+		default:
+			fmt.Fprintf(os.Stderr, "bad -congestion %q: want on or off\n", *congestion)
+			os.Exit(2)
+		}
+		run := roadrunner.RunCollectiveCongested
+		if !congested {
+			run = roadrunner.RunCollective
+		}
 		start := time.Now()
-		res, err := roadrunner.RunCollective(roadrunner.CollectiveOp(*coll), *ranks, units.Size(*msg))
+		res, err := run(roadrunner.CollectiveOp(*coll), *ranks, units.Size(*msg))
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(2)
@@ -133,6 +153,20 @@ func main() {
 		fmt.Printf("%s over %d ranks, %v per rank: %v (fastest rank %v%s)\n",
 			res.Op, res.Ranks, res.Size, res.Time, res.MinTime, bw)
 		fmt.Printf("%d messages, %v on the wire\n", res.Messages, res.WireBytes)
+		if c := res.Congestion; c != nil {
+			fmt.Printf("congestion: %d link channels used, %d queued flows, %v total wait\n",
+				c.Links, c.Queued, c.TotalWait)
+			n := *toplinks
+			if n > len(c.Top) {
+				n = len(c.Top)
+			}
+			if n > 0 {
+				fmt.Printf("top %d contended links:\n", n)
+				for _, u := range c.Top[:n] {
+					fmt.Printf("  %s\n", u)
+				}
+			}
+		}
 		st := res.EngineStats
 		fmt.Printf("engine: %d events dispatched, calendar peak %d, %.0f events/s host\n",
 			st.Dispatched, st.CalendarPeak, float64(st.Dispatched)/wall.Seconds())

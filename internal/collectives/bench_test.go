@@ -3,6 +3,7 @@ package collectives
 import (
 	"testing"
 
+	"roadrunner/internal/transport"
 	"roadrunner/internal/units"
 )
 
@@ -53,4 +54,32 @@ func BenchmarkCollectiveAlltoall32(b *testing.B) {
 
 func BenchmarkCollectiveBarrierFullMachine(b *testing.B) {
 	benchOp(b, BarrierRecursiveDoubling, 3060, 0)
+}
+
+// benchCongested measures the routed transport path: route enumeration,
+// sorted link admission and congestion queueing on top of the PR 2
+// model the benches above pin.
+func benchCongested(b *testing.B, op Op, ranks int, size units.Size) {
+	b.Helper()
+	cfg := testConfig(ranks)
+	cfg.Congestion = transport.Congested()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := Run(cfg, op, size)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			b.ReportMetric(res.Time.Microseconds(), "sim-us")
+			b.ReportMetric(res.Congestion.TotalWait.Microseconds(), "wait-us")
+		}
+	}
+}
+
+func BenchmarkCollectiveAlltoallCongested180(b *testing.B) {
+	benchCongested(b, AlltoallPairwise, 180, 64*units.KB)
+}
+
+func BenchmarkCollectiveAlltoallCongested360(b *testing.B) {
+	benchCongested(b, AlltoallPairwise, 360, 64*units.KB)
 }

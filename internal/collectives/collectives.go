@@ -1,10 +1,12 @@
 // Package collectives runs MPI collective algorithms as discrete-event
 // processes over the Roadrunner interconnect models: every rank is a
-// sim.Proc, every message is routed through the fabric model for
-// crossbar-hop latency, and every payload byte streams through the ib
-// HCA model, so protocol overheads, the eager/rendezvous switch, near/far
-// core asymmetry and HCA multi-flow serialization all shape the
-// collective's timing exactly as they shape point-to-point transfers.
+// sim.Proc, and every message moves through internal/transport — the
+// fabric model for crossbar-hop latency, the ib HCA model for payload
+// streaming, and (when the congestion policy is on) link-level channel
+// occupancy over the routed cable topology — so protocol overheads, the
+// eager/rendezvous switch, near/far core asymmetry, HCA multi-flow
+// serialization and uplink contention all shape the collective's timing
+// exactly as they shape point-to-point transfers.
 //
 // The package implements the algorithm repertoire an Open MPI of the
 // paper's era would choose from — binomial-tree broadcast, a
@@ -29,6 +31,7 @@ import (
 	"roadrunner/internal/ib"
 	"roadrunner/internal/params"
 	"roadrunner/internal/sim"
+	"roadrunner/internal/transport"
 	"roadrunner/internal/units"
 )
 
@@ -128,13 +131,18 @@ func PackedPlacement(fab *fabric.System, ranks, perNode int) []Placement {
 }
 
 // Config describes one collective run: the fabric the ranks live on, the
-// MPI/IB protocol profile, the rank→node mapping, and the broadcast
-// root.
+// MPI/IB protocol profile, the rank→node mapping, the link congestion
+// policy, and the broadcast root.
 type Config struct {
 	Fabric  *fabric.System
 	Profile ib.Profile
 	Places  []Placement
-	Root    int // broadcast root rank (0 if unset)
+	// Congestion selects the transport's link-occupancy model. The zero
+	// value keeps the PR 2 infinite-capacity path;
+	// transport.Congested() makes concurrent flows on one cable
+	// serialize, so the 2:1 taper throttles dense exchanges.
+	Congestion transport.Policy
+	Root       int // broadcast root rank (0 if unset)
 }
 
 // DefaultConfig returns the canonical communicator for the given node
@@ -156,6 +164,18 @@ func DefaultConfig(nodes int) (Config, error) {
 		Profile: ib.OpenMPI(),
 		Places:  BlockPlacement(fab, nodes, 1),
 	}, nil
+}
+
+// CongestedConfig is DefaultConfig with the wormhole congestion policy:
+// every message is routed over the cable topology and concurrent flows
+// crossing the same link serialize.
+func CongestedConfig(nodes int) (Config, error) {
+	cfg, err := DefaultConfig(nodes)
+	if err != nil {
+		return Config{}, err
+	}
+	cfg.Congestion = transport.Congested()
+	return cfg, nil
 }
 
 // Result is the outcome of one collective operation.
@@ -180,6 +200,9 @@ type Result struct {
 	Data [][]float64
 	// EngineStats snapshots the DES engine after the run.
 	EngineStats sim.Stats
+	// Congestion is the transport's link-occupancy census (nil when the
+	// run used the infinite-capacity PR 2 fabric).
+	Congestion *transport.Census
 }
 
 // Bandwidth returns the effective per-rank bandwidth Size/Time, the
@@ -191,14 +214,14 @@ func (r *Result) Bandwidth() units.Bandwidth {
 	return units.Bandwidth(float64(r.Size) / r.Time.Seconds())
 }
 
-// comm is the per-run communicator state shared by all rank procs.
+// comm is the per-run communicator state shared by all rank procs: the
+// mailboxes carrying semantic payloads, and the transport net moving the
+// modeled bytes.
 type comm struct {
 	eng    *sim.Engine
 	cfg    Config
+	net    *transport.Net
 	inbox  []*sim.Mailbox[*message]
-	hcas   map[fabric.NodeID]*ib.HCA
-	msgs   int64
-	wire   units.Size
 	finish []units.Time
 }
 
@@ -214,50 +237,29 @@ func newComm(eng *sim.Engine, cfg Config) *comm {
 	c := &comm{
 		eng:    eng,
 		cfg:    cfg,
+		net:    transport.New(eng, cfg.Fabric, cfg.Profile, cfg.Congestion),
 		inbox:  make([]*sim.Mailbox[*message], len(cfg.Places)),
-		hcas:   make(map[fabric.NodeID]*ib.HCA),
 		finish: make([]units.Time, len(cfg.Places)),
 	}
-	for i, pl := range cfg.Places {
+	for i := range cfg.Places {
 		c.inbox[i] = sim.NewMailbox[*message](eng, fmt.Sprintf("coll-rank%d", i))
-		if _, ok := c.hcas[pl.Node]; !ok {
-			c.hcas[pl.Node] = ib.NewHCA(eng, cfg.Profile)
-		}
 	}
 	return c
 }
 
-// send transmits a message from src to dst, blocking the calling proc
-// for the sender-side costs: MPI software overhead, the rendezvous round
-// trip above the eager threshold, and the payload stream through both
-// endpoints' HCAs. Delivery is scheduled after the fabric traversal and
-// the receive-side software overhead.
+// send transmits a message from src to dst over the transport, blocking
+// the calling proc for the sender-side costs (software overhead, the
+// rendezvous round trip, link admission, the HCA stream); the payload is
+// delivered to dst's mailbox after the fabric traversal and the
+// receive-side overhead.
 func (c *comm) send(p *sim.Proc, src, dst, tag int, size units.Size, data []float64) {
 	m := &message{src: src, tag: tag, size: size, data: data}
-	c.msgs++
-	pr := c.cfg.Profile
 	a, b := c.cfg.Places[src], c.cfg.Places[dst]
 	box := c.inbox[dst]
-	if a.Node == b.Node {
-		// Intra-node shared-memory path: software overhead each side,
-		// nothing on the fabric (so no WireBytes).
-		p.Sleep(pr.PerSideOverhead)
-		c.eng.Schedule(pr.PerSideOverhead, func() { box.Put(m) })
-		return
-	}
-	c.wire += size
-	hops := c.cfg.Fabric.Hops(a.Node, b.Node)
-	fabLat := units.Time(hops) * pr.HopLatency
-	p.Sleep(pr.PerSideOverhead)
-	if size > pr.EagerThreshold {
-		// Rendezvous request + clear-to-send at zero payload.
-		p.Sleep(2 * (2*pr.PerSideOverhead + fabLat))
-	}
-	if size > 0 {
-		pairBW := pr.PairBandwidth(a.Core, b.Core)
-		ib.StreamBetween(p, c.hcas[a.Node], c.hcas[b.Node], size, pairBW)
-	}
-	c.eng.Schedule(fabLat+pr.PerSideOverhead, func() { box.Put(m) })
+	c.net.Transfer(p,
+		transport.Endpoint{Node: a.Node, Core: a.Core},
+		transport.Endpoint{Node: b.Node, Core: b.Core},
+		size, func() { box.Put(m) })
 }
 
 // recv blocks until the message with the given source and tag arrives at
@@ -320,16 +322,20 @@ func Run(cfg Config, op Op, size units.Size) (*Result, error) {
 	return c.result(op, size, out, eng.Stats()), nil
 }
 
-// result assembles a Result from the comm's counters.
+// censusTop is how many contended links a Result's census retains.
+const censusTop = 10
+
+// result assembles a Result from the transport's counters.
 func (c *comm) result(op Op, size units.Size, out [][]float64, st sim.Stats) *Result {
 	res := &Result{
 		Op:          op,
 		Ranks:       len(c.cfg.Places),
 		Size:        size,
-		Messages:    c.msgs,
-		WireBytes:   c.wire,
+		Messages:    c.net.Messages(),
+		WireBytes:   c.net.WireBytes(),
 		Data:        out,
 		EngineStats: st,
+		Congestion:  c.net.Census(censusTop),
 	}
 	res.MinTime = units.Time(math.MaxInt64)
 	for _, f := range c.finish {

@@ -1,0 +1,135 @@
+package collectives
+
+import (
+	"testing"
+
+	"roadrunner/internal/fabric"
+	"roadrunner/internal/ib"
+	"roadrunner/internal/transport"
+	"roadrunner/internal/units"
+)
+
+// TestInfiniteCapacityReproducesLegacyModel is the transport invariant at
+// the collective level: with every link capacity set to infinity the
+// congested (routed) path reproduces the PR 2 latency model exactly —
+// same completion times, message counts and event counts — for every
+// algorithm, across placements that mix intra-node, intra-CU and
+// cross-CU traffic.
+func TestInfiniteCapacityReproducesLegacyModel(t *testing.T) {
+	fab := fabric.NewScaled(3)
+	placements := map[string][]Placement{
+		"block":   BlockPlacement(fab, 48, 1),
+		"strided": StridedPlacement(fab, 40, 23, 0),
+		"packed":  PackedPlacement(fab, 32, 4),
+	}
+	for name, places := range placements {
+		for _, op := range Ops() {
+			for _, size := range []units.Size{0, 8, 4 * units.KB, 64 * units.KB} {
+				legacy := Config{Fabric: fab, Profile: ib.OpenMPI(), Places: places}
+				routed := legacy
+				routed.Congestion = transport.InfiniteCapacity()
+				a, err := Run(legacy, op, size)
+				if err != nil {
+					t.Fatalf("%s %s %v legacy: %v", name, op, size, err)
+				}
+				b, err := Run(routed, op, size)
+				if err != nil {
+					t.Fatalf("%s %s %v routed: %v", name, op, size, err)
+				}
+				if a.Time != b.Time || a.MinTime != b.MinTime {
+					t.Errorf("%s %s %v: times diverged: %v/%v vs %v/%v",
+						name, op, size, a.Time, a.MinTime, b.Time, b.MinTime)
+				}
+				if a.Messages != b.Messages || a.WireBytes != b.WireBytes {
+					t.Errorf("%s %s %v: traffic diverged: %d/%v vs %d/%v",
+						name, op, size, a.Messages, a.WireBytes, b.Messages, b.WireBytes)
+				}
+				if a.EngineStats.Dispatched != b.EngineStats.Dispatched {
+					t.Errorf("%s %s %v: event counts diverged: %d vs %d",
+						name, op, size, a.EngineStats.Dispatched, b.EngineStats.Dispatched)
+				}
+				if b.Congestion == nil || b.Congestion.TotalWait != 0 {
+					t.Errorf("%s %s %v: infinite-capacity census %+v",
+						name, op, size, b.Congestion)
+				}
+				if a.Congestion != nil {
+					t.Errorf("%s %s %v: legacy run produced a census", name, op, size)
+				}
+			}
+		}
+	}
+}
+
+// TestCongestedAlltoallThrottledByTaper checks the headline mechanism: a
+// cross-CU alltoall is measurably slower on the congested fabric, while
+// the same exchange inside one crossbar (no shared cables between
+// distinct node pairs beyond the crossbar itself) stays at the legacy
+// timing, and validation still passes either way.
+func TestCongestedAlltoallThrottledByTaper(t *testing.T) {
+	const size = 64 * units.KB
+	run := func(nodes int, congested bool) *Result {
+		cfg, err := DefaultConfig(nodes)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if congested {
+			cfg.Congestion = transport.Congested()
+		}
+		res, err := Run(cfg, AlltoallPairwise, size)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	// Two CUs: every round after the first 180 pushes a full CU's flows
+	// across 96 uplink cables.
+	base, cong := run(360, false), run(360, true)
+	slowdown := float64(cong.Time) / float64(base.Time)
+	if slowdown <= 1.05 {
+		t.Errorf("cross-CU alltoall slowdown = %.3f, want > 1.05 (taper must throttle)", slowdown)
+	}
+	if cong.Congestion == nil || cong.Congestion.TotalWait <= 0 {
+		t.Fatalf("congested run reports no queueing: %+v", cong.Congestion)
+	}
+	hot := cong.Congestion.Top[0]
+	if hot.Link.Kind != fabric.LinkUplink {
+		t.Errorf("hottest link %v, want an uplink cable", hot.Link)
+	}
+	// A single crossbar has no tapered tier in play.
+	base8, cong8 := run(8, false), run(8, true)
+	if r := float64(cong8.Time) / float64(base8.Time); r < 0.999 || r > 1.01 {
+		t.Errorf("single-crossbar alltoall slowdown = %.4f, want ~1", r)
+	}
+}
+
+// TestCongestedRunsDeterministic pins byte-identical reruns under the
+// wormhole policy, queueing included.
+func TestCongestedRunsDeterministic(t *testing.T) {
+	cfg, err := CongestedConfig(360)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := Run(cfg, AlltoallPairwise, 32*units.KB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(cfg, AlltoallPairwise, 32*units.KB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Time != b.Time || a.Messages != b.Messages ||
+		a.EngineStats.Dispatched != b.EngineStats.Dispatched {
+		t.Fatalf("congested rerun diverged: %v/%d/%d vs %v/%d/%d",
+			a.Time, a.Messages, a.EngineStats.Dispatched,
+			b.Time, b.Messages, b.EngineStats.Dispatched)
+	}
+	ca, cb := a.Congestion, b.Congestion
+	if ca.TotalWait != cb.TotalWait || ca.Queued != cb.Queued || ca.Links != cb.Links {
+		t.Fatalf("census diverged: %+v vs %+v", ca, cb)
+	}
+	for i := range ca.Top {
+		if ca.Top[i] != cb.Top[i] {
+			t.Errorf("top link %d diverged: %v vs %v", i, ca.Top[i], cb.Top[i])
+		}
+	}
+}

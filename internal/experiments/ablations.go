@@ -13,10 +13,18 @@ import (
 // not tabulate. Each quantifies one decision DESIGN.md calls out.
 
 func init() {
-	register("ablation-sweep-models", "SPE-centric vs master/worker Sweep3D", "§V.B / [20]", runAblationSweepModels)
-	register("ablation-transports", "Transport stacks under the sweep", "§VI.A", runAblationTransports)
-	register("ablation-mk", "MK blocking factor sweep", "§V.A", runAblationMK)
-	register("ablation-taper", "Fat-tree taper and hop census", "§II.C", runAblationTaper)
+	register("ablation-sweep-models", "SPE-centric vs master/worker Sweep3D", "§V.B / [20]",
+		"Compares the SPE-centric sweep against the prior PPE-dispatched design it replaced",
+		runAblationSweepModels)
+	register("ablation-transports", "Transport stacks under the sweep", "§VI.A",
+		"Swaps DaCS/PCIe, pipelined and ideal transports under the sweep's surface exchanges",
+		runAblationTransports)
+	register("ablation-mk", "MK blocking factor sweep", "§V.A",
+		"Sweeps the K-blocking factor to locate the compute/communication overlap optimum",
+		runAblationMK)
+	register("ablation-taper", "Fat-tree taper and hop census", "§II.C",
+		"Varies the CU count and checks how the taper and mean hop distance respond",
+		runAblationTaper)
 }
 
 func runAblationSweepModels() *Artifact {

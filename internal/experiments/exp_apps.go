@@ -7,7 +7,9 @@ import (
 )
 
 func init() {
-	register("apps-portfolio", "PowerXCell 8i impact on the application portfolio", "§IV.A", runApps)
+	register("apps-portfolio", "PowerXCell 8i impact on the application portfolio", "§IV.A",
+		"Scores the application portfolio's acceleration potential against the paper's survey",
+		runApps)
 }
 
 func runApps() *Artifact {

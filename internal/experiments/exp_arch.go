@@ -10,11 +10,21 @@ import (
 )
 
 func init() {
-	register("fig1", "Triblade structure", "Fig. 1", runFig1)
-	register("fig2", "System interconnect structure", "Fig. 2", runFig2)
-	register("table1", "Crossbar-hop census from node 0", "Table I", runTable1)
-	register("table2", "Roadrunner performance characteristics", "Table II", runTable2)
-	register("fig3", "Node processing and memory breakdown", "Fig. 3", runFig3)
+	register("fig1", "Triblade structure", "Fig. 1",
+		"Audits the triblade inventory (Cells, Opterons, links) against the paper's node diagram",
+		runFig1)
+	register("fig2", "System interconnect structure", "Fig. 2",
+		"Audits CU counts, uplinks per switch and the 2:1 taper of the reduced fat tree",
+		runFig2)
+	register("table1", "Crossbar-hop census from node 0", "Table I",
+		"Routes node 0 to all 3,060 nodes and checks the hop-count census class by class",
+		runTable1)
+	register("table2", "Roadrunner performance characteristics", "Table II",
+		"Recomputes peak flop/s, memory and power from the component models",
+		runTable2)
+	register("fig3", "Node processing and memory breakdown", "Fig. 3",
+		"Splits node peak performance and memory across Cells and Opterons",
+		runFig3)
 }
 
 func runFig1() *Artifact {

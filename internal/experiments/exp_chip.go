@@ -8,9 +8,15 @@ import (
 )
 
 func init() {
-	register("fig4", "SPU instruction latency by execution group", "Fig. 4", runFig4)
-	register("fig5", "SPU repetition distance by execution group", "Fig. 5", runFig5)
-	register("table3", "Measured memory performance", "Table III", runTable3)
+	register("fig4", "SPU instruction latency by execution group", "Fig. 4",
+		"Measures per-group instruction latency on the SPU pipeline model",
+		runFig4)
+	register("fig5", "SPU repetition distance by execution group", "Fig. 5",
+		"Measures per-group issue repetition distance on the SPU pipeline model",
+		runFig5)
+	register("table3", "Measured memory performance", "Table III",
+		"Runs STREAM TRIAD and memtime through the memory-hierarchy models",
+		runTable3)
 }
 
 func runFig4() *Artifact {

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"roadrunner/internal/collectives"
+	"roadrunner/internal/fabric"
 	"roadrunner/internal/linpack"
 	"roadrunner/internal/report"
 	"roadrunner/internal/scenario"
@@ -19,10 +20,21 @@ import (
 // of the panel-broadcast phase cost with the calibrated hybrid-HPL
 // overlap budget.
 func init() {
-	register("coll-scaling", "Collective latency scaling to 3,060 nodes", "§II.B-C scenario", runCollScaling)
-	register("coll-crossover", "Allreduce algorithm crossover", "§IV.C scenario", runCollCrossover)
-	register("coll-cu-exchange", "Dense exchanges within a CU", "§II.B scenario", runCollCUExchange)
-	register("coll-linpack-panel", "LINPACK panel-broadcast phase cost", "§I / [10] scenario", runCollLinpackPanel)
+	register("coll-scaling", "Collective latency scaling to 3,060 nodes", "§II.B-C scenario",
+		"Sweeps barrier, broadcast and allreduce at 8 B from one crossbar to the full machine",
+		runCollScaling)
+	register("coll-crossover", "Allreduce algorithm crossover", "§IV.C scenario",
+		"Races three allreduce algorithms across message sizes to locate the selector crossover",
+		runCollCrossover)
+	register("coll-cu-exchange", "Dense exchanges within a CU", "§II.B scenario",
+		"Scales ring allgather and pairwise alltoall to a full CU at 4 KB blocks",
+		runCollCUExchange)
+	register("coll-linpack-panel", "LINPACK panel-broadcast phase cost", "§I / [10] scenario",
+		"Measures HPL's per-panel broadcast on the DES and scales it against the overlap budget",
+		runCollLinpackPanel)
+	registerExpensive("coll-saturation", "Fat-tree saturation under congestion", "§II.C scenario",
+		"Reruns alltoall/allgather at 8-3,060 nodes on the congested vs infinite-capacity fabric and locates where the 2:1 taper saturates",
+		runCollSaturation)
 }
 
 // seriesByOp collects one figure series per collective op over a sweep.
@@ -153,6 +165,121 @@ func runCollCUExchange() *Artifact {
 		a.Checks.RatioInBand(fmt.Sprintf("%s doubling 32->64", op),
 			s.Y(64), s.Y(32), 1.8, 2.4)
 	}
+	return a
+}
+
+func runCollSaturation() *Artifact {
+	a := newArtifact("coll-saturation", "Fat-tree saturation under congestion", "§II.C scenario")
+	points, err := scenario.Saturation()
+	if err != nil {
+		a.Checks.True("sweep runs", false, err.Error())
+		return a
+	}
+	byKey := map[string]scenario.SaturationPoint{}
+	for _, p := range points {
+		byKey[fmt.Sprintf("%s/%d", p.Op, p.Nodes)] = p
+	}
+	at := func(op collectives.Op, nodes int) scenario.SaturationPoint {
+		return byKey[fmt.Sprintf("%s/%d", op, nodes)]
+	}
+	full := scenario.SaturationNodeCounts[len(scenario.SaturationNodeCounts)-1]
+
+	fig := report.NewFigure(
+		fmt.Sprintf("Congested vs infinite-capacity fabric (%v blocks)", scenario.SaturationSize),
+		"nodes", "slowdown (x)")
+	fig.XLog = true
+	series := map[collectives.Op]*report.Series{}
+	for _, p := range points {
+		s, ok := series[p.Op]
+		if !ok {
+			s = fig.NewSeries(string(p.Op))
+			series[p.Op] = s
+		}
+		s.Add(float64(p.Nodes), p.Slowdown)
+	}
+	fullAll := at(collectives.AlltoallPairwise, full)
+	fig.AddNote("wormhole link channels; alltoall pushes 180 node flows over 96 uplink cables per CU")
+	fig.AddNote("full-machine alltoall: %.2fx slower congested, %v total queueing delay (%v on the uplink tier)",
+		fullAll.Slowdown, fullAll.TotalWait, fullAll.UplinkWait)
+	a.Figures = append(a.Figures, fig)
+
+	t := newTableHelper(fmt.Sprintf("Hottest links, alltoall over %d nodes (congested)", full),
+		"link", "msgs", "wait", "peak held", "utilization")
+	for _, u := range fullAll.Top {
+		t.AddRow(u.Link.String(), u.Messages, u.Wait.String(), u.PeakHeld,
+			fmt.Sprintf("%.1f%%", 100*u.Utilization))
+	}
+	t.AddNote("under destination-hashed static routing the switch middle stage saturates first — the classic fat-tree bisection collapse")
+	a.Tables = append(a.Tables, t)
+
+	tu := newTableHelper(fmt.Sprintf("Hottest uplink cables, alltoall over %d nodes (congested)", full),
+		"uplink", "msgs", "wait", "utilization")
+	for _, u := range fullAll.TopUplinks {
+		tu.AddRow(u.Link.String(), u.Messages, u.Wait.String(),
+			fmt.Sprintf("%.1f%%", 100*u.Utilization))
+	}
+	tu.AddNote("the 2:1 taper: 180 node flows per CU over 96 uplink cables")
+	a.Tables = append(a.Tables, tu)
+
+	// The taper is invisible inside one crossbar and within one CU (180
+	// divides the 12-way destination hash evenly, so intra-CU rounds
+	// spread cleanly over the spines)...
+	for _, nodes := range []int{8, 180} {
+		p := at(collectives.AlltoallPairwise, nodes)
+		a.Checks.RatioInBand(fmt.Sprintf("alltoall unthrottled at %d nodes", nodes),
+			float64(p.Congested), float64(p.Baseline), 0.999, 1.05)
+	}
+	// ...while 64 ranks wrap mid-residue (64 mod 12 != 0): the ring-wrap
+	// rounds fold two same-crossbar flows onto one spine cable — a mild,
+	// bounded static-routing hotspot, not taper pressure.
+	a.Checks.RatioInBand("alltoall spine wrap-hotspot at 64 nodes",
+		float64(at(collectives.AlltoallPairwise, 64).Congested),
+		float64(at(collectives.AlltoallPairwise, 64).Baseline), 1.0, 1.6)
+	// The taper throttles as soon as the communicator spans CUs, and
+	// hardest at the full machine.
+	a.Checks.RatioInBand("alltoall throttled at 360 nodes",
+		float64(at(collectives.AlltoallPairwise, 360).Congested),
+		float64(at(collectives.AlltoallPairwise, 360).Baseline), 1.5, 20)
+	a.Checks.RatioInBand(fmt.Sprintf("alltoall throttled at %d nodes", full),
+		float64(fullAll.Congested), float64(fullAll.Baseline), 2, 50)
+	slowdowns := []float64{}
+	for _, n := range scenario.SaturationNodeCounts {
+		if n >= 180 {
+			slowdowns = append(slowdowns, at(collectives.AlltoallPairwise, n).Slowdown)
+		}
+	}
+	a.Checks.True("alltoall slowdown grows with machine span",
+		report.NonDecreasing(slowdowns, 0.01), "taper pressure rises as more CUs exchange")
+	// The ring allgather only ever talks to a neighbor: the tapered
+	// uplink cables never queue for it at any scale. Its full-machine
+	// slowdown comes from the switch middle stage, where the 17 CU
+	// boundary edges hash onto a handful of shared cables.
+	for _, n := range scenario.SaturationNodeCounts {
+		p := at(collectives.AllgatherRing, n)
+		hi := 1.1
+		if n == full {
+			hi = 3.5
+		}
+		a.Checks.RatioInBand(fmt.Sprintf("allgather off the taper at %d nodes", n),
+			float64(p.Congested), float64(p.Baseline), 0.999, hi)
+		a.Checks.True(fmt.Sprintf("allgather leaves the uplinks unqueued at %d nodes", n),
+			p.UplinkQueued == 0,
+			"neighbor traffic crosses each uplink cable one flow at a time")
+	}
+	a.Checks.True("full-machine alltoall queues on the uplink tier",
+		fullAll.UplinkQueued > 0 && fullAll.UplinkWait > 0,
+		fmt.Sprintf("%d queued flows, %v waiting on uplink cables", fullAll.UplinkQueued, fullAll.UplinkWait))
+	hotCrossTier := len(fullAll.Top) > 0 &&
+		(fullAll.Top[0].Link.Kind == fabric.LinkUplink || fullAll.Top[0].Link.Kind == fabric.LinkSwitchInternal)
+	a.Checks.True("hottest link sits in the inter-CU switching tier", hotCrossTier,
+		"full-machine alltoall contention concentrates beyond the CU spines")
+	hotUplinkBusy := len(fullAll.TopUplinks) > 0 && fullAll.TopUplinks[0].Utilization > 0.3 &&
+		fullAll.TopUplinks[0].Wait > 0
+	a.Checks.True("hottest uplink cable saturates", hotUplinkBusy,
+		"180 node flows per CU contend for 96 tapered cables")
+	p8 := at(collectives.AlltoallPairwise, 8)
+	a.Checks.True("single-crossbar alltoall never queues", p8.QueuedFlows == 0,
+		"no shared interior cables inside one crossbar")
 	return a
 }
 

@@ -8,11 +8,21 @@ import (
 )
 
 func init() {
-	register("fig11", "Wavefront propagation order", "Fig. 11", runFig11)
-	register("fig12", "Sweep3D chip comparison", "Fig. 12", runFig12)
-	register("table4", "Sweep3D implementation comparison", "Table IV", runTable4)
-	register("fig13", "Sweep3D at scale", "Fig. 13", runFig13)
-	register("fig14", "Accelerated vs non-accelerated improvement", "Fig. 14", runFig14)
+	register("fig11", "Wavefront propagation order", "Fig. 11",
+		"Replays the diagonal wavefront schedule and checks step counts and ordering",
+		runFig11)
+	register("fig12", "Sweep3D chip comparison", "Fig. 12",
+		"Benchmarks one sweep iteration per chip (Opteron, Tigerton, Cell BE, PowerXCell 8i)",
+		runFig12)
+	register("table4", "Sweep3D implementation comparison", "Table IV",
+		"Compares SPE-centric, master/worker and host-only sweep implementations",
+		runTable4)
+	register("fig13", "Sweep3D at scale", "Fig. 13",
+		"Projects weak-scaled sweep iteration time to 3,060 nodes for all three series",
+		runFig13)
+	register("fig14", "Accelerated vs non-accelerated improvement", "Fig. 14",
+		"Computes the accelerated-to-host speedup ratio across node counts",
+		runFig14)
 }
 
 func runFig11() *Artifact {

@@ -40,13 +40,32 @@ type Experiment struct {
 	ID       string
 	Title    string
 	PaperRef string
-	Run      func() *Artifact
+	// Description says what the experiment sweeps and what its checks
+	// pin, in one sentence; rrexp -list prints it under each entry.
+	Description string
+	// Expensive marks experiments that run minutes of DES on their own
+	// (the congestion sweep today; trace replay tomorrow). The suite
+	// benches, the orchestrator's serial-vs-parallel byte-identity test
+	// and the race-instrumented test run all consult this one flag
+	// instead of keeping their own ID lists.
+	Expensive bool
+	Run       func() *Artifact
 }
 
 var registry []Experiment
 
-func register(id, title, ref string, run func() *Artifact) {
-	registry = append(registry, Experiment{ID: id, Title: title, PaperRef: ref, Run: run})
+func register(id, title, ref, desc string, run func() *Artifact) {
+	if desc == "" {
+		panic("experiments: " + id + " registered without a description")
+	}
+	registry = append(registry, Experiment{ID: id, Title: title, PaperRef: ref, Description: desc, Run: run})
+}
+
+// registerExpensive registers an experiment whose single run dominates
+// the whole rest of the suite.
+func registerExpensive(id, title, ref, desc string, run func() *Artifact) {
+	register(id, title, ref, desc, run)
+	registry[len(registry)-1].Expensive = true
 }
 
 // newArtifact starts an artifact for a registered experiment.

@@ -14,10 +14,16 @@ func TestRegistryComplete(t *testing.T) {
 		"linpack",
 		// Collective-scenario experiments (beyond the paper's figures).
 		"coll-scaling", "coll-crossover", "coll-cu-exchange", "coll-linpack-panel",
+		"coll-saturation",
 	}
 	for _, id := range want {
 		if _, ok := ByID(id); !ok {
 			t.Errorf("experiment %q missing", id)
+		}
+	}
+	for _, e := range All() {
+		if e.Description == "" {
+			t.Errorf("experiment %q has no description for rrexp -list", e.ID)
 		}
 	}
 	if len(All()) < len(want)+3 {
@@ -29,6 +35,10 @@ func TestAllExperimentsPass(t *testing.T) {
 	for _, e := range All() {
 		e := e
 		t.Run(e.ID, func(t *testing.T) {
+			if raceDetectorEnabled && e.Expensive {
+				t.Skip("expensive experiment is too slow under the race detector; " +
+					"covered by the non-instrumented suite and the CI rrexp job")
+			}
 			a := e.Run()
 			if a.ID != e.ID {
 				t.Errorf("artifact ID %q != %q", a.ID, e.ID)

@@ -1,0 +1,260 @@
+package fabric
+
+import (
+	"fmt"
+
+	"roadrunner/internal/params"
+)
+
+// This file grows the fabric from a hop-count model into an explicit
+// link-level topology: Route enumerates the physical cable segments a
+// minimal route traverses, one Link per directed channel, consistent with
+// Hops (a route between distinct nodes crosses len(Route)-1 crossbars).
+//
+// The cable inventory follows Fig. 2 exactly:
+//
+//   - one node-port cable per compute node into its line crossbar
+//     (180 per CU);
+//   - one spine cable from each line crossbar to each of the 12 spine
+//     crossbars inside the CU's ISR 9288 (24x12 per CU);
+//   - one uplink cable per (inter-CU switch, CU, slot) with slot 0..11 —
+//     12 per switch per CU, 96 per CU in total. 180 node cables over 96
+//     uplink cables is the 2:1 taper the congestion model exercises;
+//   - the internal segments of an inter-CU switch between its CU-facing
+//     level crossbars and the middle stage.
+//
+// Every cable is full duplex: the Up flag selects the directed channel
+// (toward the spine/switch, or back down), and the two directions never
+// contend with each other.
+//
+// Routing is destination-deterministic, the way InfiniBand's static
+// linear forwarding tables worked on Roadrunner: the spine crossbar, the
+// uplink switch and the middle-stage crossbars are all chosen by hashing
+// the destination, so repeated runs take identical paths.
+//
+// One deliberate abstraction: the parity wiring means a switch of parity
+// p is cabled to line crossbars 2s+p only. A route whose destination line
+// crossbar has the other parity still exits through the destination
+// slot's cable on the source-side switch (the slot-mate crossbar's
+// cable). This keeps the per-CU cable inventory exact (12 per switch)
+// and the hop counts equal to Table I without modelling the extra
+// in-switch pass the paper's counts also fold away.
+
+// LinkKind classifies a fabric cable.
+type LinkKind uint8
+
+// The cable classes of the plant.
+const (
+	// LinkNodePort connects a compute node to its line crossbar.
+	LinkNodePort LinkKind = iota
+	// LinkSpine connects a line crossbar to a spine crossbar inside the
+	// CU's ISR 9288.
+	LinkSpine
+	// LinkUplink connects a CU line crossbar to an inter-CU switch: the
+	// 2:1-tapered cables (12 per switch per CU).
+	LinkUplink
+	// LinkSwitchInternal is a segment between crossbar stages inside an
+	// inter-CU switch.
+	LinkSwitchInternal
+)
+
+// String names the kind.
+func (k LinkKind) String() string {
+	switch k {
+	case LinkNodePort:
+		return "node-port"
+	case LinkSpine:
+		return "spine"
+	case LinkUplink:
+		return "uplink"
+	case LinkSwitchInternal:
+		return "switch-internal"
+	}
+	return fmt.Sprintf("kind(%d)", uint8(k))
+}
+
+// Stage codes for the crossbar levels inside an inter-CU switch, used in
+// LinkSwitchInternal endpoints (code = stage*12 + crossbar index).
+const (
+	stageFirst  = 0 // CU-facing level serving CUs 1-12
+	stageMiddle = 1 // middle level
+	stageLast   = 2 // CU-facing level serving CUs 13-17
+)
+
+// Link identifies one directed channel of one physical cable. Links are
+// comparable and totally ordered by Key, so they can key maps and be
+// acquired in a deadlock-free global order.
+type Link struct {
+	Kind LinkKind
+	// Up is the traversal direction: toward the spine/switch level on
+	// true, back down toward the node on false. The two directions of a
+	// full-duplex cable are independent channels.
+	Up bool
+	// CU owns node-port, spine and uplink cables (-1 for switch-internal).
+	CU int
+	// Sw is the inter-CU switch for uplink and internal links (-1 else).
+	Sw int
+	// A, B are kind-specific endpoints:
+	//   node-port:       A = node index, B = line crossbar
+	//   spine:           A = line crossbar, B = spine crossbar
+	//   uplink:          A = slot (switch level crossbar, 0..11), B = 0
+	//   switch-internal: A = from stage code, B = to stage code
+	A, B int
+}
+
+// Key packs the link into an order-preserving uint64 for map keys and the
+// global acquisition order.
+func (l Link) Key() uint64 {
+	return uint64(l.Kind)<<42 | boolBit(l.Up)<<41 |
+		uint64(l.CU+1)<<32 | uint64(l.Sw+1)<<24 | uint64(l.A)<<12 | uint64(l.B)
+}
+
+func boolBit(b bool) uint64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// String renders the link the way the contention reports print it.
+func (l Link) String() string {
+	switch l.Kind {
+	case LinkNodePort:
+		if l.Up {
+			return fmt.Sprintf("CU%d/n%d->xbar%d", l.CU+1, l.A, l.B)
+		}
+		return fmt.Sprintf("CU%d/xbar%d->n%d", l.CU+1, l.B, l.A)
+	case LinkSpine:
+		if l.Up {
+			return fmt.Sprintf("CU%d/xbar%d->spine%d", l.CU+1, l.A, l.B)
+		}
+		return fmt.Sprintf("CU%d/spine%d->xbar%d", l.CU+1, l.B, l.A)
+	case LinkUplink:
+		if l.Up {
+			return fmt.Sprintf("uplink CU%d/slot%d->sw%d", l.CU+1, l.A, l.Sw)
+		}
+		return fmt.Sprintf("uplink sw%d->CU%d/slot%d", l.Sw, l.CU+1, l.A)
+	case LinkSwitchInternal:
+		return fmt.Sprintf("sw%d/%s->%s", l.Sw, stageName(l.A), stageName(l.B))
+	}
+	return fmt.Sprintf("link%+v", struct {
+		K    LinkKind
+		Up   bool
+		CU   int
+		Sw   int
+		A, B int
+	}{l.Kind, l.Up, l.CU, l.Sw, l.A, l.B})
+}
+
+// stageName renders a switch-internal stage code.
+func stageName(code int) string {
+	idx := code % params.InterCULevelsXbars
+	switch code / params.InterCULevelsXbars {
+	case stageFirst:
+		return fmt.Sprintf("first%d", idx)
+	case stageMiddle:
+		return fmt.Sprintf("mid%d", idx)
+	default:
+		return fmt.Sprintf("last%d", idx)
+	}
+}
+
+// RouteMax is the longest route length (cross-side, different crossbar
+// index: node + uplink + 4 internal + downlink + node).
+const RouteMax = 8
+
+// Route returns the directed link sequence of the minimal route from a to
+// b: empty for a == b, otherwise len(Route) == Hops(a,b) + 1 (a route
+// over h crossbars has a cable into the first, between each pair, and out
+// of the last).
+func (s *System) Route(a, b NodeID) []Link {
+	return s.RouteInto(nil, a, b)
+}
+
+// RouteInto appends the route to buf (use a [RouteMax]Link-backed slice
+// to route without allocating) and returns the extended slice.
+func (s *System) RouteInto(buf []Link, a, b NodeID) []Link {
+	s.validate(a)
+	s.validate(b)
+	if a == b {
+		return buf
+	}
+	ka, kb := LineXbar(a.Node), LineXbar(b.Node)
+	buf = append(buf, Link{Kind: LinkNodePort, Up: true, CU: a.CU, Sw: -1, A: a.Node, B: ka})
+	dst := b.GlobalID()
+	switch {
+	case a.CU == b.CU && ka == kb:
+		// One crossbar: straight through the shared line crossbar.
+	case a.CU == b.CU:
+		// Line -> spine -> line inside the CU switch, spine chosen by
+		// destination hash.
+		sp := dst % params.SwitchUpperXbars
+		buf = append(buf,
+			Link{Kind: LinkSpine, Up: true, CU: a.CU, Sw: -1, A: ka, B: sp},
+			Link{Kind: LinkSpine, Up: false, CU: a.CU, Sw: -1, A: kb, B: sp})
+	default:
+		// Out of the CU: one of the source line crossbar's four uplink
+		// switches, chosen by destination hash.
+		sw := UplinkSwitches(ka)[dst%4]
+		sa, sb := SwitchLevelXbar(ka), SwitchLevelXbar(kb)
+		buf = append(buf, Link{Kind: LinkUplink, Up: true, CU: a.CU, Sw: sw, A: sa})
+		buf = appendSwitchInternal(buf, sw, a.CU, b.CU, ka, kb, dst)
+		buf = append(buf, Link{Kind: LinkUplink, Up: false, CU: b.CU, Sw: sw, A: sb})
+	}
+	return append(buf, Link{Kind: LinkNodePort, Up: false, CU: b.CU, Sw: -1, A: b.Node, B: kb})
+}
+
+// appendSwitchInternal emits the segments between the CU-facing crossbar
+// the uplink lands on and the one the downlink leaves from, mirroring the
+// crossbar counts Hops charges inside the inter-CU switch.
+func appendSwitchInternal(buf []Link, sw, cuA, cuB, ka, kb, dst int) []Link {
+	sa, sb := SwitchLevelXbar(ka), SwitchLevelXbar(kb)
+	from := sideStage(cuA)*params.InterCULevelsXbars + sa
+	to := sideStage(cuB)*params.InterCULevelsXbars + sb
+	internal := func(f, t int) Link {
+		return Link{Kind: LinkSwitchInternal, CU: -1, Sw: sw, A: f, B: t}
+	}
+	mid := func(i int) int { return stageMiddle*params.InterCULevelsXbars + i }
+	sameSide := firstSide(cuA) == firstSide(cuB)
+	switch {
+	case sameSide && ka == kb:
+		// Both uplinks land on the same CU-facing crossbar: no internal
+		// segment (Table I's 3-hop shortcut).
+		return buf
+	case sameSide || ka == kb:
+		// One middle crossbar: level -> middle -> level (5 hops total).
+		m := mid(midHash(dst))
+		return append(buf, internal(from, m), internal(m, to))
+	default:
+		// Opposite sides and different crossbar index: the route crosses
+		// the middle stage three times to change both level index and
+		// side, matching Table I's 7-hop count.
+		m1, m3 := sa, sb
+		m2 := midHash(dst)
+		for m2 == m1 || m2 == m3 {
+			m2 = (m2 + 1) % params.InterCULevelsXbars
+		}
+		return append(buf,
+			internal(from, mid(m1)), internal(mid(m1), mid(m2)),
+			internal(mid(m2), mid(m3)), internal(mid(m3), to))
+	}
+}
+
+// midHash picks the middle-stage crossbar for a destination. Mixing the
+// high bits in (rather than dst mod 12 alone) spreads destinations that
+// are whole CU-multiples apart over different middle crossbars, the way
+// a balanced linear forwarding table would — a bare modulus sends e.g.
+// global nodes 0 and 180 through the same middle cable and manufactures
+// a hotspot the real subnet manager's routing avoided.
+func midHash(dst int) int {
+	return (dst + dst/params.InterCULevelsXbars) % params.InterCULevelsXbars
+}
+
+// sideStage returns the CU-facing stage code base for a CU's side of the
+// inter-CU switches.
+func sideStage(cu int) int {
+	if firstSide(cu) {
+		return stageFirst
+	}
+	return stageLast
+}

@@ -1,0 +1,174 @@
+package fabric
+
+import (
+	"testing"
+
+	"roadrunner/internal/params"
+)
+
+// TestRouteConsistentWithHops checks the tentpole invariant on every pair
+// of a 2-CU fabric and a cross-side sample of the full machine: a route
+// between distinct nodes enters one crossbar, crosses one cable between
+// each consecutive pair, and exits the last — len(Route) == Hops + 1.
+func TestRouteConsistentWithHops(t *testing.T) {
+	check := func(s *System, a, b NodeID) {
+		t.Helper()
+		r := s.Route(a, b)
+		if a == b {
+			if len(r) != 0 {
+				t.Fatalf("self route %v non-empty: %v", a, r)
+			}
+			return
+		}
+		if want := s.Hops(a, b) + 1; len(r) != want {
+			t.Fatalf("%v->%v (%s): %d links, want %d: %v",
+				a, b, s.PairClass(a, b), len(r), want, r)
+		}
+		first, last := r[0], r[len(r)-1]
+		if first.Kind != LinkNodePort || !first.Up || first.CU != a.CU || first.A != a.Node {
+			t.Fatalf("%v->%v: first link %v not the source node port", a, b, first)
+		}
+		if last.Kind != LinkNodePort || last.Up || last.CU != b.CU || last.A != b.Node {
+			t.Fatalf("%v->%v: last link %v not the destination node port", a, b, last)
+		}
+		seen := map[uint64]bool{}
+		for _, l := range r {
+			if seen[l.Key()] {
+				t.Fatalf("%v->%v: duplicate link %v in route", a, b, l)
+			}
+			seen[l.Key()] = true
+			if l.Kind == LinkUplink {
+				if l.Sw < 0 || l.Sw >= params.InterCUSwitches || l.A < 0 || l.A >= params.UplinksPerCUSwitch {
+					t.Fatalf("%v->%v: uplink %v out of range", a, b, l)
+				}
+			}
+		}
+	}
+
+	small := NewScaled(2)
+	for ga := 0; ga < small.Nodes(); ga += 7 {
+		for gb := 0; gb < small.Nodes(); gb++ {
+			check(small, FromGlobal(ga), FromGlobal(gb))
+		}
+	}
+	full := New()
+	// Sample sources across crossbars and sides; destinations densely.
+	for _, ga := range []int{0, 5, 13, 177, 180 * 11, 180*12 + 3, 180*16 + 179} {
+		for gb := 0; gb < full.Nodes(); gb += 13 {
+			check(full, FromGlobal(ga), FromGlobal(gb))
+		}
+	}
+}
+
+// TestRouteUplinkWiring checks that cross-CU routes climb out through one
+// of the source line crossbar's four parity switches, land on the source
+// slot, and come down on the destination slot — and that routing all of
+// CU0's nodes at all of CU1's exercises the full uplink-cable inventory
+// of the 2:1 taper: all 92 egress cables of the 23 compute-carrying line
+// crossbars (crossbar 23 is all I/O) and all 96 ingress cables.
+func TestRouteUplinkWiring(t *testing.T) {
+	s := NewScaled(2)
+	upCables := map[uint64]Link{}
+	downCables := map[uint64]Link{}
+	for na := 0; na < params.NodesPerCU; na++ {
+		for nb := 0; nb < params.NodesPerCU; nb++ {
+			a, b := NodeID{0, na}, NodeID{1, nb}
+			var up, down *Link
+			for _, l := range s.Route(a, b) {
+				l := l
+				if l.Kind != LinkUplink {
+					continue
+				}
+				if l.Up {
+					up = &l
+				} else {
+					down = &l
+				}
+			}
+			if up == nil || down == nil {
+				t.Fatalf("%v->%v: route missing uplink cables", a, b)
+			}
+			ka, kb := LineXbar(na), LineXbar(nb)
+			okSw := false
+			for _, sw := range UplinkSwitches(ka) {
+				if up.Sw == sw {
+					okSw = true
+				}
+			}
+			if !okSw {
+				t.Fatalf("%v->%v: uplink via sw%d outside parity set %v", a, b, up.Sw, UplinkSwitches(ka))
+			}
+			if up.A != SwitchLevelXbar(ka) || down.A != SwitchLevelXbar(kb) {
+				t.Fatalf("%v->%v: slots %d/%d, want %d/%d", a, b, up.A, down.A,
+					SwitchLevelXbar(ka), SwitchLevelXbar(kb))
+			}
+			if down.Sw != up.Sw || up.CU != 0 || down.CU != 1 {
+				t.Fatalf("%v->%v: cable ownership wrong: up %v down %v", a, b, up, down)
+			}
+			upCables[up.Key()] = *up
+			downCables[down.Key()] = *down
+		}
+	}
+	cables := params.InterCUSwitches * params.UplinksPerCUSwitch // 96 per CU
+	// Egress is pinned to the source crossbar's 4 cables: 23 compute line
+	// crossbars x 4 = 92 of the 96 (crossbar 23's cables serve I/O).
+	if want := 4 * 23; len(upCables) != want {
+		t.Errorf("CU0 egress used %d distinct uplink cables, want %d", len(upCables), want)
+	}
+	if len(downCables) != cables {
+		t.Errorf("CU1 ingress used %d distinct uplink cables, want %d", len(downCables), cables)
+	}
+}
+
+// TestRouteDeterministicAndZeroAlloc pins destination-deterministic
+// routing and the RouteInto fast path.
+func TestRouteDeterministicAndZeroAlloc(t *testing.T) {
+	s := New()
+	a, b := NodeID{0, 3}, NodeID{16, 177}
+	r1, r2 := s.Route(a, b), s.Route(a, b)
+	if len(r1) != len(r2) {
+		t.Fatalf("route lengths differ: %d vs %d", len(r1), len(r2))
+	}
+	for i := range r1 {
+		if r1[i] != r2[i] {
+			t.Fatalf("route diverged at %d: %v vs %v", i, r1[i], r2[i])
+		}
+	}
+	var buf [RouteMax]Link
+	allocs := testing.AllocsPerRun(100, func() {
+		_ = s.RouteInto(buf[:0], a, b)
+	})
+	if allocs != 0 {
+		t.Errorf("RouteInto allocates %.1f times per route", allocs)
+	}
+	if got := s.RouteInto(buf[:0], a, b); len(got) != len(r1) {
+		t.Errorf("RouteInto length %d != Route length %d", len(got), len(r1))
+	}
+}
+
+// TestLinkKeysAndStrings checks key uniqueness over the whole cable
+// inventory of a small fabric and that strings name the cable class.
+func TestLinkKeysAndStrings(t *testing.T) {
+	s := NewScaled(14) // spans both switch sides
+	keys := map[uint64]Link{}
+	for ga := 0; ga < s.Nodes(); ga += 11 {
+		for gb := 0; gb < s.Nodes(); gb += 7 {
+			for _, l := range s.Route(FromGlobal(ga), FromGlobal(gb)) {
+				if prev, ok := keys[l.Key()]; ok && prev != l {
+					t.Fatalf("key collision: %v vs %v", prev, l)
+				}
+				keys[l.Key()] = l
+				if l.String() == "" {
+					t.Fatalf("empty string for %v", l)
+				}
+			}
+		}
+	}
+	up := Link{Kind: LinkUplink, Up: true, CU: 2, Sw: 5, A: 7}
+	if got := up.String(); got != "uplink CU3/slot7->sw5" {
+		t.Errorf("uplink string = %q", got)
+	}
+	if LinkSpine.String() != "spine" || LinkNodePort.String() != "node-port" {
+		t.Errorf("kind strings: %v %v", LinkSpine, LinkNodePort)
+	}
+}

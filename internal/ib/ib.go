@@ -115,6 +115,36 @@ type HCA struct {
 	Profile Profile
 	eng     *sim.Engine
 	active  [2]int // flows per direction (0 = egress, 1 = ingress)
+
+	// Endpoint flow accounting, composable with the transport layer's
+	// link occupancy census: cumulative flows and bytes per direction,
+	// and the sharing high-water mark.
+	flows [2]int64
+	bytes [2]units.Size
+	peak  [2]int
+}
+
+// HCAStats snapshots one adapter's cumulative flow accounting.
+type HCAStats struct {
+	Flows [2]int64      // flows started per direction (0 egress, 1 ingress)
+	Bytes [2]units.Size // bytes streamed per direction
+	Peak  [2]int        // peak concurrent flows per direction
+}
+
+// Stats returns the adapter's cumulative flow accounting.
+func (h *HCA) Stats() HCAStats {
+	return HCAStats{Flows: h.flows, Bytes: h.bytes, Peak: h.peak}
+}
+
+// addFlow registers one flow in the given direction and updates the
+// accounting.
+func (h *HCA) addFlow(dir int, size units.Size) {
+	h.active[dir]++
+	h.flows[dir]++
+	h.bytes[dir] += size
+	if h.active[dir] > h.peak[dir] {
+		h.peak[dir] = h.active[dir]
+	}
 }
 
 // NewHCA creates an HCA on the engine.
@@ -151,7 +181,7 @@ func (h *HCA) Stream(p *sim.Proc, dir int, size units.Size, pairBW units.Bandwid
 	if size <= 0 {
 		return
 	}
-	h.active[dir]++
+	h.addFlow(dir, size)
 	remaining := size
 	for remaining > 0 {
 		chunk := remaining
@@ -186,8 +216,8 @@ func StreamBetween(p *sim.Proc, src, dst *HCA, size units.Size, pairBW units.Ban
 		src.Stream(p, 0, size, pairBW)
 		return
 	}
-	src.active[0]++
-	dst.active[1]++
+	src.addFlow(0, size)
+	dst.addFlow(1, size)
 	remaining := size
 	for remaining > 0 {
 		chunk := remaining

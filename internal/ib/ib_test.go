@@ -178,6 +178,18 @@ func TestStreamBetweenSingleFlowFullRate(t *testing.T) {
 	if src.ActiveFlows(0) != 0 || dst.ActiveFlows(1) != 0 {
 		t.Error("flow accounting leaked")
 	}
+	// Cumulative endpoint accounting: one egress flow on src, one
+	// ingress flow on dst, all bytes attributed, peak concurrency 1.
+	ss, ds := src.Stats(), dst.Stats()
+	if ss.Flows != [2]int64{1, 0} || ds.Flows != [2]int64{0, 1} {
+		t.Errorf("flow counts: src %v dst %v", ss.Flows, ds.Flows)
+	}
+	if ss.Bytes[0] != size || ds.Bytes[1] != size {
+		t.Errorf("byte counts: src %v dst %v", ss.Bytes, ds.Bytes)
+	}
+	if ss.Peak != [2]int{1, 0} || ds.Peak != [2]int{0, 1} {
+		t.Errorf("peaks: src %v dst %v", ss.Peak, ds.Peak)
+	}
 }
 
 func TestStreamBetweenDuplexExchange(t *testing.T) {

@@ -40,12 +40,24 @@ func TestParallelMatchesSerial(t *testing.T) {
 	if testing.Short() {
 		t.Skip("full suite")
 	}
+	// Experiments flagged Expensive (the congestion sweep: two
+	// ~19M-message DES runs at its top point) dwarf the rest of the
+	// suite combined. The byte-identity this test pins is a property of
+	// the orchestrator's scheduling — workers never affect execution
+	// inside an experiment — so they sit the double run out; their own
+	// determinism is pinned by the scenario and collectives tests.
+	var exps []experiments.Experiment
+	for _, e := range experiments.All() {
+		if !e.Expensive {
+			exps = append(exps, e)
+		}
+	}
 	ctx := context.Background()
-	serial, err := RunAll(ctx, Options{Workers: 1})
+	serial, err := Run(ctx, exps, Options{Workers: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
-	parallel, err := RunAll(ctx, Options{Workers: runtime.GOMAXPROCS(0)})
+	parallel, err := Run(ctx, exps, Options{Workers: runtime.GOMAXPROCS(0)})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -53,8 +65,8 @@ func TestParallelMatchesSerial(t *testing.T) {
 	if a != b {
 		t.Fatal("parallel suite output differs from serial")
 	}
-	if len(serial) != len(experiments.All()) {
-		t.Fatalf("got %d results, want %d", len(serial), len(experiments.All()))
+	if len(serial) != len(exps) {
+		t.Fatalf("got %d results, want %d", len(serial), len(exps))
 	}
 }
 

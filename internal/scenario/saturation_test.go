@@ -1,0 +1,65 @@
+package scenario
+
+import (
+	"fmt"
+	"testing"
+
+	"roadrunner/internal/collectives"
+	"roadrunner/internal/fabric"
+)
+
+// TestSaturationSubsetShape pins the sweep's shape on a cheap subset:
+// the taper is invisible inside one crossbar, throttles the cross-CU
+// alltoall, and never touches the neighbor-only allgather ring.
+func TestSaturationSubsetShape(t *testing.T) {
+	points, err := SaturationSubset([]int{8, 360})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 4 {
+		t.Fatalf("got %d points", len(points))
+	}
+	byKey := map[string]SaturationPoint{}
+	for _, p := range points {
+		byKey[fmt.Sprintf("%s/%d", p.Op, p.Nodes)] = p
+	}
+	a8 := byKey["alltoall-pairwise/8"]
+	if a8.Slowdown < 0.999 || a8.Slowdown > 1.01 || a8.QueuedFlows != 0 {
+		t.Errorf("single-crossbar alltoall: %+v, want slowdown ~1 with no queueing", a8)
+	}
+	a360 := byKey["alltoall-pairwise/360"]
+	if a360.Slowdown < 1.5 {
+		t.Errorf("cross-CU alltoall slowdown = %.2f, want > 1.5", a360.Slowdown)
+	}
+	if len(a360.Top) == 0 || a360.Top[0].Link.Kind != fabric.LinkUplink {
+		t.Errorf("cross-CU alltoall hottest link = %+v, want an uplink", a360.Top)
+	}
+	for _, n := range []string{"8", "360"} {
+		g := byKey["allgather-ring/"+n]
+		if g.Slowdown < 0.999 || g.Slowdown > 1.1 {
+			t.Errorf("allgather at %s nodes: slowdown %.3f, want ~1 (neighbor traffic)", n, g.Slowdown)
+		}
+	}
+}
+
+// TestSaturationDeterministic pins byte-identical reruns of a congested
+// sweep point.
+func TestSaturationDeterministic(t *testing.T) {
+	a, err := saturationPoint(collectives.AlltoallPairwise, 360)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := saturationPoint(collectives.AlltoallPairwise, 360)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Congested != b.Congested || a.Baseline != b.Baseline ||
+		a.TotalWait != b.TotalWait || a.QueuedFlows != b.QueuedFlows {
+		t.Fatalf("rerun diverged: %+v vs %+v", a, b)
+	}
+	for i := range a.Top {
+		if a.Top[i] != b.Top[i] {
+			t.Errorf("top link %d diverged: %v vs %v", i, a.Top[i], b.Top[i])
+		}
+	}
+}

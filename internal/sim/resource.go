@@ -10,6 +10,12 @@ import (
 // links, DMA engines, switch ports. Acquire blocks the calling proc until
 // the requested units are available; Release returns them and wakes
 // waiters in order.
+//
+// Beyond admission control the resource keeps occupancy statistics —
+// peak units in use, total time acquirers spent queued, and the
+// time-integral of the queue length — so saturation is observable, not
+// just enforced. The congestion-aware transport layer reads these to
+// report which fabric links throttle a run.
 type Resource struct {
 	eng      *Engine
 	name     string
@@ -18,9 +24,15 @@ type Resource struct {
 	inUse    int
 	waiters  []resourceWaiter
 
-	// Busy accounting for utilisation statistics.
+	// Occupancy accounting.
 	busySince units.Time
 	busyTime  units.Time
+	peakInUse int
+	acquires  int64
+	contended int64      // acquisitions that had to queue
+	waitTime  units.Time // total time acquirers spent queued
+	queueArea units.Time // integral of queue length over time (waiter-time)
+	queueMark units.Time // instant the queue length last changed
 }
 
 type resourceWaiter struct {
@@ -42,16 +54,28 @@ func (r *Resource) Capacity() int { return r.capacity }
 // InUse returns the units currently held.
 func (r *Resource) InUse() int { return r.inUse }
 
+// noteQueue accrues the queue-length integral up to now. Call before any
+// change to len(r.waiters).
+func (r *Resource) noteQueue() {
+	now := r.eng.Now()
+	r.queueArea += units.Time(len(r.waiters)) * (now - r.queueMark)
+	r.queueMark = now
+}
+
 // Acquire obtains n units, blocking in FIFO order behind earlier waiters.
 func (r *Resource) Acquire(p *Proc, n int) {
 	if n < 1 || n > r.capacity {
 		panic(fmt.Sprintf("sim: resource %q acquire %d of %d", r.name, n, r.capacity))
 	}
+	r.acquires++
 	// FIFO fairness: even if units are free, queue behind existing waiters.
 	if len(r.waiters) == 0 && r.inUse+n <= r.capacity {
 		r.take(n)
 		return
 	}
+	r.contended++
+	queuedAt := r.eng.Now()
+	r.noteQueue()
 	r.waiters = append(r.waiters, resourceWaiter{p, n})
 	for {
 		p.Park(r.reason)
@@ -59,7 +83,9 @@ func (r *Resource) Acquire(p *Proc, n int) {
 		// that raced with another grab simply parks again and will be
 		// re-woken by the next Release.
 		if len(r.waiters) > 0 && r.waiters[0].p == p && r.inUse+n <= r.capacity {
+			r.noteQueue()
 			r.waiters = r.waiters[1:]
+			r.waitTime += r.eng.Now() - queuedAt
 			r.take(n)
 			r.grantNext() // capacity may allow the next waiter too
 			return
@@ -73,6 +99,9 @@ func (r *Resource) take(n int) {
 		r.busySince = r.eng.Now()
 	}
 	r.inUse += n
+	if r.inUse > r.peakInUse {
+		r.peakInUse = r.inUse
+	}
 }
 
 // Release returns n units and wakes eligible waiters.
@@ -114,4 +143,52 @@ func (r *Resource) BusyTime() units.Time {
 		t += r.eng.Now() - r.busySince
 	}
 	return t
+}
+
+// ResourceStats is a snapshot of a resource's occupancy counters.
+type ResourceStats struct {
+	Name      string
+	Capacity  int
+	InUse     int
+	PeakInUse int        // high-water mark of units held at once
+	Acquires  int64      // total successful or pending acquisitions started
+	Contended int64      // acquisitions that queued before being granted
+	WaitTime  units.Time // total time acquirers spent queued
+	BusyTime  units.Time // time with at least one unit in use (up to Now)
+	QueueArea units.Time // integral of queue length over time (waiter-time)
+}
+
+// Stats snapshots the occupancy counters, accruing the queue integral and
+// busy time up to Now().
+func (r *Resource) Stats() ResourceStats {
+	area := r.queueArea + units.Time(len(r.waiters))*(r.eng.Now()-r.queueMark)
+	return ResourceStats{
+		Name:      r.name,
+		Capacity:  r.capacity,
+		InUse:     r.inUse,
+		PeakInUse: r.peakInUse,
+		Acquires:  r.acquires,
+		Contended: r.contended,
+		WaitTime:  r.waitTime,
+		BusyTime:  r.BusyTime(),
+		QueueArea: area,
+	}
+}
+
+// MeanQueue returns the time-averaged queue length over the given horizon
+// (typically the engine's final time).
+func (s ResourceStats) MeanQueue(horizon units.Time) float64 {
+	if horizon <= 0 {
+		return 0
+	}
+	return float64(s.QueueArea) / float64(horizon)
+}
+
+// Utilization returns the fraction of the given horizon the resource was
+// busy.
+func (s ResourceStats) Utilization(horizon units.Time) float64 {
+	if horizon <= 0 {
+		return 0
+	}
+	return float64(s.BusyTime) / float64(horizon)
 }

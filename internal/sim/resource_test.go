@@ -1,0 +1,113 @@
+package sim
+
+import (
+	"testing"
+
+	"roadrunner/internal/units"
+)
+
+// TestResourceOccupancyStats pins the occupancy accounting under crafted
+// contention: three procs contend for a capacity-1 resource, each holding
+// it for 10 ns. A acquires at t=0 uncontended; B and C queue at t=0 and
+// are granted at t=10ns and t=20ns.
+func TestResourceOccupancyStats(t *testing.T) {
+	e := NewEngine()
+	defer e.Close()
+	r := NewResource(e, "link", 1)
+	const hold = 10 * units.Nanosecond
+	for _, name := range []string{"A", "B", "C"} {
+		e.Spawn(name, func(p *Proc) {
+			r.Use(p, hold)
+		})
+	}
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	s := r.Stats()
+	if s.Capacity != 1 || s.InUse != 0 {
+		t.Errorf("capacity/inUse = %d/%d", s.Capacity, s.InUse)
+	}
+	if s.PeakInUse != 1 {
+		t.Errorf("peak = %d, want 1", s.PeakInUse)
+	}
+	if s.Acquires != 3 || s.Contended != 2 {
+		t.Errorf("acquires/contended = %d/%d, want 3/2", s.Acquires, s.Contended)
+	}
+	// B waits 10 ns, C waits 20 ns.
+	if want := 30 * units.Nanosecond; s.WaitTime != want {
+		t.Errorf("wait time = %v, want %v", s.WaitTime, want)
+	}
+	// Queue length: 2 waiters over [0,10ns), 1 over [10ns,20ns).
+	if want := 30 * units.Nanosecond; s.QueueArea != want {
+		t.Errorf("queue area = %v, want %v", s.QueueArea, want)
+	}
+	// Busy back to back from 0 to 30 ns.
+	if want := 30 * units.Nanosecond; s.BusyTime != want {
+		t.Errorf("busy = %v, want %v", s.BusyTime, want)
+	}
+	if got := s.MeanQueue(30 * units.Nanosecond); got != 1.0 {
+		t.Errorf("mean queue = %v, want 1.0", got)
+	}
+	if got := s.Utilization(30 * units.Nanosecond); got != 1.0 {
+		t.Errorf("utilization = %v, want 1.0", got)
+	}
+}
+
+// TestResourceStatsCapacityTwo checks peak tracking and that uncontended
+// admissions accrue no wait.
+func TestResourceStatsCapacityTwo(t *testing.T) {
+	e := NewEngine()
+	defer e.Close()
+	r := NewResource(e, "dual", 2)
+	const hold = 10 * units.Nanosecond
+	for i := 0; i < 2; i++ {
+		e.Spawn("p", func(p *Proc) {
+			r.Use(p, hold)
+		})
+	}
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	s := r.Stats()
+	if s.PeakInUse != 2 {
+		t.Errorf("peak = %d, want 2", s.PeakInUse)
+	}
+	if s.Contended != 0 || s.WaitTime != 0 || s.QueueArea != 0 {
+		t.Errorf("uncontended run accrued contention: %+v", s)
+	}
+	if s.BusyTime != hold {
+		t.Errorf("busy = %v, want %v", s.BusyTime, hold)
+	}
+}
+
+// TestResourceStatsStaggered checks the queue integral with a gap between
+// holds and a late-arriving waiter.
+func TestResourceStatsStaggered(t *testing.T) {
+	e := NewEngine()
+	defer e.Close()
+	r := NewResource(e, "link", 1)
+	e.Spawn("first", func(p *Proc) {
+		r.Use(p, 20*units.Nanosecond)
+	})
+	// Arrives at t=5ns, queues 15 ns, holds 20 ns (to t=40ns).
+	e.SpawnAt(5*units.Nanosecond, "second", func(p *Proc) {
+		r.Use(p, 20*units.Nanosecond)
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	s := r.Stats()
+	if want := 15 * units.Nanosecond; s.WaitTime != want {
+		t.Errorf("wait = %v, want %v", s.WaitTime, want)
+	}
+	// One waiter over [5ns, 20ns).
+	if want := 15 * units.Nanosecond; s.QueueArea != want {
+		t.Errorf("queue area = %v, want %v", s.QueueArea, want)
+	}
+	if want := 40 * units.Nanosecond; s.BusyTime != want {
+		t.Errorf("busy = %v, want %v", s.BusyTime, want)
+	}
+	if s.PeakInUse != 1 || s.Acquires != 2 || s.Contended != 1 {
+		t.Errorf("peak/acquires/contended = %d/%d/%d", s.PeakInUse, s.Acquires, s.Contended)
+	}
+}

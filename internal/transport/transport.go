@@ -1,0 +1,335 @@
+// Package transport owns the routed message path between nodes of the
+// Roadrunner interconnect: the MPI software overheads, the
+// eager/rendezvous protocol switch, the HCA streaming of internal/ib,
+// and — new with this layer — link-level congestion over the explicit
+// cable topology of internal/fabric.
+//
+// Point-to-point plumbing used to live inside internal/collectives as
+// private send/recv helpers charging per-hop latency against an
+// infinitely capacious fabric: two messages crossing the same uplink
+// never queued, so the 2:1 taper at the CU uplinks could not throttle
+// anything. Transfer instead routes every message over fabric.Route and,
+// when the congestion policy is enabled, holds a sim.Resource-backed
+// channel on every fabric-interior link of the route (spine, uplink and
+// switch-internal cables — node ports belong to the ib adapter model;
+// see acquire) while the payload streams: concurrent flows crossing the
+// same cable serialize, exactly the mechanism a wormhole-routed fabric
+// exhibits when the reduced fat tree saturates.
+//
+// The no-contention timing is unchanged from the PR 2 model: link
+// channels are acquired before the HCA stream and released after it, so
+// a flow that never queues sleeps through exactly the same event
+// sequence as the unrouted path. With congestion off — or with the link
+// capacity unlimited, the "infinite-capacity fabric" — results are
+// byte-identical to the legacy model; the invariant is pinned by
+// TestInfiniteCapacityMatchesOffPath here and, across every collective
+// algorithm, by collectives.TestInfiniteCapacityReproducesLegacyModel.
+//
+// Endpoint flow accounting (ib.HCA sharing, duplex caps) composes with
+// link occupancy rather than being replaced by it: the stream rate is
+// still set chunk-by-chunk by the two adapters, while the links bound
+// which flows can be on the wire at all.
+package transport
+
+import (
+	"fmt"
+	"sort"
+
+	"roadrunner/internal/fabric"
+	"roadrunner/internal/ib"
+	"roadrunner/internal/sim"
+	"roadrunner/internal/units"
+)
+
+// unlimited is the effective capacity of an infinite-capacity link
+// channel (admission never blocks, occupancy is still tracked).
+const unlimited = 1 << 30
+
+// Policy configures link-level congestion.
+type Policy struct {
+	// Enabled routes every payload-carrying message over the cable
+	// topology and accounts per-link occupancy. Off (the zero value)
+	// reproduces the unrouted PR 2 path with no link state at all.
+	Enabled bool
+	// Channels is how many messages one directed link channel carries
+	// concurrently before later flows queue. 1 models wormhole circuits
+	// (concurrent flows on a cable serialize); <= 0 means unlimited —
+	// the infinite-capacity fabric, which keeps the census but never
+	// queues and therefore reproduces the legacy latency model exactly.
+	Channels int
+}
+
+// Congested returns the default congestion policy: every cable a single
+// wormhole channel per direction.
+func Congested() Policy { return Policy{Enabled: true, Channels: 1} }
+
+// InfiniteCapacity returns the routed policy with unlimited link
+// capacity: occupancy is observed, nothing ever queues.
+func InfiniteCapacity() Policy { return Policy{Enabled: true} }
+
+// Endpoint locates one side of a transfer: the node and the Opteron core
+// the MPI call issues from (HCA proximity per Fig. 8).
+type Endpoint struct {
+	Node fabric.NodeID
+	Core int
+}
+
+// linkState is one directed link channel: its admission resource plus
+// traffic counters.
+type linkState struct {
+	link  fabric.Link
+	res   *sim.Resource
+	msgs  int64
+	bytes units.Size
+}
+
+// Net is the per-engine transport instance: it owns the node HCAs and
+// the lazily materialized link states of one simulation run.
+type Net struct {
+	eng  *sim.Engine
+	fab  *fabric.System
+	prof ib.Profile
+	pol  Policy
+
+	hcas  map[fabric.NodeID]*ib.HCA
+	links map[uint64]*linkState
+
+	msgs int64
+	wire units.Size
+}
+
+// New creates a transport instance on the engine.
+func New(eng *sim.Engine, fab *fabric.System, prof ib.Profile, pol Policy) *Net {
+	if fab == nil {
+		panic("transport: nil fabric")
+	}
+	n := &Net{
+		eng:  eng,
+		fab:  fab,
+		prof: prof,
+		pol:  pol,
+		hcas: make(map[fabric.NodeID]*ib.HCA),
+	}
+	if pol.Enabled {
+		n.links = make(map[uint64]*linkState)
+	}
+	return n
+}
+
+// Policy returns the congestion policy the net runs under.
+func (n *Net) Policy() Policy { return n.pol }
+
+// HCA returns (creating on first use) the node's adapter.
+func (n *Net) HCA(node fabric.NodeID) *ib.HCA {
+	h, ok := n.hcas[node]
+	if !ok {
+		h = ib.NewHCA(n.eng, n.prof)
+		n.hcas[node] = h
+	}
+	return h
+}
+
+// Messages returns the number of transfers started, including intra-node
+// shared-memory messages.
+func (n *Net) Messages() int64 { return n.msgs }
+
+// WireBytes returns the payload bytes that crossed the fabric
+// (intra-node messages excluded).
+func (n *Net) WireBytes() units.Size { return n.wire }
+
+// state returns (creating on first use) the link's channel state.
+func (n *Net) state(l fabric.Link) *linkState {
+	k := l.Key()
+	st, ok := n.links[k]
+	if !ok {
+		capacity := n.pol.Channels
+		if capacity <= 0 {
+			capacity = unlimited
+		}
+		st = &linkState{link: l, res: sim.NewResource(n.eng, l.String(), capacity)}
+		n.links[k] = st
+	}
+	return st
+}
+
+// Transfer blocks the calling proc for the sender-visible cost of moving
+// size bytes from src to dst — MPI software overhead, the rendezvous
+// round trip above the eager threshold, link admission along the route,
+// and the payload stream through both endpoints' HCAs — then schedules
+// deliver after the fabric traversal and the receive-side overhead.
+// Intra-node transfers take the shared-memory path: software overhead on
+// each side, nothing on the fabric.
+func (n *Net) Transfer(p *sim.Proc, src, dst Endpoint, size units.Size, deliver func()) {
+	n.msgs++
+	pr := n.prof
+	if src.Node == dst.Node {
+		p.Sleep(pr.PerSideOverhead)
+		n.eng.Schedule(pr.PerSideOverhead, deliver)
+		return
+	}
+	n.wire += size
+	hops := n.fab.Hops(src.Node, dst.Node)
+	fabLat := units.Time(hops) * pr.HopLatency
+	p.Sleep(pr.PerSideOverhead)
+	if size > pr.EagerThreshold {
+		// Rendezvous request + clear-to-send at zero payload.
+		p.Sleep(2 * (2*pr.PerSideOverhead + fabLat))
+	}
+	if size > 0 {
+		pairBW := pr.PairBandwidth(src.Core, dst.Core)
+		if n.pol.Enabled {
+			var lbuf [fabric.RouteMax]fabric.Link
+			var sbuf [fabric.RouteMax]*linkState
+			route := n.fab.RouteInto(lbuf[:0], src.Node, dst.Node)
+			held := n.acquire(p, route, sbuf[:0], size)
+			ib.StreamBetween(p, n.HCA(src.Node), n.HCA(dst.Node), size, pairBW)
+			release(held)
+		} else {
+			ib.StreamBetween(p, n.HCA(src.Node), n.HCA(dst.Node), size, pairBW)
+		}
+	}
+	n.eng.Schedule(fabLat+pr.PerSideOverhead, deliver)
+}
+
+// acquire admits the message onto every fabric-interior link of its
+// route, blocking behind flows already holding a channel. Links are
+// acquired in the global Key order — every flow uses the same total
+// order, so the hold-and-wait graph is acyclic and admission can never
+// deadlock.
+//
+// Node-port cables are routed but not admission-controlled: that wire is
+// the adapter's own port, whose sharing the ib HCA flow model already
+// charges (multi-flow serialization, duplex caps). Gating it here too
+// would bill the same copper twice; the transport owns the
+// crossbar-to-crossbar tiers the HCA cannot see.
+func (n *Net) acquire(p *sim.Proc, route []fabric.Link, states []*linkState, size units.Size) []*linkState {
+	for _, l := range route {
+		if l.Kind == fabric.LinkNodePort {
+			continue
+		}
+		states = append(states, n.state(l))
+	}
+	// Insertion sort by key: routes are at most RouteMax links.
+	for i := 1; i < len(states); i++ {
+		for j := i; j > 0 && states[j].link.Key() < states[j-1].link.Key(); j-- {
+			states[j], states[j-1] = states[j-1], states[j]
+		}
+	}
+	for _, st := range states {
+		st.res.Acquire(p, 1)
+		st.msgs++
+		st.bytes += size
+	}
+	return states
+}
+
+// release returns every held channel.
+func release(states []*linkState) {
+	for _, st := range states {
+		st.res.Release(1)
+	}
+}
+
+// LinkUsage reports one link channel's traffic and occupancy.
+type LinkUsage struct {
+	Link     fabric.Link
+	Messages int64      // flows admitted onto the channel
+	Bytes    units.Size // payload bytes carried
+	PeakHeld int        // peak concurrent flows on the channel
+	Queued   int64      // flows that had to wait for admission
+	Wait     units.Time // total queueing delay behind the channel
+	Busy     units.Time // time the channel had at least one flow
+	// MeanQueue is the time-averaged admission queue length and
+	// Utilization the busy fraction, both over the census horizon.
+	MeanQueue   float64
+	Utilization float64
+}
+
+// String renders the usage the way the CLI contention reports print it.
+func (u LinkUsage) String() string {
+	return fmt.Sprintf("%-28s %9d msgs %10s  wait %-10s util %5.1f%%  queue %.2f",
+		u.Link, u.Messages, u.Bytes, u.Wait, 100*u.Utilization, u.MeanQueue)
+}
+
+// Census summarises link occupancy over one run.
+type Census struct {
+	// Horizon is the simulated instant the census was taken (the run's
+	// makespan); utilizations are relative to it.
+	Horizon units.Time
+	// Links is the number of distinct directed link channels that
+	// carried at least one flow.
+	Links int
+	// Queued counts flow admissions that had to wait, TotalWait their
+	// cumulative queueing delay.
+	Queued    int64
+	TotalWait units.Time
+	// PeakHeld is the highest concurrent flow count on any channel.
+	PeakHeld int
+	// Top holds the most contended channels, hottest first (by total
+	// wait, then bytes carried, then link order).
+	Top []LinkUsage
+	// The uplink tier — the 2:1-tapered cables between the CUs and the
+	// inter-CU switches — reported separately, so taper pressure is
+	// distinguishable from middle-stage switch contention: queued flows
+	// and wait on uplink cables only, and the hottest uplinks.
+	UplinkQueued int64
+	UplinkWait   units.Time
+	TopUplinks   []LinkUsage
+}
+
+// Census builds the link census, with the top contended links ranked
+// hottest first. A nil receiver or a congestion-off net returns nil.
+func (n *Net) Census(top int) *Census {
+	if n == nil || n.links == nil {
+		return nil
+	}
+	c := &Census{Horizon: n.eng.Now()}
+	all := make([]LinkUsage, 0, len(n.links))
+	var uplinks []LinkUsage
+	for _, st := range n.links {
+		s := st.res.Stats()
+		u := LinkUsage{
+			Link:        st.link,
+			Messages:    st.msgs,
+			Bytes:       st.bytes,
+			PeakHeld:    s.PeakInUse,
+			Queued:      s.Contended,
+			Wait:        s.WaitTime,
+			Busy:        s.BusyTime,
+			MeanQueue:   s.MeanQueue(c.Horizon),
+			Utilization: s.Utilization(c.Horizon),
+		}
+		c.Links++
+		c.Queued += u.Queued
+		c.TotalWait += u.Wait
+		if u.PeakHeld > c.PeakHeld {
+			c.PeakHeld = u.PeakHeld
+		}
+		if u.Link.Kind == fabric.LinkUplink {
+			c.UplinkQueued += u.Queued
+			c.UplinkWait += u.Wait
+			uplinks = append(uplinks, u)
+		}
+		all = append(all, u)
+	}
+	hotter := func(a, b LinkUsage) bool {
+		if a.Wait != b.Wait {
+			return a.Wait > b.Wait
+		}
+		if a.Bytes != b.Bytes {
+			return a.Bytes > b.Bytes
+		}
+		return a.Link.Key() < b.Link.Key()
+	}
+	sort.Slice(all, func(i, j int) bool { return hotter(all[i], all[j]) })
+	sort.Slice(uplinks, func(i, j int) bool { return hotter(uplinks[i], uplinks[j]) })
+	if top < len(all) {
+		all = all[:top]
+	}
+	if top < len(uplinks) {
+		uplinks = uplinks[:top]
+	}
+	c.Top = all[:len(all):len(all)]
+	c.TopUplinks = uplinks[:len(uplinks):len(uplinks)]
+	return c
+}

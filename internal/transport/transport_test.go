@@ -1,0 +1,159 @@
+package transport
+
+import (
+	"testing"
+
+	"roadrunner/internal/fabric"
+	"roadrunner/internal/ib"
+	"roadrunner/internal/sim"
+	"roadrunner/internal/units"
+)
+
+func ep(cu, node int) Endpoint {
+	return Endpoint{Node: fabric.NodeID{CU: cu, Node: node}, Core: 1}
+}
+
+// runTransfers executes the given transfers concurrently (one proc each)
+// and returns each sender's completion time and each delivery time.
+func runTransfers(t *testing.T, pol Policy, size units.Size, pairs [][2]Endpoint) (send, recv []units.Time, net *Net) {
+	t.Helper()
+	eng := sim.NewEngine()
+	defer eng.Close()
+	net = New(eng, fabric.NewScaled(2), ib.OpenMPI(), pol)
+	send = make([]units.Time, len(pairs))
+	recv = make([]units.Time, len(pairs))
+	for i, pr := range pairs {
+		i, pr := i, pr
+		eng.Spawn("sender", func(p *sim.Proc) {
+			net.Transfer(p, pr[0], pr[1], size, func() { recv[i] = eng.Now() })
+			send[i] = p.Now()
+		})
+	}
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	return send, recv, net
+}
+
+// TestInfiniteCapacityMatchesOffPath is the transport-level half of the
+// invariant: with link capacity unlimited the routed path sleeps through
+// exactly the same event sequence as the unrouted PR 2 path, so
+// completion and delivery instants match tick for tick.
+func TestInfiniteCapacityMatchesOffPath(t *testing.T) {
+	pairs := [][2]Endpoint{
+		{ep(0, 0), ep(0, 1)},    // same crossbar
+		{ep(0, 2), ep(0, 170)},  // same CU
+		{ep(0, 3), ep(1, 3)},    // cross CU, same crossbar index
+		{ep(0, 9), ep(1, 100)},  // cross CU, different crossbar
+		{ep(1, 50), ep(1, 50)},  // intra-node shared memory
+		{ep(0, 40), ep(1, 177)}, // contends with nothing
+	}
+	for _, size := range []units.Size{0, 8, 4 * units.KB, 256 * units.KB} {
+		offS, offR, offNet := runTransfers(t, Policy{}, size, pairs)
+		infS, infR, infNet := runTransfers(t, InfiniteCapacity(), size, pairs)
+		for i := range pairs {
+			if offS[i] != infS[i] || offR[i] != infR[i] {
+				t.Errorf("size %v pair %d: off %v/%v != infinite %v/%v",
+					size, i, offS[i], offR[i], infS[i], infR[i])
+			}
+		}
+		if offNet.Census(1) != nil {
+			t.Error("congestion-off net produced a census")
+		}
+		if c := infNet.Census(3); size > 0 {
+			if c == nil || c.Queued != 0 || c.TotalWait != 0 {
+				t.Errorf("size %v: infinite-capacity fabric queued: %+v", size, c)
+			}
+		}
+	}
+}
+
+// TestUplinkSerialization pins the congestion mechanism: two flows from
+// the same line crossbar whose destination hashes pick the same uplink
+// cable serialize under the wormhole policy and overlap on the
+// infinite-capacity fabric.
+func TestUplinkSerialization(t *testing.T) {
+	// Sources on CU0 crossbar 0; destinations 180 and 184 are both
+	// 0 mod 4, so both flows want cable (sw0, CU0, slot0).
+	pairs := [][2]Endpoint{
+		{ep(0, 0), ep(1, 0)},
+		{ep(0, 1), ep(1, 4)},
+	}
+	const size = 256 * units.KB
+	infS, _, _ := runTransfers(t, InfiniteCapacity(), size, pairs)
+	conS, _, net := runTransfers(t, Congested(), size, pairs)
+	if conS[0] != infS[0] {
+		t.Errorf("first-admitted flow slowed: %v vs %v", conS[0], infS[0])
+	}
+	if float64(conS[1]) < 1.5*float64(infS[1]) {
+		t.Errorf("second flow not serialized: congested %v vs infinite %v", conS[1], infS[1])
+	}
+	c := net.Census(5)
+	if c == nil || c.Queued != 1 || c.TotalWait <= 0 {
+		t.Fatalf("census = %+v, want one queued flow with positive wait", c)
+	}
+	// Endpoint accounting composes with link occupancy: the adapters
+	// still saw every flow and byte even though admission serialized.
+	es := net.HCA(pairs[0][0].Node).Stats()
+	if es.Flows[0] != 1 || es.Bytes[0] != size || es.Peak[0] != 1 {
+		t.Errorf("src endpoint stats %+v", es)
+	}
+	// The flows share both the egress and the ingress cable of the
+	// tapered tier; the queueing lands on whichever sorts first in the
+	// acquisition order, but the hottest link must be an uplink cable.
+	hot := c.Top[0]
+	if hot.Link.Kind != fabric.LinkUplink {
+		t.Errorf("hottest link %v, want an uplink cable", hot.Link)
+	}
+	if hot.Messages != 2 || hot.Queued != 1 || hot.Wait != c.TotalWait {
+		t.Errorf("hot link usage %+v", hot)
+	}
+	if hot.Utilization <= 0 || hot.MeanQueue <= 0 {
+		t.Errorf("hot link occupancy not accounted: %+v", hot)
+	}
+}
+
+// TestDisjointRoutesDoNotQueue checks that flows on disjoint cables never
+// wait even under the wormhole policy.
+func TestDisjointRoutesDoNotQueue(t *testing.T) {
+	// Different source crossbars and destination hashes: disjoint routes.
+	pairs := [][2]Endpoint{
+		{ep(0, 0), ep(1, 1)},
+		{ep(0, 20), ep(1, 90)},
+		{ep(0, 60), ep(1, 175)},
+	}
+	infS, _, _ := runTransfers(t, InfiniteCapacity(), 256*units.KB, pairs)
+	conS, _, net := runTransfers(t, Congested(), 256*units.KB, pairs)
+	for i := range pairs {
+		if conS[i] != infS[i] {
+			t.Errorf("pair %d: disjoint flow delayed: %v vs %v", i, conS[i], infS[i])
+		}
+	}
+	if c := net.Census(1); c.Queued != 0 || c.TotalWait != 0 {
+		t.Errorf("census shows queueing on disjoint routes: %+v", c)
+	}
+}
+
+// TestCountersAndCensusDeterminism checks message/wire accounting and
+// that repeated congested runs produce identical censuses.
+func TestCountersAndCensusDeterminism(t *testing.T) {
+	pairs := [][2]Endpoint{
+		{ep(0, 0), ep(1, 0)},
+		{ep(0, 1), ep(1, 4)},
+		{ep(0, 7), ep(0, 7)}, // intra-node: counted, not on the wire
+	}
+	_, _, a := runTransfers(t, Congested(), 64*units.KB, pairs)
+	_, _, b := runTransfers(t, Congested(), 64*units.KB, pairs)
+	if a.Messages() != 3 || a.WireBytes() != 2*64*units.KB {
+		t.Errorf("messages/wire = %d/%v", a.Messages(), a.WireBytes())
+	}
+	ca, cb := a.Census(10), b.Census(10)
+	if ca.Links != cb.Links || ca.Queued != cb.Queued || ca.TotalWait != cb.TotalWait {
+		t.Fatalf("census diverged: %+v vs %+v", ca, cb)
+	}
+	for i := range ca.Top {
+		if ca.Top[i] != cb.Top[i] {
+			t.Errorf("top link %d diverged: %v vs %v", i, ca.Top[i], cb.Top[i])
+		}
+	}
+}

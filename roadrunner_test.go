@@ -97,6 +97,35 @@ func TestFacadeCollectives(t *testing.T) {
 	}
 }
 
+func TestFacadeCongestedCollectives(t *testing.T) {
+	// Cross-CU alltoall: the congested transport must be slower than the
+	// infinite-capacity fabric and report its contended links.
+	base, err := RunCollective("alltoall-pairwise", 360, 32*1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cong, err := RunCollectiveCongested("alltoall-pairwise", 360, 32*1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cong.Time <= base.Time {
+		t.Errorf("congested %v !> infinite-capacity %v", cong.Time, base.Time)
+	}
+	if base.Congestion != nil {
+		t.Error("infinite-capacity run carries a census")
+	}
+	c := cong.Congestion
+	if c == nil || c.Links == 0 || c.TotalWait <= 0 || len(c.Top) == 0 {
+		t.Fatalf("census = %+v", c)
+	}
+	if _, err := RunCollectiveCongested("nope", 4, 0); err == nil {
+		t.Error("unknown op accepted")
+	}
+	if _, err := RunCollectiveCongested("bcast-binomial", 4000, 0); err == nil {
+		t.Error("oversized communicator accepted")
+	}
+}
+
 func TestFacadeSweep(t *testing.T) {
 	cfg := SweepConfig{I: 3, J: 3, K: 4, MK: 2, Angles: 2}
 	res := SolveSweep(cfg, 2, 2)
