@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build lint test bench bench-full bench-artifact suite clean
+.PHONY: all build lint test bench bench-full bench-artifact trace-smoke suite clean
 
 all: lint build test
 
@@ -23,16 +23,24 @@ bench:
 	$(GO) test -bench=. -benchtime=1x -run '^$$' ./...
 
 bench-full:
-	$(GO) test -bench=. -benchmem -run '^$$' ./internal/sim/ ./internal/collectives/ ./internal/scenario/ .
+	$(GO) test -bench=. -benchmem -run '^$$' ./internal/sim/ ./internal/collectives/ ./internal/scenario/ ./internal/trace/ .
 
-# Collective + congested-transport + sim hot-path benches as
-# BENCH_<short-sha>.json, the per-commit perf record CI uploads as an
+# Collective + congested-transport + trace-replay + sim hot-path benches
+# as BENCH_<short-sha>.json, the per-commit perf record CI uploads as an
 # artifact. The Saturation benches track the congested path's hot-loop
-# cost (routing, sorted link admission, queueing) alongside the PR 2
-# benches.
+# cost (routing, sorted link admission, queueing); the TraceReplay
+# benches track the replay engine (capture, codec, replay over the
+# congested fabric).
 bench-artifact:
-	$(GO) test -json -run '^$$' -bench 'Collective|Saturation|EventLoop|ProcParkUnpark|MailboxPingPong' \
-		-benchmem ./internal/collectives ./internal/scenario ./internal/sim > BENCH_$$(git rev-parse --short HEAD).json
+	$(GO) test -json -run '^$$' -bench 'Collective|Saturation|TraceReplay|EventLoop|ProcParkUnpark|MailboxPingPong' \
+		-benchmem ./internal/collectives ./internal/scenario ./internal/trace ./internal/sim > BENCH_$$(git rev-parse --short HEAD).json
+
+# The rrtrace capture→replay smoke CI runs (mirrored here).
+trace-smoke:
+	$(GO) run ./cmd/rrtrace capture -px 4 -py 4 -k 20 -o /tmp/sweep3d.trace.jsonl
+	$(GO) run ./cmd/rrtrace inspect -i /tmp/sweep3d.trace.jsonl
+	$(GO) run ./cmd/rrtrace replay -i /tmp/sweep3d.trace.jsonl -placement strided -toplinks 5
+	$(GO) run ./cmd/rrtrace replay -i /tmp/sweep3d.trace.jsonl -congestion=off -skip-compute
 
 # The full evaluation through the orchestrator, all cores.
 suite:

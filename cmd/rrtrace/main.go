@@ -1,0 +1,236 @@
+// Command rrtrace captures, inspects and replays application
+// communication traces over the simulated Roadrunner interconnect.
+//
+// A capture runs one Sweep3D source iteration on the DES machine and
+// records the KBA wavefront schedule — every boundary receive, block
+// compute and boundary send — as a JSONL trace (one header line, then
+// one record per line in rank-major order). A replay drives the same
+// schedule through the congestion-aware transport under a chosen
+// rank→node placement, reporting the makespan, per-message timing and
+// the link-contention census.
+//
+// Usage:
+//
+//	rrtrace capture -o sweep.jsonl                 # 8x8 ranks, 5x5x40 grid
+//	rrtrace capture -px 4 -py 4 -k 20 -o small.jsonl
+//	rrtrace inspect -i sweep.jsonl
+//	rrtrace replay -i sweep.jsonl                  # block placement, congested
+//	rrtrace replay -i sweep.jsonl -placement strided -stride 180 -toplinks 8
+//	rrtrace replay -i sweep.jsonl -placement packed -congestion=off
+//	rrtrace replay -i sweep.jsonl -skip-compute -messages 5
+//
+// Exit status: 0 success, 1 run error, 2 usage error.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"time"
+
+	"roadrunner"
+	"roadrunner/internal/cml"
+	"roadrunner/internal/collectives"
+	"roadrunner/internal/ib"
+	"roadrunner/internal/sweep3d"
+	"roadrunner/internal/trace"
+	"roadrunner/internal/transport"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	if len(os.Args) < 2 {
+		usage()
+		return 2
+	}
+	switch os.Args[1] {
+	case "capture":
+		return capture(os.Args[2:])
+	case "inspect":
+		return inspect(os.Args[2:])
+	case "replay":
+		return replay(os.Args[2:])
+	case "-h", "-help", "--help", "help":
+		usage()
+		return 0
+	}
+	fmt.Fprintf(os.Stderr, "rrtrace: unknown subcommand %q\n\n", os.Args[1])
+	usage()
+	return 2
+}
+
+func usage() {
+	fmt.Fprintf(os.Stderr, `usage:
+  rrtrace capture [-px N -py N -i/-j/-k/-mk/-angles N] -o FILE
+  rrtrace inspect -i FILE
+  rrtrace replay -i FILE [-placement block|strided|packed] [-stride N]
+                 [-per-node N] [-core N] [-congestion on|off]
+                 [-skip-compute] [-toplinks N] [-messages N]
+`)
+}
+
+func capture(args []string) int {
+	fs := flag.NewFlagSet("capture", flag.ExitOnError)
+	px := fs.Int("px", 8, "rank-grid width")
+	py := fs.Int("py", 8, "rank-grid height")
+	i := fs.Int("i", 5, "per-rank subgrid I extent")
+	j := fs.Int("j", 5, "per-rank subgrid J extent")
+	k := fs.Int("k", 40, "per-rank subgrid K extent")
+	mk := fs.Int("mk", 10, "K-blocking factor (must divide -k)")
+	angles := fs.Int("angles", 6, "angles per octant")
+	out := fs.String("o", "", "output trace file (required)")
+	fs.Parse(args)
+	if *out == "" {
+		fmt.Fprintln(os.Stderr, "rrtrace capture: -o is required")
+		return 2
+	}
+	cfg := sweep3d.Config{I: *i, J: *j, K: *k, MK: *mk, Angles: *angles}
+	start := time.Now()
+	res, tr, err := sweep3d.CaptureDES(cfg, *px, *py, cml.CurrentSoftware())
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	if err := trace.Save(*out, tr); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	s := tr.Stats()
+	fmt.Printf("captured %s: %d records (%d sends, %d recvs, %d computes), %v payload\n",
+		tr.Meta.Name, s.Records, s.Sends, s.Recvs, s.Computes, s.Bytes)
+	fmt.Printf("capture iteration %v simulated (CML path), %v host wall clock\n",
+		res.IterationTime, time.Since(start).Round(time.Millisecond))
+	fmt.Printf("wrote %s\n", *out)
+	return 0
+}
+
+func inspect(args []string) int {
+	fs := flag.NewFlagSet("inspect", flag.ExitOnError)
+	in := fs.String("i", "", "trace file (required)")
+	fs.Parse(args)
+	if *in == "" {
+		fmt.Fprintln(os.Stderr, "rrtrace inspect: -i is required")
+		return 2
+	}
+	tr, err := trace.Load(*in)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	s := tr.Stats()
+	fmt.Printf("trace %s (app %s): %d ranks, %d records\n", tr.Meta.Name, tr.Meta.App, s.Ranks, s.Records)
+	fmt.Printf("  sends %d, recvs %d, computes %d\n", s.Sends, s.Recvs, s.Computes)
+	fmt.Printf("  payload %v on the wire, %v compute (summed over ranks), capture span %v\n",
+		s.Bytes, s.ComputeTime, s.Span)
+	if len(tr.Meta.Attrs) > 0 {
+		fmt.Println("  attrs:")
+		for _, k := range sortedKeys(tr.Meta.Attrs) {
+			fmt.Printf("    %s = %s\n", k, tr.Meta.Attrs[k])
+		}
+	}
+	return 0
+}
+
+func sortedKeys(m map[string]string) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func replay(args []string) int {
+	fs := flag.NewFlagSet("replay", flag.ExitOnError)
+	in := fs.String("i", "", "trace file (required)")
+	placement := fs.String("placement", "block", "rank→node mapping: block, strided or packed")
+	stride := fs.Int("stride", 180, "node stride for -placement strided")
+	perNode := fs.Int("per-node", 4, "ranks per node for -placement packed")
+	core := fs.Int("core", 1, "issuing Opteron core for block/strided placements")
+	congestion := fs.String("congestion", "on",
+		"link congestion: on holds wormhole channels on every routed cable; off is the infinite-capacity fabric")
+	skipCompute := fs.Bool("skip-compute", false, "strip compute records: replay the bare communication schedule")
+	toplinks := fs.Int("toplinks", 5, "contended links to print after a congested replay")
+	messages := fs.Int("messages", 0, "print per-message timing for the first N sends")
+	fs.Parse(args)
+	if *in == "" {
+		fmt.Fprintln(os.Stderr, "rrtrace replay: -i is required")
+		return 2
+	}
+	tr, err := trace.Load(*in)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	fab := roadrunner.Fabric()
+	var places []collectives.Placement
+	switch *placement {
+	case "block":
+		places = collectives.BlockPlacement(fab, tr.Meta.Ranks, *core)
+	case "strided":
+		places = collectives.StridedPlacement(fab, tr.Meta.Ranks, *stride, *core)
+	case "packed":
+		places = collectives.PackedPlacement(fab, tr.Meta.Ranks, *perNode)
+	default:
+		fmt.Fprintf(os.Stderr, "rrtrace replay: unknown placement %q\n", *placement)
+		return 2
+	}
+	endpoints := make([]transport.Endpoint, len(places))
+	for i, p := range places {
+		endpoints[i] = transport.Endpoint{Node: p.Node, Core: p.Core}
+	}
+	cfg := trace.ReplayConfig{
+		Fabric:      fab,
+		Profile:     ib.OpenMPI(),
+		Places:      endpoints,
+		SkipCompute: *skipCompute,
+	}
+	switch *congestion {
+	case "on":
+		cfg.Policy = transport.Congested()
+	case "off":
+		cfg.Policy = transport.Policy{}
+	default:
+		fmt.Fprintf(os.Stderr, "rrtrace replay: -congestion must be on or off, got %q\n", *congestion)
+		return 2
+	}
+	start := time.Now()
+	res, err := trace.Replay(tr, cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	wall := time.Since(start)
+	fmt.Printf("replayed %s under %s placement (congestion %s): %v simulated\n",
+		res.Name, *placement, *congestion, res.Time)
+	fmt.Printf("  %d messages, %v on the wire\n", res.Messages, res.WireBytes)
+	st := res.EngineStats
+	fmt.Printf("  engine: %d events, calendar peak %d, %.0f events/s host\n",
+		st.Dispatched, st.CalendarPeak, float64(st.Dispatched)/wall.Seconds())
+	if c := res.Congestion; c != nil {
+		fmt.Printf("  census: %d links carried flows, %d queued, %v total wait (uplink tier: %d queued, %v)\n",
+			c.Links, c.Queued, c.TotalWait, c.UplinkQueued, c.UplinkWait)
+		n := *toplinks
+		if n > len(c.Top) {
+			n = len(c.Top)
+		}
+		for _, u := range c.Top[:n] {
+			fmt.Printf("    %v\n", u)
+		}
+	}
+	if *messages > 0 {
+		n := *messages
+		if n > len(res.Sends) {
+			n = len(res.Sends)
+		}
+		fmt.Printf("  first %d sends:\n", n)
+		for _, m := range res.Sends[:n] {
+			fmt.Printf("    %v\n", m)
+		}
+	}
+	return 0
+}

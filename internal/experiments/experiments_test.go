@@ -15,6 +15,9 @@ func TestRegistryComplete(t *testing.T) {
 		// Collective-scenario experiments (beyond the paper's figures).
 		"coll-scaling", "coll-crossover", "coll-cu-exchange", "coll-linpack-panel",
 		"coll-saturation",
+		// Trace replay: a real application phase over the congested
+		// transport.
+		"trace-replay",
 	}
 	for _, id := range want {
 		if _, ok := ByID(id); !ok {

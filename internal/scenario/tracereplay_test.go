@@ -1,0 +1,74 @@
+package scenario
+
+import (
+	"reflect"
+	"sync"
+	"testing"
+)
+
+var traceReplayOnce = sync.OnceValues(func() (*TraceReplayReport, error) {
+	return TraceReplay()
+})
+
+func TestTraceReplayShape(t *testing.T) {
+	rep, err := traceReplayOnce()
+	if err != nil {
+		t.Fatalf("TraceReplay: %v", err)
+	}
+	if rep.Ranks != TraceReplayPx*TraceReplayPy {
+		t.Errorf("ranks %d", rep.Ranks)
+	}
+	if rep.Sends == 0 || rep.Records == 0 || rep.TraceBytes == 0 {
+		t.Fatalf("empty trace: %+v", rep)
+	}
+	if len(rep.Points) != len(TraceReplayPlacementNames) {
+		t.Fatalf("%d points for %d placements", len(rep.Points), len(TraceReplayPlacementNames))
+	}
+	for i, p := range rep.Points {
+		if p.Placement != TraceReplayPlacementNames[i] {
+			t.Errorf("point %d placement %q, want %q", i, p.Placement, TraceReplayPlacementNames[i])
+		}
+		if int(p.Messages) != rep.Sends {
+			t.Errorf("%s: %d messages for %d trace sends", p.Placement, p.Messages, rep.Sends)
+		}
+		if p.Congested <= 0 || p.Baseline <= 0 || p.CommCongested <= 0 || p.CommBaseline <= 0 {
+			t.Errorf("%s: empty timings %+v", p.Placement, p)
+		}
+		// The full iteration includes all compute; stripping it can only
+		// shrink the makespan.
+		if p.CommBaseline >= p.Baseline {
+			t.Errorf("%s: comm-only %v not below full %v", p.Placement, p.CommBaseline, p.Baseline)
+		}
+		if p.MeanHops < 0 {
+			t.Errorf("%s: mean hops %f", p.Placement, p.MeanHops)
+		}
+	}
+}
+
+func TestTraceReplayDeterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("second full sweep")
+	}
+	a, err := traceReplayOnce()
+	if err != nil {
+		t.Fatalf("TraceReplay: %v", err)
+	}
+	b, err := TraceReplay()
+	if err != nil {
+		t.Fatalf("TraceReplay rerun: %v", err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("two sweeps differ")
+	}
+}
+
+func TestReplayUnderPlacementsRejectsWrongRanks(t *testing.T) {
+	tr, _, err := CaptureSweep3DTrace()
+	if err != nil {
+		t.Fatalf("capture: %v", err)
+	}
+	tr.Meta.Ranks = 0 // corrupt: placements can no longer cover the ranks
+	if _, err := ReplayUnderPlacements(tr, 0); err == nil {
+		t.Fatal("corrupt trace accepted")
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"roadrunner/internal/cml"
 	"roadrunner/internal/fabric"
 	"roadrunner/internal/sim"
+	"roadrunner/internal/trace"
 	"roadrunner/internal/units"
 )
 
@@ -30,8 +31,46 @@ type DESResult struct {
 // thousand ranks; the analytic model in scale.go covers the full
 // machine.
 func RunOnDES(cfg Config, px, py int, cmlCfg cml.Config) (*DESResult, error) {
+	return runOnDES(cfg, px, py, cmlCfg, nil)
+}
+
+// CaptureDES is RunOnDES with the wavefront schedule recorded: every KBA
+// pipeline exchange of the run becomes a trace record (boundary receive,
+// block compute, boundary send), so one captured source iteration can be
+// replayed over the congested transport under arbitrary rank→node
+// placements without re-running the solver. The numerical result and
+// simulated iteration time are identical to an uncaptured run; the trace
+// carries the problem configuration in its Attrs.
+func CaptureDES(cfg Config, px, py int, cmlCfg cml.Config) (*DESResult, *trace.Trace, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, nil, err
+	}
+	if px < 1 || py < 1 {
+		return nil, nil, fmt.Errorf("sweep3d: %dx%d rank grid", px, py)
+	}
+	rec := trace.NewRecorder(fmt.Sprintf("sweep3d-%dx%d", px, py), "sweep3d", px*py)
+	rec.SetAttr("grid", fmt.Sprintf("%dx%dx%d", cfg.I, cfg.J, cfg.K))
+	rec.SetAttr("mk", fmt.Sprintf("%d", cfg.MK))
+	rec.SetAttr("angles", fmt.Sprintf("%d", cfg.Angles))
+	rec.SetAttr("px", fmt.Sprintf("%d", px))
+	rec.SetAttr("py", fmt.Sprintf("%d", py))
+	res, err := runOnDES(cfg, px, py, cmlCfg, rec)
+	if err != nil {
+		return nil, nil, err
+	}
+	t, err := rec.Trace()
+	if err != nil {
+		return nil, nil, err
+	}
+	return res, t, nil
+}
+
+func runOnDES(cfg Config, px, py int, cmlCfg cml.Config, rec *trace.Recorder) (*DESResult, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
+	}
+	if px < 1 || py < 1 {
+		return nil, fmt.Errorf("sweep3d: %dx%d rank grid", px, py)
 	}
 	nRanks := px * py
 	eng := sim.NewEngine()
@@ -76,20 +115,39 @@ func RunOnDES(cfg Config, px, py int, cmlCfg cml.Config) (*DESResult, error) {
 					for kb := 0; kb < cfg.KBlocks(); kb++ {
 						var xin, yin []float64
 						if up := upstreamRank(s.PXi, oct.SI); up >= 0 && up < px {
-							xin = rank.Recv(p, s.PYi*px+up, tag(oi, kb, "x")).Data
+							src := s.PYi*px + up
+							xin = rank.Recv(p, src, tag(oi, kb, "x")).Data
+							if rec != nil {
+								rec.Recv(rankID, src, tag(oi, kb, "x"), units.Size(8*len(xin)), p.Now())
+							}
 						}
 						if up := upstreamRank(s.PYi, oct.SJ); up >= 0 && up < py {
-							yin = rank.Recv(p, up*px+s.PXi, tag(oi, kb, "y")).Data
+							src := up*px + s.PXi
+							yin = rank.Recv(p, src, tag(oi, kb, "y")).Data
+							if rec != nil {
+								rec.Recv(rankID, src, tag(oi, kb, "y"), units.Size(8*len(yin)), p.Now())
+							}
 						}
 						xout, yout := s.BlockSweep(oct, kb, xin, yin)
 						p.Sleep(units.Time(cfg.BlockUpdates()) * perUpdate)
+						if rec != nil {
+							rec.Compute(rankID, units.Time(cfg.BlockUpdates())*perUpdate, p.Now())
+						}
 						if dn := downstreamRank(s.PXi, oct.SI); dn >= 0 && dn < px {
-							rank.Send(p, s.PYi*px+dn, tag(oi, kb, "x"), xout)
+							dst := s.PYi*px + dn
+							rank.Send(p, dst, tag(oi, kb, "x"), xout)
+							if rec != nil {
+								rec.Send(rankID, dst, tag(oi, kb, "x"), units.Size(8*len(xout)), p.Now())
+							}
 						} else {
 							s.AccumulateEdgeLeakage("x", xout)
 						}
 						if dn := downstreamRank(s.PYi, oct.SJ); dn >= 0 && dn < py {
-							rank.Send(p, dn*px+s.PXi, tag(oi, kb, "y"), yout)
+							dst := dn*px + s.PXi
+							rank.Send(p, dst, tag(oi, kb, "y"), yout)
+							if rec != nil {
+								rec.Send(rankID, dst, tag(oi, kb, "y"), units.Size(8*len(yout)), p.Now())
+							}
 						} else {
 							s.AccumulateEdgeLeakage("y", yout)
 						}

@@ -1,0 +1,82 @@
+package trace_test
+
+import (
+	"bytes"
+	"sync"
+	"testing"
+
+	"roadrunner/internal/cml"
+	"roadrunner/internal/fabric"
+	"roadrunner/internal/ib"
+	"roadrunner/internal/sweep3d"
+	"roadrunner/internal/trace"
+	"roadrunner/internal/transport"
+)
+
+// The TraceReplay* benches track the replay engine's hot path — record
+// walking, mailbox matching and the congested transport underneath —
+// plus the capture and codec costs, as part of the bench-artifact record
+// CI uploads per commit.
+
+var benchOnce = sync.OnceValues(func() (*trace.Trace, error) {
+	cfg := sweep3d.Config{I: 5, J: 5, K: 40, MK: 10, Angles: 6}
+	_, tr, err := sweep3d.CaptureDES(cfg, 8, 8, cml.CurrentSoftware())
+	return tr, err
+})
+
+func benchTrace(b *testing.B) *trace.Trace {
+	b.Helper()
+	tr, err := benchOnce()
+	if err != nil {
+		b.Fatal(err)
+	}
+	return tr
+}
+
+func benchReplay(b *testing.B, pol transport.Policy) {
+	tr := benchTrace(b)
+	fab := fabric.New()
+	places := make([]transport.Endpoint, tr.Meta.Ranks)
+	for i := range places {
+		places[i] = transport.Endpoint{Node: fabric.FromGlobal(i), Core: 1}
+	}
+	cfg := trace.ReplayConfig{Fabric: fab, Profile: ib.OpenMPI(), Places: places, Policy: pol}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := trace.Replay(tr, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTraceReplayCongested(b *testing.B) { benchReplay(b, transport.Congested()) }
+
+func BenchmarkTraceReplayBaseline(b *testing.B) { benchReplay(b, transport.Policy{}) }
+
+func BenchmarkTraceReplayCapture(b *testing.B) {
+	cfg := sweep3d.Config{I: 5, J: 5, K: 40, MK: 10, Angles: 6}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := sweep3d.CaptureDES(cfg, 8, 8, cml.CurrentSoftware()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTraceReplayCodec(b *testing.B) {
+	tr := benchTrace(b)
+	var buf bytes.Buffer
+	if err := trace.Encode(&buf, tr); err != nil {
+		b.Fatal(err)
+	}
+	data := buf.Bytes()
+	b.SetBytes(int64(len(data)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := trace.Decode(bytes.NewReader(data)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

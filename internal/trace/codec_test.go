@@ -1,0 +1,96 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// encodeBytes serializes the trace and fails the test on error.
+func encodeBytes(t *testing.T, tr *Trace) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := Encode(&buf, tr); err != nil {
+		t.Fatalf("encode: %v", err)
+	}
+	return buf.Bytes()
+}
+
+func TestRoundTripIdentity(t *testing.T) {
+	tr := pingPong(t)
+	tr.Meta.Attrs = map[string]string{"grid": "5x5x40", "px": "2"}
+	first := encodeBytes(t, tr)
+	parsed, err := Decode(bytes.NewReader(first))
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	second := encodeBytes(t, parsed)
+	if !bytes.Equal(first, second) {
+		t.Fatalf("serialize→parse→serialize is not the identity:\n%s\nvs\n%s", first, second)
+	}
+}
+
+func TestDecodeAcceptsAnyRecordOrder(t *testing.T) {
+	// A hand-edited file with record lines shuffled still loads: Decode
+	// normalizes to canonical order before validating.
+	tr := pingPong(t)
+	lines := strings.Split(strings.TrimRight(string(encodeBytes(t, tr)), "\n"), "\n")
+	header, recs := lines[0], lines[1:]
+	for i, j := 0, len(recs)-1; i < j; i, j = i+1, j-1 {
+		recs[i], recs[j] = recs[j], recs[i]
+	}
+	shuffled := header + "\n" + strings.Join(recs, "\n") + "\n"
+	parsed, err := Decode(strings.NewReader(shuffled))
+	if err != nil {
+		t.Fatalf("decode shuffled: %v", err)
+	}
+	if !bytes.Equal(encodeBytes(t, parsed), encodeBytes(t, tr)) {
+		t.Fatal("shuffled file decoded to a different trace")
+	}
+}
+
+func TestDecodeRejectsMalformed(t *testing.T) {
+	valid := string(encodeBytes(t, pingPong(t)))
+	lines := strings.SplitAfter(valid, "\n")
+	cases := []struct {
+		name  string
+		input string
+	}{
+		{"empty", ""},
+		{"garbage", "not json\n"},
+		{"wrong format", `{"format":"something-else","version":1,"name":"x","app":"y","ranks":1,"records":0}` + "\n"},
+		{"wrong version", `{"format":"roadrunner-trace","version":99,"name":"x","app":"y","ranks":1,"records":0}` + "\n"},
+		{"negative record count", `{"format":"roadrunner-trace","version":1,"name":"x","app":"y","ranks":1,"records":-1}` + "\n"},
+		{"truncated", strings.Join(lines[:len(lines)-2], "")},
+		{"extra record", valid + lines[len(lines)-2]},
+		{"record syntax error", lines[0] + "{\"rank\":0,\n"},
+		{"unknown field", lines[0] + `{"rank":0,"seq":0,"kind":"compute","peer":-1,"tag":0,"size":0,"dur":1,"at":0,"dep":-1,"bogus":1}` + "\n"},
+		{"trailing garbage on line", lines[0] + `{"rank":0,"seq":0,"kind":"compute","peer":-1,"tag":0,"size":0,"dur":1,"at":0,"dep":-1} {}` + "\n"},
+		{"header only, missing records", `{"format":"roadrunner-trace","version":1,"name":"x","app":"y","ranks":1,"records":3}` + "\n"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := Decode(strings.NewReader(tc.input)); err == nil {
+				t.Fatal("malformed input accepted")
+			}
+		})
+	}
+}
+
+func TestSaveLoad(t *testing.T) {
+	tr := pingPong(t)
+	path := t.TempDir() + "/ping.jsonl"
+	if err := Save(path, tr); err != nil {
+		t.Fatalf("save: %v", err)
+	}
+	back, err := Load(path)
+	if err != nil {
+		t.Fatalf("load: %v", err)
+	}
+	if !bytes.Equal(encodeBytes(t, back), encodeBytes(t, tr)) {
+		t.Fatal("loaded trace differs")
+	}
+	if _, err := Load(path + ".missing"); err == nil {
+		t.Fatal("loading a missing file succeeded")
+	}
+}

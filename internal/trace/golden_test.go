@@ -1,0 +1,91 @@
+package trace_test
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"roadrunner/internal/cml"
+	"roadrunner/internal/fabric"
+	"roadrunner/internal/ib"
+	"roadrunner/internal/sweep3d"
+	"roadrunner/internal/trace"
+	"roadrunner/internal/transport"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden trace files")
+
+// goldenPath is the pinned capture of a tiny Sweep3D run. Any change to
+// the capture hook, the recorder, the canonical ordering or the JSONL
+// encoding shows up as a diff against this file — capture regressions
+// are caught by `git diff`, not by silent drift.
+const goldenPath = "testdata/sweep3d_2x2.trace.jsonl"
+
+// goldenCapture reproduces the golden file's capture exactly.
+func goldenCapture(t *testing.T) *trace.Trace {
+	t.Helper()
+	cfg := sweep3d.Config{I: 2, J: 2, K: 4, MK: 2, Angles: 2}
+	_, tr, err := sweep3d.CaptureDES(cfg, 2, 2, cml.CurrentSoftware())
+	if err != nil {
+		t.Fatalf("capture: %v", err)
+	}
+	return tr
+}
+
+func TestGoldenSweep3DTrace(t *testing.T) {
+	tr := goldenCapture(t)
+	var buf bytes.Buffer
+	if err := trace.Encode(&buf, tr); err != nil {
+		t.Fatalf("encode: %v", err)
+	}
+	if *update {
+		if err := os.MkdirAll(filepath.Dir(goldenPath), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(goldenPath, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s (%d bytes)", goldenPath, buf.Len())
+		return
+	}
+	want, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("missing golden file (run `go test ./internal/trace -run TestGolden -update`): %v", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("captured trace drifted from %s (%d vs %d bytes); if the change is intended, rerun with -update",
+			goldenPath, buf.Len(), len(want))
+	}
+}
+
+// TestGoldenTraceReplays guards the full path: the checked-in file
+// itself must decode, validate and replay.
+func TestGoldenTraceReplays(t *testing.T) {
+	tr, err := trace.Load(goldenPath)
+	if err != nil {
+		t.Fatalf("load golden: %v", err)
+	}
+	s := tr.Stats()
+	if s.Ranks != 4 || s.Sends != s.Recvs || s.Sends == 0 {
+		t.Fatalf("unexpected golden shape: %+v", s)
+	}
+	fab := fabric.NewScaled(1)
+	places := make([]transport.Endpoint, tr.Meta.Ranks)
+	for i := range places {
+		places[i] = transport.Endpoint{Node: fabric.FromGlobal(i), Core: 1}
+	}
+	res, err := trace.Replay(tr, trace.ReplayConfig{
+		Fabric:  fab,
+		Profile: ib.OpenMPI(),
+		Places:  places,
+		Policy:  transport.Congested(),
+	})
+	if err != nil {
+		t.Fatalf("replay golden: %v", err)
+	}
+	if res.Time <= 0 || int(res.Messages) != s.Sends {
+		t.Fatalf("golden replay: %+v", res)
+	}
+}

@@ -1,0 +1,213 @@
+package trace
+
+import (
+	"fmt"
+
+	"roadrunner/internal/fabric"
+	"roadrunner/internal/ib"
+	"roadrunner/internal/params"
+	"roadrunner/internal/sim"
+	"roadrunner/internal/transport"
+	"roadrunner/internal/units"
+)
+
+// ReplayConfig places a trace's ranks on the machine and selects the
+// transport models the replay runs over.
+type ReplayConfig struct {
+	Fabric  *fabric.System
+	Profile ib.Profile
+	// Places maps rank → (node, core); it must cover every trace rank.
+	// Two ranks on one node exchange over the shared-memory path, so
+	// placement density changes both hop profiles and wire traffic.
+	Places []transport.Endpoint
+	// Policy is the transport's congestion model: transport.Congested()
+	// for wormhole link channels, transport.InfiniteCapacity() for the
+	// routed-but-unthrottled fabric, the zero value for the unrouted
+	// legacy path (byte-identical timing to InfiniteCapacity).
+	Policy transport.Policy
+	// ComputeScale multiplies compute-record durations (0 means 1.0):
+	// replay the same schedule on a faster or slower processor model
+	// without recapturing.
+	ComputeScale float64
+	// SkipCompute drops compute records entirely: the bare communication
+	// schedule, for isolating placement and congestion effects.
+	SkipCompute bool
+}
+
+// MessageTiming is one send record's replay timing.
+type MessageTiming struct {
+	SrcRank, DstRank, Tag int
+	Size                  units.Size
+	// SendStart is when the sender issued the transfer, SendEnd when the
+	// blocking send returned (software overheads, rendezvous, link
+	// admission and the HCA stream all charged), Delivered when the
+	// payload reached the receiver's queue after the fabric traversal.
+	SendStart, SendEnd, Delivered units.Time
+}
+
+// String renders the timing on one line.
+func (m MessageTiming) String() string {
+	return fmt.Sprintf("%d->%d tag %d %v: start %v send %v delivered %v",
+		m.SrcRank, m.DstRank, m.Tag, m.Size,
+		m.SendStart, m.SendEnd-m.SendStart, m.Delivered)
+}
+
+// ReplayResult is the outcome of replaying one trace.
+type ReplayResult struct {
+	Name  string
+	Ranks int
+	// Time is the makespan: the completion time of the slowest rank.
+	Time units.Time
+	// RankFinish is each rank's completion time.
+	RankFinish []units.Time
+	// Sends holds per-message timing, one entry per send record, in
+	// canonical record order.
+	Sends []MessageTiming
+	// Messages and WireBytes are the transport's counters (WireBytes
+	// excludes intra-node shared-memory messages, so it varies with
+	// placement density).
+	Messages  int64
+	WireBytes units.Size
+	// Congestion is the link-contention census (nil when the replay ran
+	// with the congestion policy off).
+	Congestion *transport.Census
+	// EngineStats snapshots the DES engine at completion.
+	EngineStats sim.Stats
+}
+
+// replayMsg is one in-flight payload during replay.
+type replayMsg struct {
+	src, tag, seq int
+}
+
+// replayCensusTop is how many contended links a ReplayResult's census
+// retains.
+const replayCensusTop = 10
+
+// Replay executes the trace over the transport: one sim proc per rank
+// walks the rank's stream in order — compute sleeps, sends drive
+// transport.Net.Transfer, recvs block on the matching payload — so
+// cross-rank dependencies resolve exactly as the application's own
+// message ordering would, under whatever placement and congestion policy
+// the config selects. The trace is validated first; a valid trace
+// cannot deadlock the engine.
+func Replay(t *Trace, cfg ReplayConfig) (*ReplayResult, error) {
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Fabric == nil {
+		return nil, fmt.Errorf("trace: replay: nil fabric")
+	}
+	if len(cfg.Places) != t.Meta.Ranks {
+		return nil, fmt.Errorf("trace: replay: %d placements for %d ranks", len(cfg.Places), t.Meta.Ranks)
+	}
+	for r, pl := range cfg.Places {
+		if pl.Node.CU < 0 || pl.Node.Node < 0 || pl.Node.Node >= params.NodesPerCU ||
+			pl.Node.GlobalID() >= cfg.Fabric.Nodes() {
+			return nil, fmt.Errorf("trace: replay: rank %d placed on %v outside the %d-node fabric",
+				r, pl.Node, cfg.Fabric.Nodes())
+		}
+		if pl.Core < 0 || pl.Core > 3 {
+			return nil, fmt.Errorf("trace: replay: rank %d on core %d (want 0..3)", r, pl.Core)
+		}
+	}
+	scale := cfg.ComputeScale
+	if scale == 0 {
+		scale = 1
+	}
+	if scale < 0 {
+		return nil, fmt.Errorf("trace: replay: negative compute scale %g", scale)
+	}
+
+	// Per-rank record streams and per-send message-timing slots, both in
+	// canonical order.
+	streams := make([][]Record, t.Meta.Ranks)
+	sendIdx := make([]int, len(t.Records)) // record index -> Sends slot
+	nSends := 0
+	start := 0
+	for i, r := range t.Records {
+		if r.Kind == KindSend {
+			sendIdx[i] = nSends
+			nSends++
+		}
+		if i+1 == len(t.Records) || t.Records[i+1].Rank != r.Rank {
+			streams[r.Rank] = t.Records[start : i+1]
+			start = i + 1
+		}
+	}
+
+	eng := sim.NewEngine()
+	defer eng.Close()
+	net := transport.New(eng, cfg.Fabric, cfg.Profile, cfg.Policy)
+	inbox := make([]*sim.Mailbox[replayMsg], t.Meta.Ranks)
+	for i := range inbox {
+		inbox[i] = sim.NewMailbox[replayMsg](eng, fmt.Sprintf("replay-rank%d", i))
+	}
+	res := &ReplayResult{
+		Name:       t.Meta.Name,
+		Ranks:      t.Meta.Ranks,
+		RankFinish: make([]units.Time, t.Meta.Ranks),
+		Sends:      make([]MessageTiming, nSends),
+	}
+	var replayErr error
+	fail := func(err error) {
+		if replayErr == nil {
+			replayErr = err
+		}
+	}
+	base := 0
+	for rank := 0; rank < t.Meta.Ranks; rank++ {
+		rank := rank
+		stream := streams[rank]
+		streamBase := base
+		base += len(stream)
+		eng.Spawn(fmt.Sprintf("replay-rank%d", rank), func(p *sim.Proc) {
+			for i, r := range stream {
+				switch r.Kind {
+				case KindCompute:
+					if !cfg.SkipCompute {
+						p.Sleep(units.Time(float64(r.Duration) * scale))
+					}
+				case KindSend:
+					slot := sendIdx[streamBase+i]
+					mt := &res.Sends[slot]
+					mt.SrcRank, mt.DstRank, mt.Tag, mt.Size = rank, r.Peer, r.Tag, r.Size
+					mt.SendStart = p.Now()
+					msg := replayMsg{src: rank, tag: r.Tag, seq: r.Seq}
+					box := inbox[r.Peer]
+					net.Transfer(p, cfg.Places[rank], cfg.Places[r.Peer], r.Size, func() {
+						mt.Delivered = eng.Now()
+						box.Put(msg)
+					})
+					mt.SendEnd = p.Now()
+				case KindRecv:
+					m := inbox[rank].GetMatch(p, func(m replayMsg) bool {
+						return m.src == r.Peer && m.tag == r.Tag
+					})
+					if m.seq != r.Dep {
+						// Validate guarantees FIFO matching; reaching here
+						// is an engine-level bug, not a trace error.
+						fail(fmt.Errorf("trace: replay: %v satisfied by send seq %d, dep says %d", r, m.seq, r.Dep))
+					}
+				}
+			}
+			res.RankFinish[rank] = p.Now()
+		})
+	}
+	if err := eng.Run(); err != nil {
+		return nil, fmt.Errorf("trace: replay %s: %w", t.Meta.Name, err)
+	}
+	if replayErr != nil {
+		return nil, replayErr
+	}
+	for _, f := range res.RankFinish {
+		if f > res.Time {
+			res.Time = f
+		}
+	}
+	res.Messages = net.Messages()
+	res.WireBytes = net.WireBytes()
+	res.Congestion = net.Census(replayCensusTop)
+	res.EngineStats = eng.Stats()
+	return res, nil
+}

@@ -1,0 +1,281 @@
+package trace
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"roadrunner/internal/fabric"
+	"roadrunner/internal/ib"
+	"roadrunner/internal/sim"
+	"roadrunner/internal/transport"
+	"roadrunner/internal/units"
+)
+
+// blockEndpoints places ranks on consecutive global nodes, one rank per
+// node, on the given core.
+func blockEndpoints(fab *fabric.System, ranks, core int) []transport.Endpoint {
+	out := make([]transport.Endpoint, ranks)
+	for i := range out {
+		out[i] = transport.Endpoint{Node: fabric.FromGlobal(i), Core: core}
+	}
+	return out
+}
+
+// chainTrace builds a serial schedule on two ranks: for each size, rank0
+// computes then sends; rank1 receives them in order.
+func chainTrace(t *testing.T, sizes []units.Size, compute units.Time) *Trace {
+	t.Helper()
+	rec := NewRecorder("chain", "test", 2)
+	for i, s := range sizes {
+		if compute > 0 {
+			rec.Compute(0, compute, 0)
+		}
+		rec.Send(0, 1, i, s, 0)
+		rec.Recv(1, 0, i, s, 0)
+	}
+	tr, err := rec.Trace()
+	if err != nil {
+		t.Fatalf("recorder: %v", err)
+	}
+	return tr
+}
+
+var chainSizes = []units.Size{
+	0, 8, 512, 4 * units.KB, 64 * units.KB, 1 * units.MB,
+}
+
+// TestReplayMatchesDirectTransfers pins the core replay-timing contract:
+// with the infinite-capacity (or off) policy, replaying a serial
+// schedule produces exactly the event sequence of driving
+// transport.Net.Transfer by hand — per message, start, sender-visible
+// completion and delivery instants all equal, so replay time is the sum
+// of the uncontended transfer costs.
+func TestReplayMatchesDirectTransfers(t *testing.T) {
+	fab := fabric.NewScaled(1)
+	compute := 3 * units.Microsecond
+	tr := chainTrace(t, chainSizes, compute)
+	for _, pol := range []transport.Policy{{}, transport.InfiniteCapacity()} {
+		res, err := Replay(tr, ReplayConfig{
+			Fabric:  fab,
+			Profile: ib.OpenMPI(),
+			Places:  blockEndpoints(fab, 2, 1),
+			Policy:  pol,
+		})
+		if err != nil {
+			t.Fatalf("replay: %v", err)
+		}
+
+		// The same schedule, hand-driven on a fresh engine.
+		eng := sim.NewEngine()
+		defer eng.Close()
+		net := transport.New(eng, fab, ib.OpenMPI(), pol)
+		src := transport.Endpoint{Node: fabric.FromGlobal(0), Core: 1}
+		dst := transport.Endpoint{Node: fabric.FromGlobal(1), Core: 1}
+		direct := make([]MessageTiming, len(chainSizes))
+		eng.Spawn("sender", func(p *sim.Proc) {
+			for i, size := range chainSizes {
+				p.Sleep(compute)
+				mt := &direct[i]
+				mt.SendStart = p.Now()
+				net.Transfer(p, src, dst, size, func() { mt.Delivered = eng.Now() })
+				mt.SendEnd = p.Now()
+			}
+		})
+		if err := eng.Run(); err != nil {
+			t.Fatalf("direct run: %v", err)
+		}
+		for i := range chainSizes {
+			got, want := res.Sends[i], direct[i]
+			if got.SendStart != want.SendStart || got.SendEnd != want.SendEnd || got.Delivered != want.Delivered {
+				t.Errorf("policy %+v message %d: replay (%v %v %v) != direct (%v %v %v)",
+					pol, i, got.SendStart, got.SendEnd, got.Delivered,
+					want.SendStart, want.SendEnd, want.Delivered)
+			}
+		}
+		last := direct[len(direct)-1]
+		if res.Time != last.Delivered {
+			t.Errorf("policy %+v: replay time %v, want last delivery %v", pol, res.Time, last.Delivered)
+		}
+	}
+}
+
+// TestInfiniteCapacityMatchesOffPath: the routed-but-unthrottled fabric
+// reproduces the unrouted path event-for-event on an irregular many-rank
+// schedule; only the census differs (present vs nil).
+func TestInfiniteCapacityMatchesOffPath(t *testing.T) {
+	fab := fabric.NewScaled(1)
+	tr := meshTrace(t, 8, 16*units.KB)
+	base := ReplayConfig{Fabric: fab, Profile: ib.OpenMPI(), Places: blockEndpoints(fab, 8, 1)}
+
+	off := base
+	off.Policy = transport.Policy{}
+	inf := base
+	inf.Policy = transport.InfiniteCapacity()
+
+	ro, err := Replay(tr, off)
+	if err != nil {
+		t.Fatalf("off replay: %v", err)
+	}
+	ri, err := Replay(tr, inf)
+	if err != nil {
+		t.Fatalf("infinite replay: %v", err)
+	}
+	if ro.Time != ri.Time {
+		t.Errorf("makespan %v off vs %v infinite", ro.Time, ri.Time)
+	}
+	if !reflect.DeepEqual(ro.Sends, ri.Sends) {
+		t.Error("per-message timings differ between off and infinite-capacity policies")
+	}
+	if !reflect.DeepEqual(ro.RankFinish, ri.RankFinish) {
+		t.Error("rank finish times differ between off and infinite-capacity policies")
+	}
+	if ro.Congestion != nil {
+		t.Error("off policy produced a census")
+	}
+	if ri.Congestion == nil {
+		t.Error("infinite-capacity policy produced no census")
+	}
+}
+
+// meshTrace builds an irregular all-pairs burst: every rank sends to
+// every higher rank, then receives from every lower rank — enough
+// concurrency to exercise mailbox matching and shared links.
+func meshTrace(t *testing.T, ranks int, size units.Size) *Trace {
+	t.Helper()
+	rec := NewRecorder(fmt.Sprintf("mesh-%d", ranks), "test", ranks)
+	for r := 0; r < ranks; r++ {
+		rec.Compute(r, units.Time(r)*units.Microsecond, 0)
+		for dst := r + 1; dst < ranks; dst++ {
+			rec.Send(r, dst, r*ranks+dst, size, 0)
+		}
+		for src := 0; src < r; src++ {
+			rec.Recv(r, src, src*ranks+r, size, 0)
+		}
+	}
+	tr, err := rec.Trace()
+	if err != nil {
+		t.Fatalf("recorder: %v", err)
+	}
+	return tr
+}
+
+// TestReplayDeterministic: byte-identical results across repeated runs,
+// congested and not.
+func TestReplayDeterministic(t *testing.T) {
+	fab := fabric.NewScaled(1)
+	tr := meshTrace(t, 8, 64*units.KB)
+	for _, pol := range []transport.Policy{{}, transport.Congested()} {
+		cfg := ReplayConfig{Fabric: fab, Profile: ib.OpenMPI(), Places: blockEndpoints(fab, 8, 1), Policy: pol}
+		a, err := Replay(tr, cfg)
+		if err != nil {
+			t.Fatalf("replay: %v", err)
+		}
+		b, err := Replay(tr, cfg)
+		if err != nil {
+			t.Fatalf("replay: %v", err)
+		}
+		if !reflect.DeepEqual(a, b) {
+			t.Errorf("policy %+v: repeated replays differ", pol)
+		}
+	}
+}
+
+// TestCongestionSlowsSharedLinks: flows forced across one shared cable
+// serialize under the wormhole policy, and the census reports the
+// queueing.
+func TestCongestionSlowsSharedLinks(t *testing.T) {
+	fab := fabric.NewScaled(1)
+	// 4 ranks on crossbar 0 all send at once to 4 ranks on crossbar 1:
+	// the routes share spine cables, so the congested replay must queue.
+	ranks := 8
+	rec := NewRecorder("cross", "test", ranks)
+	size := 1 * units.MB
+	for r := 0; r < 4; r++ {
+		rec.Send(r, 4+r, r, size, 0)
+	}
+	for r := 4; r < ranks; r++ {
+		rec.Recv(r, r-4, r-4, size, 0)
+	}
+	tr, err := rec.Trace()
+	if err != nil {
+		t.Fatalf("recorder: %v", err)
+	}
+	places := make([]transport.Endpoint, ranks)
+	for r := 0; r < 4; r++ {
+		places[r] = transport.Endpoint{Node: fabric.FromGlobal(r), Core: 1}
+		// Destination globals 8, 20, 32, 44 all hash onto spine 8, so the
+		// four flows out of crossbar 0 share the xbar0→spine8 cable.
+		places[4+r] = transport.Endpoint{Node: fabric.FromGlobal(8 + 12*r), Core: 1}
+	}
+	cfg := ReplayConfig{Fabric: fab, Profile: ib.OpenMPI(), Places: places}
+	cfg.Policy = transport.InfiniteCapacity()
+	baseline, err := Replay(tr, cfg)
+	if err != nil {
+		t.Fatalf("baseline replay: %v", err)
+	}
+	cfg.Policy = transport.Congested()
+	congested, err := Replay(tr, cfg)
+	if err != nil {
+		t.Fatalf("congested replay: %v", err)
+	}
+	if congested.Time <= baseline.Time {
+		t.Errorf("congested %v not slower than baseline %v", congested.Time, baseline.Time)
+	}
+	c := congested.Congestion
+	if c == nil || c.Queued == 0 || c.TotalWait == 0 {
+		t.Fatalf("no queueing in census: %+v", c)
+	}
+}
+
+// TestReplayComputeScale stretches compute records without touching
+// communication.
+func TestReplayComputeScale(t *testing.T) {
+	fab := fabric.NewScaled(1)
+	tr := chainTrace(t, []units.Size{8 * units.KB}, 10*units.Microsecond)
+	cfg := ReplayConfig{Fabric: fab, Profile: ib.OpenMPI(), Places: blockEndpoints(fab, 2, 1)}
+	r1, err := Replay(tr, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.ComputeScale = 2
+	r2, err := Replay(tr, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := r1.Time + 10*units.Microsecond; r2.Time != want {
+		t.Errorf("scaled replay %v, want %v", r2.Time, want)
+	}
+	cfg.ComputeScale = -1
+	if _, err := Replay(tr, cfg); err == nil {
+		t.Error("negative compute scale accepted")
+	}
+}
+
+func TestReplayConfigErrors(t *testing.T) {
+	fab := fabric.NewScaled(1)
+	tr := pingPong(t)
+	cases := []struct {
+		name string
+		cfg  ReplayConfig
+	}{
+		{"nil fabric", ReplayConfig{Profile: ib.OpenMPI(), Places: blockEndpoints(fab, 2, 1)}},
+		{"too few placements", ReplayConfig{Fabric: fab, Profile: ib.OpenMPI(), Places: blockEndpoints(fab, 1, 1)}},
+		{"node outside fabric", ReplayConfig{Fabric: fab, Profile: ib.OpenMPI(),
+			Places: []transport.Endpoint{{Node: fabric.NodeID{CU: 3, Node: 0}, Core: 1}, {Node: fabric.FromGlobal(1), Core: 1}}}},
+		{"bad core", ReplayConfig{Fabric: fab, Profile: ib.OpenMPI(),
+			Places: []transport.Endpoint{{Node: fabric.FromGlobal(0), Core: 7}, {Node: fabric.FromGlobal(1), Core: 1}}}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := Replay(tr, tc.cfg); err == nil {
+				t.Fatal("bad config accepted")
+			}
+		})
+	}
+	// An invalid trace is rejected before any engine is built.
+	bad := mutate(t, func(tr *Trace) { tr.Records[1].Tag = 99 })
+	if _, err := Replay(bad, ReplayConfig{Fabric: fab, Profile: ib.OpenMPI(), Places: blockEndpoints(fab, 2, 1)}); err == nil {
+		t.Fatal("invalid trace replayed")
+	}
+}

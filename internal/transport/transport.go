@@ -277,6 +277,23 @@ type Census struct {
 	TopUplinks   []LinkUsage
 }
 
+// Hotter is the census ranking: total wait first, bytes carried second,
+// and — so that the top-N output is fully deterministic under ties —
+// the link's total order (Key) as the final criterion. The census
+// gathers links from a map, whose iteration order varies run to run;
+// because Hotter is a strict total order (no two distinct links share a
+// Key), the sorted output is identical regardless of input order, which
+// the equal-occupancy regression test pins.
+func Hotter(a, b LinkUsage) bool {
+	if a.Wait != b.Wait {
+		return a.Wait > b.Wait
+	}
+	if a.Bytes != b.Bytes {
+		return a.Bytes > b.Bytes
+	}
+	return a.Link.Key() < b.Link.Key()
+}
+
 // Census builds the link census, with the top contended links ranked
 // hottest first. A nil receiver or a congestion-off net returns nil.
 func (n *Net) Census(top int) *Census {
@@ -312,17 +329,8 @@ func (n *Net) Census(top int) *Census {
 		}
 		all = append(all, u)
 	}
-	hotter := func(a, b LinkUsage) bool {
-		if a.Wait != b.Wait {
-			return a.Wait > b.Wait
-		}
-		if a.Bytes != b.Bytes {
-			return a.Bytes > b.Bytes
-		}
-		return a.Link.Key() < b.Link.Key()
-	}
-	sort.Slice(all, func(i, j int) bool { return hotter(all[i], all[j]) })
-	sort.Slice(uplinks, func(i, j int) bool { return hotter(uplinks[i], uplinks[j]) })
+	sort.Slice(all, func(i, j int) bool { return Hotter(all[i], all[j]) })
+	sort.Slice(uplinks, func(i, j int) bool { return Hotter(uplinks[i], uplinks[j]) })
 	if top < len(all) {
 		all = all[:top]
 	}

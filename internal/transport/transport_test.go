@@ -157,3 +157,76 @@ func TestCountersAndCensusDeterminism(t *testing.T) {
 		}
 	}
 }
+
+// TestCensusTieOrderingDeterministic crafts a census where every link is
+// equally occupied — identical wait (zero) and identical bytes — so the
+// primary and secondary ranking criteria all tie. The census gathers
+// links from a map whose iteration order varies between runs; only the
+// link-identity tiebreak in Hotter keeps the top-N output stable, and
+// this test pins it: ties must come out in Key order, every run.
+func TestCensusTieOrderingDeterministic(t *testing.T) {
+	eng := sim.NewEngine()
+	defer eng.Close()
+	net := New(eng, fabric.NewScaled(2), ib.OpenMPI(), Congested())
+	// One proc runs the transfers back to back, so no two flows ever
+	// overlap: every link ends with Wait 0. Equal sizes give equal
+	// Bytes. Distinct source crossbars give distinct links.
+	pairs := [][2]Endpoint{
+		{ep(0, 0), ep(1, 0)},
+		{ep(0, 9), ep(1, 9)},
+		{ep(0, 17), ep(1, 17)},
+		{ep(0, 25), ep(1, 25)},
+		{ep(1, 33), ep(0, 33)},
+		{ep(1, 41), ep(0, 41)},
+	}
+	eng.Spawn("serial-sender", func(p *sim.Proc) {
+		for _, pr := range pairs {
+			net.Transfer(p, pr[0], pr[1], 4*units.KB, func() {})
+		}
+	})
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	c := net.Census(1 << 30)
+	if c.Queued != 0 || c.TotalWait != 0 {
+		t.Fatalf("crafted flows queued: %+v", c)
+	}
+	if len(c.Top) < 2*len(pairs) {
+		t.Fatalf("only %d links in the census", len(c.Top))
+	}
+	for i, u := range c.Top {
+		if u.Wait != 0 || u.Bytes != 4*units.KB {
+			t.Fatalf("link %v not an exact tie: wait %v, bytes %v", u.Link, u.Wait, u.Bytes)
+		}
+		if i > 0 && c.Top[i-1].Link.Key() >= u.Link.Key() {
+			t.Errorf("tied links out of Key order at %d: %v before %v", i, c.Top[i-1].Link, u.Link)
+		}
+	}
+	for i, u := range c.TopUplinks {
+		if i > 0 && c.TopUplinks[i-1].Link.Key() >= u.Link.Key() {
+			t.Errorf("tied uplinks out of Key order at %d: %v before %v", i, c.TopUplinks[i-1].Link, u.Link)
+		}
+	}
+}
+
+// TestHotterTotalOrder checks the ranking criteria directly: wait beats
+// bytes, bytes beat identity, and identity breaks exact ties both ways.
+func TestHotterTotalOrder(t *testing.T) {
+	la := fabric.Link{Kind: fabric.LinkSpine, Up: true, CU: 0, Sw: -1, A: 0, B: 1}
+	lb := fabric.Link{Kind: fabric.LinkSpine, Up: true, CU: 0, Sw: -1, A: 0, B: 2}
+	u := func(l fabric.Link, wait units.Time, bytes units.Size) LinkUsage {
+		return LinkUsage{Link: l, Wait: wait, Bytes: bytes}
+	}
+	if !Hotter(u(la, 5, 0), u(lb, 3, 100)) {
+		t.Error("higher wait must rank first")
+	}
+	if !Hotter(u(lb, 5, 100), u(la, 5, 50)) {
+		t.Error("equal wait: more bytes must rank first")
+	}
+	if !Hotter(u(la, 5, 100), u(lb, 5, 100)) || Hotter(u(lb, 5, 100), u(la, 5, 100)) {
+		t.Error("exact tie must break by link Key, lower first")
+	}
+	if Hotter(u(la, 5, 100), u(la, 5, 100)) {
+		t.Error("Hotter must be irreflexive")
+	}
+}

@@ -4,6 +4,10 @@ import (
 	"context"
 	"regexp"
 	"testing"
+
+	"roadrunner/internal/fabric"
+	"roadrunner/internal/ib"
+	"roadrunner/internal/transport"
 )
 
 func TestFacadeExperiments(t *testing.T) {
@@ -140,5 +144,45 @@ func TestFacadeSweep(t *testing.T) {
 	}
 	if _, err := SweepIterationTime(PaperSweepConfig(), 64, "nope"); err == nil {
 		t.Error("bad series accepted")
+	}
+}
+
+func TestFacadeTraceReplay(t *testing.T) {
+	cfg := SweepConfig{I: 2, J: 2, K: 4, MK: 2, Angles: 2}
+	tr, err := CaptureSweepTrace(cfg, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Meta.Ranks != 4 || len(tr.Records) == 0 {
+		t.Fatalf("trace %+v", tr.Meta)
+	}
+	path := t.TempDir() + "/sweep.trace.jsonl"
+	if err := SaveTrace(path, tr); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadTrace(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fab := Fabric()
+	places := make([]transport.Endpoint, loaded.Meta.Ranks)
+	for i := range places {
+		places[i] = transport.Endpoint{Node: fabric.FromGlobal(i * 180), Core: 1}
+	}
+	res, err := ReplayTrace(loaded, TraceReplayConfig{
+		Fabric:  fab,
+		Profile: ib.OpenMPI(),
+		Places:  places,
+		Policy:  transport.Congested(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := loaded.Stats()
+	if res.Time <= 0 || int(res.Messages) != s.Sends || len(res.Sends) != s.Sends {
+		t.Fatalf("replay %+v for stats %+v", res, s)
+	}
+	if res.Congestion == nil {
+		t.Fatal("congested replay carries no census")
 	}
 }
