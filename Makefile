@@ -23,24 +23,27 @@ bench:
 	$(GO) test -bench=. -benchtime=1x -run '^$$' ./...
 
 bench-full:
-	$(GO) test -bench=. -benchmem -run '^$$' ./internal/sim/ ./internal/collectives/ ./internal/scenario/ ./internal/trace/ .
+	$(GO) test -bench=. -benchmem -run '^$$' ./internal/sim/ ./internal/collectives/ ./internal/scenario/ ./internal/trace/ ./internal/placement/ .
 
-# Collective + congested-transport + trace-replay + sim hot-path benches
-# as BENCH_<short-sha>.json, the per-commit perf record CI uploads as an
-# artifact. The Saturation benches track the congested path's hot-loop
-# cost (routing, sorted link admission, queueing); the TraceReplay
-# benches track the replay engine (capture, codec, replay over the
-# congested fabric).
+# Collective + congested-transport + trace-replay + placement-search +
+# sim hot-path benches as BENCH_<short-sha>.json, the per-commit perf
+# record CI uploads as an artifact. The Saturation benches track the
+# congested path's hot-loop cost (routing, link admission, queueing);
+# the TraceReplay benches the one-shot replay; the EvaluatorReplay
+# benches the pooled batch evaluation path side by side with it (the
+# ~5x/7,500x pooling win); PlacementOptimize the optimizer end to end.
 bench-artifact:
-	$(GO) test -json -run '^$$' -bench 'Collective|Saturation|TraceReplay|EventLoop|ProcParkUnpark|MailboxPingPong' \
-		-benchmem ./internal/collectives ./internal/scenario ./internal/trace ./internal/sim > BENCH_$$(git rev-parse --short HEAD).json
+	$(GO) test -json -run '^$$' -bench 'Collective|Saturation|TraceReplay|EvaluatorReplay|PlacementOptimize|EventLoop|ProcParkUnpark|MailboxPingPong' \
+		-benchmem ./internal/collectives ./internal/scenario ./internal/trace ./internal/placement ./internal/sim > BENCH_$$(git rev-parse --short HEAD).json
 
-# The rrtrace capture→replay smoke CI runs (mirrored here).
+# The rrtrace capture→replay→optimize smoke CI runs (mirrored here).
 trace-smoke:
 	$(GO) run ./cmd/rrtrace capture -px 4 -py 4 -k 20 -o /tmp/sweep3d.trace.jsonl
 	$(GO) run ./cmd/rrtrace inspect -i /tmp/sweep3d.trace.jsonl
 	$(GO) run ./cmd/rrtrace replay -i /tmp/sweep3d.trace.jsonl -placement strided -toplinks 5
 	$(GO) run ./cmd/rrtrace replay -i /tmp/sweep3d.trace.jsonl -congestion=off -skip-compute
+	$(GO) run ./cmd/rrtrace optimize -i /tmp/sweep3d.trace.jsonl -seed 1 \
+		-greedy-rounds 2 -greedy-batch 6 -anneal-rounds 2 -anneal-batch 6 -mapping 4
 
 # The full evaluation through the orchestrator, all cores.
 suite:

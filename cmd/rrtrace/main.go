@@ -18,6 +18,14 @@
 //	rrtrace replay -i sweep.jsonl -placement strided -stride 180 -toplinks 8
 //	rrtrace replay -i sweep.jsonl -placement packed -congestion=off
 //	rrtrace replay -i sweep.jsonl -skip-compute -messages 5
+//	rrtrace optimize -i sweep.jsonl                # search rank placements
+//	rrtrace optimize -i sweep.jsonl -seed 3 -anneal-rounds 8 -mapping 8
+//
+// An optimize run searches rank→node mappings against the replayed
+// trace (the pooled batch evaluator is the objective), seeded from the
+// block/strided/packed baselines: greedy pairwise-swap refinement, then
+// batched simulated annealing. Deterministic for a given seed; -workers
+// only changes wall clock.
 //
 // Exit status: 0 success, 1 run error, 2 usage error.
 package main
@@ -33,6 +41,7 @@ import (
 	"roadrunner/internal/cml"
 	"roadrunner/internal/collectives"
 	"roadrunner/internal/ib"
+	"roadrunner/internal/placement"
 	"roadrunner/internal/sweep3d"
 	"roadrunner/internal/trace"
 	"roadrunner/internal/transport"
@@ -54,6 +63,8 @@ func run() int {
 		return inspect(os.Args[2:])
 	case "replay":
 		return replay(os.Args[2:])
+	case "optimize":
+		return optimize(os.Args[2:])
 	case "-h", "-help", "--help", "help":
 		usage()
 		return 0
@@ -70,6 +81,10 @@ func usage() {
   rrtrace replay -i FILE [-placement block|strided|packed] [-stride N]
                  [-per-node N] [-core N] [-congestion on|off]
                  [-skip-compute] [-toplinks N] [-messages N]
+  rrtrace optimize -i FILE [-seed N] [-workers N] [-congestion on|off]
+                 [-full-schedule] [-greedy-rounds N] [-greedy-batch N]
+                 [-anneal-rounds N] [-anneal-batch N] [-stride N]
+                 [-per-node N] [-toplinks N] [-mapping N]
 `)
 }
 
@@ -144,6 +159,130 @@ func sortedKeys(m map[string]string) []string {
 	return keys
 }
 
+func optimize(args []string) int {
+	fs := flag.NewFlagSet("optimize", flag.ExitOnError)
+	in := fs.String("i", "", "trace file (required)")
+	seed := fs.Int64("seed", 1, "random seed; equal seeds give identical searches")
+	workers := fs.Int("workers", 0, "parallel evaluators (0 = GOMAXPROCS; result is identical either way)")
+	congestion := fs.String("congestion", "on", "objective fabric: on (wormhole) or off (infinite capacity)")
+	fullSchedule := fs.Bool("full-schedule", false,
+		"optimize the full schedule including compute (default: communication-only, where placement shows undamped)")
+	greedyRounds := fs.Int("greedy-rounds", 4, "greedy pairwise-swap rounds")
+	greedyBatch := fs.Int("greedy-batch", 16, "swap candidates per greedy round")
+	annealRounds := fs.Int("anneal-rounds", 4, "simulated-annealing rounds")
+	annealBatch := fs.Int("anneal-batch", 16, "proposals per annealing round")
+	stride := fs.Int("stride", 180, "node stride of the strided baseline")
+	perNode := fs.Int("per-node", 4, "ranks per node of the packed baseline")
+	toplinks := fs.Int("toplinks", 5, "contended links of the winner's census to print")
+	mapping := fs.Int("mapping", 0, "print the first N rank→node assignments of the winner")
+	fs.Parse(args)
+	if *in == "" {
+		fmt.Fprintln(os.Stderr, "rrtrace optimize: -i is required")
+		return 2
+	}
+	tr, err := trace.Load(*in)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	fab := roadrunner.Fabric()
+	var pol transport.Policy
+	switch *congestion {
+	case "on":
+		pol = transport.Congested()
+	case "off":
+		pol = transport.InfiniteCapacity()
+	default:
+		fmt.Fprintf(os.Stderr, "rrtrace optimize: -congestion must be on or off, got %q\n", *congestion)
+		return 2
+	}
+	starts := []placement.Start{
+		{Name: "block", Places: toEndpoints(collectives.BlockPlacement(fab, tr.Meta.Ranks, 1))},
+		{Name: "strided", Places: toEndpoints(collectives.StridedPlacement(fab, tr.Meta.Ranks, *stride, 1))},
+		{Name: "packed", Places: toEndpoints(collectives.PackedPlacement(fab, tr.Meta.Ranks, *perNode))},
+	}
+	cfg := placement.Config{
+		Trace: tr,
+		Replay: trace.ReplayConfig{
+			Fabric:      fab,
+			Profile:     ib.OpenMPI(),
+			Policy:      pol,
+			SkipCompute: !*fullSchedule,
+		},
+		Starts:       starts,
+		Seed:         *seed,
+		Workers:      *workers,
+		GreedyRounds: *greedyRounds,
+		GreedyBatch:  *greedyBatch,
+		AnnealRounds: *annealRounds,
+		AnnealBatch:  *annealBatch,
+	}
+	start := time.Now()
+	res, err := placement.Optimize(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	wall := time.Since(start)
+	objective := "communication-only"
+	if *fullSchedule {
+		objective = "full-schedule"
+	}
+	fmt.Printf("optimized %d-rank placement over the %s schedule (congestion %s): %d evaluations, %v wall clock\n",
+		res.Ranks, objective, *congestion, res.Evaluations, wall.Round(time.Millisecond))
+	fmt.Println("  baselines:")
+	for _, b := range res.Baselines {
+		fmt.Printf("    %-8s %v\n", b.Name, b.Time)
+	}
+	fmt.Printf("  winner: %v from the %s start (%.4fx improvement)\n", res.BestTime, res.Start, res.Improvement)
+	for _, r := range res.Rounds {
+		fmt.Printf("    %s %d: accepted %d, current %v, best %v\n", r.Phase, r.Round, r.Accepted, r.Current, r.Best)
+	}
+	// The winner replayed once more, fully observed, on a fresh
+	// engine: the pooled search's makespan must reproduce exactly.
+	obs := cfg.Replay
+	obs.Places = res.Best
+	obs.Observe = trace.ObserveCensus
+	final, err := trace.Replay(tr, obs)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	if final.Time != res.BestTime {
+		fmt.Fprintf(os.Stderr, "rrtrace optimize: pooled objective %v does not reproduce under a fresh replay (%v)\n",
+			res.BestTime, final.Time)
+		return 1
+	}
+	fmt.Printf("  winner verified: %v reproduced on a fresh replay, %v on the wire\n", final.Time, final.WireBytes)
+	if c := final.Congestion; c != nil {
+		fmt.Printf("  census: %d links carried flows, %d queued, %v total wait (uplink tier: %d queued, %v)\n",
+			c.Links, c.Queued, c.TotalWait, c.UplinkQueued, c.UplinkWait)
+		n := *toplinks
+		if n > len(c.Top) {
+			n = len(c.Top)
+		}
+		for _, u := range c.Top[:n] {
+			fmt.Printf("    %v\n", u)
+		}
+	}
+	if n := min(*mapping, len(res.Best)); n > 0 {
+		fmt.Printf("  first %d assignments:\n", n)
+		for rank, ep := range res.Best[:n] {
+			fmt.Printf("    rank %3d -> %v core %d\n", rank, ep.Node, ep.Core)
+		}
+	}
+	return 0
+}
+
+// toEndpoints converts collective placements to transport endpoints.
+func toEndpoints(places []collectives.Placement) []transport.Endpoint {
+	out := make([]transport.Endpoint, len(places))
+	for i, p := range places {
+		out[i] = transport.Endpoint{Node: p.Node, Core: p.Core}
+	}
+	return out
+}
+
 func replay(args []string) int {
 	fs := flag.NewFlagSet("replay", flag.ExitOnError)
 	in := fs.String("i", "", "trace file (required)")
@@ -179,15 +318,13 @@ func replay(args []string) int {
 		fmt.Fprintf(os.Stderr, "rrtrace replay: unknown placement %q\n", *placement)
 		return 2
 	}
-	endpoints := make([]transport.Endpoint, len(places))
-	for i, p := range places {
-		endpoints[i] = transport.Endpoint{Node: p.Node, Core: p.Core}
-	}
+	endpoints := toEndpoints(places)
 	cfg := trace.ReplayConfig{
 		Fabric:      fab,
 		Profile:     ib.OpenMPI(),
 		Places:      endpoints,
 		SkipCompute: *skipCompute,
+		Observe:     trace.ObserveAll,
 	}
 	switch *congestion {
 	case "on":

@@ -147,6 +147,19 @@ func (h *HCA) addFlow(dir int, size units.Size) {
 	}
 }
 
+// ResetStats zeroes the cumulative flow accounting so a pooled adapter
+// starts the next run fresh. The adapter must be idle — resetting with
+// flows still streaming would desynchronize the sharing state from the
+// counters, so it panics instead.
+func (h *HCA) ResetStats() {
+	if h.active[0] != 0 || h.active[1] != 0 {
+		panic("ib: HCA stats reset with active flows")
+	}
+	h.flows = [2]int64{}
+	h.bytes = [2]units.Size{}
+	h.peak = [2]int{}
+}
+
 // NewHCA creates an HCA on the engine.
 func NewHCA(eng *sim.Engine, pr Profile) *HCA {
 	return &HCA{Profile: pr, eng: eng}
@@ -210,27 +223,50 @@ func StreamBetween(p *sim.Proc, src, dst *HCA, size units.Size, pairBW units.Ban
 	if size <= 0 {
 		return
 	}
-	if src == dst {
-		// Same adapter (loopback pairing): a single egress flow accounts
-		// for the shared engines.
-		src.Stream(p, 0, size, pairBW)
-		return
-	}
-	src.addFlow(0, size)
-	dst.addFlow(1, size)
+	BeginBetween(src, dst, size)
 	remaining := size
 	for remaining > 0 {
-		chunk := remaining
-		if chunk > chunkSize {
-			chunk = chunkSize
-		}
-		rate := src.flowRate(0, pairBW)
+		chunk, t := StepBetween(src, dst, remaining, pairBW)
+		p.Sleep(t)
+		remaining -= chunk
+	}
+	EndBetween(src, dst)
+}
+
+// BeginBetween registers a src→dst flow on both adapters (one egress
+// flow on loopback pairings). With StepBetween and EndBetween it is the
+// event-chain decomposition of StreamBetween: callers that cannot block
+// a proc per chunk (the transport's chained transfers) schedule one
+// event per StepBetween interval instead, producing the exact event
+// sequence the blocking form produces.
+func BeginBetween(src, dst *HCA, size units.Size) {
+	src.addFlow(0, size)
+	if src != dst {
+		dst.addFlow(1, size)
+	}
+}
+
+// StepBetween returns the next chunk's size and its transfer time at
+// the adapters' current sharing state (the rate both endpoints can
+// sustain this instant).
+func StepBetween(src, dst *HCA, remaining units.Size, pairBW units.Bandwidth) (units.Size, units.Time) {
+	chunk := remaining
+	if chunk > chunkSize {
+		chunk = chunkSize
+	}
+	rate := src.flowRate(0, pairBW)
+	if src != dst {
 		if r := dst.flowRate(1, pairBW); r < rate {
 			rate = r
 		}
-		p.Sleep(rate.TransferTime(chunk))
-		remaining -= chunk
 	}
+	return chunk, rate.TransferTime(chunk)
+}
+
+// EndBetween deregisters a flow started by BeginBetween.
+func EndBetween(src, dst *HCA) {
 	src.active[0]--
-	dst.active[1]--
+	if src != dst {
+		dst.active[1]--
+	}
 }

@@ -1,0 +1,64 @@
+package placement_test
+
+import (
+	"sync"
+	"testing"
+
+	"roadrunner/internal/cml"
+	"roadrunner/internal/fabric"
+	"roadrunner/internal/ib"
+	"roadrunner/internal/placement"
+	"roadrunner/internal/sweep3d"
+	"roadrunner/internal/trace"
+	"roadrunner/internal/transport"
+)
+
+// BenchmarkPlacementOptimize tracks the optimizer's end-to-end cost on
+// the captured Sweep3D trace at a small fixed search budget (2x8 greedy
+// + 2x8 annealing + 2 baselines = 34 pooled comm-only replays per op),
+// as part of the bench-artifact record CI uploads per commit.
+
+var benchOnce = sync.OnceValues(func() (*trace.Trace, error) {
+	cfg := sweep3d.Config{I: 5, J: 5, K: 40, MK: 10, Angles: 6}
+	_, tr, err := sweep3d.CaptureDES(cfg, 8, 8, cml.CurrentSoftware())
+	return tr, err
+})
+
+func BenchmarkPlacementOptimize(b *testing.B) {
+	tr, err := benchOnce()
+	if err != nil {
+		b.Fatal(err)
+	}
+	fab := fabric.New()
+	block := make([]transport.Endpoint, tr.Meta.Ranks)
+	strided := make([]transport.Endpoint, tr.Meta.Ranks)
+	for i := range block {
+		block[i] = transport.Endpoint{Node: fabric.FromGlobal(i), Core: 1}
+		strided[i] = transport.Endpoint{Node: fabric.FromGlobal(i * 180 % fab.Nodes()), Core: 1}
+	}
+	cfg := placement.Config{
+		Trace: tr,
+		Replay: trace.ReplayConfig{
+			Fabric:      fab,
+			Profile:     ib.OpenMPI(),
+			Policy:      transport.Congested(),
+			SkipCompute: true,
+		},
+		Starts: []placement.Start{
+			{Name: "block", Places: block},
+			{Name: "strided", Places: strided},
+		},
+		Seed:         1,
+		GreedyRounds: 2,
+		GreedyBatch:  8,
+		AnnealRounds: 2,
+		AnnealBatch:  8,
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := placement.Optimize(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,440 @@
+// Package placement searches rank→node mappings against replayed
+// traces: the batch replay evaluator (trace.Evaluator) is the objective
+// function, and the optimizer drives it with greedy pairwise-swap
+// refinement followed by batched simulated annealing.
+//
+// PR 4's trace-replay sweep showed why this is a search problem and not
+// a formula: hop counts mispredict placement cost on a real Sweep3D
+// schedule (the packed mapping has the fewest hops and the slowest bare
+// communication schedule — HCA sharing dominates), and wormhole link
+// admission can even beat infinite capacity by keeping flows off a
+// shared adapter. The only trustworthy objective is the replayed
+// makespan itself, which the pooled evaluator prices at well under the
+// cost of a one-shot replay.
+//
+// The search is deterministic and parallel at once: every candidate
+// mapping is generated on the coordinator from a seeded generator
+// (each annealing round proposes single moves of the round-start
+// incumbent), evaluated by a pool of per-worker evaluators (replay
+// results are a pure function of the mapping, so worker scheduling
+// cannot leak into the outcome), and Metropolis-accepted serially in
+// candidate order against the continuously updated incumbent.
+// A run with Workers: 1 returns byte-identical results to a run with
+// Workers: N — pinned by TestOptimizeSerialMatchesParallel and by the
+// place-optimize experiment inside the orchestrator's own
+// serial-vs-parallel contract.
+package placement
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"roadrunner/internal/fabric"
+	"roadrunner/internal/trace"
+	"roadrunner/internal/transport"
+	"roadrunner/internal/units"
+)
+
+// Start is one named seed mapping; the optimizer begins from the best
+// of the starts it is given (typically block/strided/packed).
+type Start struct {
+	Name   string
+	Places []transport.Endpoint
+}
+
+// Config parameterizes one optimization run.
+type Config struct {
+	// Trace is the schedule being placed; Replay carries the fabric,
+	// protocol profile, congestion policy and compute handling the
+	// objective replays under. Replay.Places is ignored and the
+	// observers are forced off in the search loop — the inner loop
+	// pays only for the makespan.
+	Trace  *trace.Trace
+	Replay trace.ReplayConfig
+	// Starts are the candidate seed mappings (at least one, each
+	// covering every rank). The best of them seeds the search, so the
+	// result can never be worse than the best start.
+	Starts []Start
+	// Seed drives every random choice; equal seeds give equal results.
+	Seed int64
+	// Workers sizes the evaluator pool (<= 0 means GOMAXPROCS). It has
+	// no effect on the result, only on wall-clock.
+	Workers int
+
+	// GreedyRounds bounds the pairwise-swap refinement: each round
+	// evaluates GreedyBatch random swaps of the incumbent and keeps the
+	// best if it improves; GreedyPatience consecutive non-improving
+	// rounds end the phase early. Zero values take defaults (6 rounds,
+	// 24 swaps, patience 2).
+	GreedyRounds   int
+	GreedyBatch    int
+	GreedyPatience int
+	// AnnealRounds and AnnealBatch shape the annealing phase (defaults
+	// 6 and 24): each round proposes AnnealBatch single moves (swap or
+	// relocation) of the round-start state and Metropolis-accepts them
+	// in candidate order — each acceptance updates the incumbent the
+	// remaining candidates are judged against — at the round's
+	// temperature.
+	AnnealRounds int
+	AnnealBatch  int
+	// InitTempFrac is the initial temperature as a fraction of the
+	// seed mapping's makespan (default 0.005); CoolRate the per-round
+	// geometric decay (default 0.6).
+	InitTempFrac float64
+	CoolRate     float64
+	// PoolNodes bounds relocation moves: a relocated rank lands on a
+	// global node index below PoolNodes (default 4x ranks, clamped to
+	// the fabric; swaps are unaffected). Zero takes the default.
+	//
+	// Moves preserve node capacity: a relocation never leaves more
+	// than four ranks (one per Opteron core) on a node, so every
+	// mapping the search visits is physically placeable — provided the
+	// start mappings are.
+	PoolNodes int
+}
+
+// BaselinePoint is one start mapping's objective value.
+type BaselinePoint struct {
+	Name string
+	Time units.Time
+}
+
+// RoundStat traces one optimizer round for reports.
+type RoundStat struct {
+	Phase       string // "greedy" or "anneal"
+	Round       int
+	Temp        units.Time // annealing temperature (0 in greedy rounds)
+	Accepted    int        // moves accepted this round
+	Current     units.Time // state the next round proposes from
+	Best        units.Time // best-so-far after the round
+	Evaluations int        // cumulative replay evaluations
+}
+
+// Result is one optimization run's outcome.
+type Result struct {
+	// Ranks and Baselines record the problem; Start names the seed
+	// mapping the search grew from (the best baseline).
+	Ranks     int
+	Baselines []BaselinePoint
+	Start     string
+	StartTime units.Time
+	// Best is the winning mapping and BestTime its replayed makespan;
+	// Improvement is StartTime/BestTime (>= 1).
+	Best        []transport.Endpoint
+	BestTime    units.Time
+	Improvement float64
+	// Evaluations counts objective replays; Rounds traces the search.
+	Evaluations int
+	Rounds      []RoundStat
+}
+
+// defaults fills zero config fields.
+func (c *Config) defaults(ranks, fabricNodes int) Config {
+	d := *c
+	if d.Workers <= 0 {
+		d.Workers = runtime.GOMAXPROCS(0)
+	}
+	if d.GreedyRounds == 0 {
+		d.GreedyRounds = 6
+	}
+	if d.GreedyBatch == 0 {
+		d.GreedyBatch = 24
+	}
+	if d.GreedyPatience == 0 {
+		d.GreedyPatience = 2
+	}
+	if d.AnnealRounds == 0 {
+		d.AnnealRounds = 6
+	}
+	if d.AnnealBatch == 0 {
+		d.AnnealBatch = 24
+	}
+	if d.InitTempFrac == 0 {
+		d.InitTempFrac = 0.005
+	}
+	if d.CoolRate == 0 {
+		d.CoolRate = 0.6
+	}
+	if d.PoolNodes == 0 {
+		d.PoolNodes = 4 * ranks
+		if d.PoolNodes < 256 {
+			d.PoolNodes = 256
+		}
+	}
+	if d.PoolNodes > fabricNodes {
+		d.PoolNodes = fabricNodes
+	}
+	return d
+}
+
+// Optimize searches rank→node mappings for the trace and returns the
+// best found. The result is a deterministic function of (trace, replay
+// config, starts, seed, search shape) — Workers only changes wall
+// clock.
+func Optimize(cfg Config) (*Result, error) {
+	if cfg.Trace == nil {
+		return nil, fmt.Errorf("placement: nil trace")
+	}
+	if cfg.Replay.Fabric == nil {
+		return nil, fmt.Errorf("placement: nil fabric")
+	}
+	if len(cfg.Starts) == 0 {
+		return nil, fmt.Errorf("placement: no start mappings")
+	}
+	if cfg.GreedyRounds < 0 || cfg.GreedyBatch < 0 || cfg.GreedyPatience < 0 ||
+		cfg.AnnealRounds < 0 || cfg.AnnealBatch < 0 || cfg.PoolNodes < 0 ||
+		cfg.InitTempFrac < 0 || cfg.CoolRate < 0 {
+		return nil, fmt.Errorf("placement: negative search parameter in %+v", cfg)
+	}
+	ranks := cfg.Trace.Meta.Ranks
+	for _, s := range cfg.Starts {
+		if len(s.Places) != ranks {
+			return nil, fmt.Errorf("placement: start %q places %d of %d ranks",
+				s.Name, len(s.Places), ranks)
+		}
+	}
+	c := cfg.defaults(ranks, cfg.Replay.Fabric.Nodes())
+
+	// The search loop reads only the makespan.
+	rcfg := c.Replay
+	rcfg.Places = nil
+	rcfg.Observe = 0
+	pool, err := newEvalPool(c.Trace, rcfg, c.Workers)
+	if err != nil {
+		return nil, err
+	}
+	defer pool.Close()
+
+	res := &Result{Ranks: ranks}
+
+	// Baselines: every start evaluated, best (ties to the first) seeds
+	// the search.
+	starts := make([][]transport.Endpoint, len(c.Starts))
+	for i, s := range c.Starts {
+		starts[i] = s.Places
+	}
+	times, err := pool.evalAll(starts)
+	if err != nil {
+		return nil, err
+	}
+	best := 0
+	for i, s := range c.Starts {
+		res.Baselines = append(res.Baselines, BaselinePoint{Name: s.Name, Time: times[i]})
+		if times[i] < times[best] {
+			best = i
+		}
+	}
+	res.Evaluations = len(starts)
+	res.Start = c.Starts[best].Name
+	res.StartTime = times[best]
+
+	cur := append([]transport.Endpoint(nil), c.Starts[best].Places...)
+	curTime := times[best]
+	bestPlaces := append([]transport.Endpoint(nil), cur...)
+	bestTime := curTime
+	rng := rand.New(rand.NewSource(c.Seed))
+
+	// Phase 1: greedy pairwise-swap refinement. Each round proposes a
+	// batch of random swaps of the incumbent, evaluates them in
+	// parallel and keeps the best if it improves.
+	dry := 0
+	for round := 0; round < c.GreedyRounds && dry < c.GreedyPatience; round++ {
+		cands := make([][]transport.Endpoint, c.GreedyBatch)
+		for i := range cands {
+			m := append([]transport.Endpoint(nil), cur...)
+			swapMove(rng, m)
+			cands[i] = m
+		}
+		times, err := pool.evalAll(cands)
+		if err != nil {
+			return nil, err
+		}
+		res.Evaluations += len(cands)
+		win := 0
+		for i := 1; i < len(times); i++ {
+			if times[i] < times[win] {
+				win = i
+			}
+		}
+		accepted := 0
+		if times[win] < curTime {
+			cur, curTime = cands[win], times[win]
+			accepted = 1
+			dry = 0
+		} else {
+			dry++
+		}
+		if curTime < bestTime {
+			bestPlaces = append(bestPlaces[:0], cur...)
+			bestTime = curTime
+		}
+		res.Rounds = append(res.Rounds, RoundStat{
+			Phase: "greedy", Round: round, Accepted: accepted,
+			Current: curTime, Best: bestTime, Evaluations: res.Evaluations,
+		})
+	}
+
+	// Phase 2: batched simulated annealing. Proposals mix swaps and
+	// relocations, all derived from the round-start incumbent;
+	// acceptance is Metropolis in candidate order against the
+	// continuously updated incumbent (accepted moves replace it but do
+	// not re-seed the round's remaining proposals), so an occasional
+	// uphill move can walk the search off the greedy phase's local
+	// minimum.
+	temp := units.Time(float64(res.StartTime) * c.InitTempFrac)
+	for round := 0; round < c.AnnealRounds && temp > 0; round++ {
+		cands := make([][]transport.Endpoint, c.AnnealBatch)
+		for i := range cands {
+			m := append([]transport.Endpoint(nil), cur...)
+			if rng.Intn(2) == 0 {
+				swapMove(rng, m)
+			} else {
+				relocateMove(rng, m, c.PoolNodes)
+			}
+			cands[i] = m
+		}
+		times, err := pool.evalAll(cands)
+		if err != nil {
+			return nil, err
+		}
+		res.Evaluations += len(cands)
+		accepted := 0
+		for i, t := range times {
+			d := float64(t - curTime)
+			if d <= 0 || rng.Float64() < math.Exp(-d/float64(temp)) {
+				cur, curTime = cands[i], t
+				accepted++
+				if curTime < bestTime {
+					bestPlaces = append(bestPlaces[:0], cur...)
+					bestTime = curTime
+				}
+			}
+		}
+		res.Rounds = append(res.Rounds, RoundStat{
+			Phase: "anneal", Round: round, Temp: temp, Accepted: accepted,
+			Current: curTime, Best: bestTime, Evaluations: res.Evaluations,
+		})
+		temp = units.Time(float64(temp) * c.CoolRate)
+	}
+
+	res.Best = bestPlaces
+	res.BestTime = bestTime
+	res.Improvement = float64(res.StartTime) / float64(res.BestTime)
+	return res, nil
+}
+
+// swapMove exchanges two distinct ranks' endpoints.
+func swapMove(rng *rand.Rand, m []transport.Endpoint) {
+	if len(m) < 2 {
+		return
+	}
+	i := rng.Intn(len(m))
+	j := rng.Intn(len(m) - 1)
+	if j >= i {
+		j++
+	}
+	m[i], m[j] = m[j], m[i]
+}
+
+// relocateMove sends one rank to a random node of the relocation pool,
+// keeping its core when free and taking the node's first free core
+// otherwise. Nodes already hosting four other ranks are infeasible (a
+// node has four Opteron cores); after a few infeasible draws the move
+// degenerates to a no-op, which just re-proposes the incumbent.
+func relocateMove(rng *rand.Rand, m []transport.Endpoint, poolNodes int) {
+	i := rng.Intn(len(m))
+	for try := 0; try < 8; try++ {
+		node := fabric.FromGlobal(rng.Intn(poolNodes))
+		var used [4]bool
+		occupants := 0
+		for j := range m {
+			if j != i && m[j].Node == node {
+				used[m[j].Core] = true
+				occupants++
+			}
+		}
+		if occupants >= 4 {
+			continue
+		}
+		core := m[i].Core
+		if used[core] {
+			for c := range used {
+				if !used[c] {
+					core = c
+					break
+				}
+			}
+		}
+		m[i] = transport.Endpoint{Node: node, Core: core}
+		return
+	}
+}
+
+// evalPool evaluates candidate batches across per-worker evaluators.
+type evalPool struct {
+	evs []*trace.Evaluator
+}
+
+// newEvalPool builds workers evaluators over the same trace and config.
+func newEvalPool(t *trace.Trace, cfg trace.ReplayConfig, workers int) (*evalPool, error) {
+	p := &evalPool{}
+	for w := 0; w < workers; w++ {
+		ev, err := trace.NewEvaluator(t, cfg)
+		if err != nil {
+			p.Close()
+			return nil, err
+		}
+		p.evs = append(p.evs, ev)
+	}
+	return p, nil
+}
+
+// evalAll replays every candidate and returns its makespan, index
+// aligned. Replay results are pure functions of the mapping, so the
+// work distribution cannot affect the values.
+func (p *evalPool) evalAll(cands [][]transport.Endpoint) ([]units.Time, error) {
+	times := make([]units.Time, len(cands))
+	errs := make([]error, len(cands))
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	workers := len(p.evs)
+	if workers > len(cands) {
+		workers = len(cands)
+	}
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(ev *trace.Evaluator) {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(cands) {
+					return
+				}
+				r, err := ev.Evaluate(cands[i])
+				if err != nil {
+					errs[i] = err
+					continue
+				}
+				times[i] = r.Time
+			}
+		}(p.evs[w])
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("placement: candidate replay: %w", err)
+		}
+	}
+	return times, nil
+}
+
+// Close releases every worker evaluator.
+func (p *evalPool) Close() {
+	for _, ev := range p.evs {
+		ev.Close()
+	}
+}

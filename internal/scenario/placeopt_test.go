@@ -1,0 +1,52 @@
+package scenario
+
+import (
+	"sync"
+	"testing"
+)
+
+var placeOptimizeOnce = sync.OnceValues(func() (*PlaceOptimizeReport, error) {
+	return PlaceOptimize()
+})
+
+func TestPlaceOptimizeContract(t *testing.T) {
+	rep, err := placeOptimizeOnce()
+	if err != nil {
+		t.Fatalf("PlaceOptimize: %v", err)
+	}
+	if rep.Ranks != TraceReplayPx*TraceReplayPy || rep.Sends == 0 {
+		t.Fatalf("trace shape %+v", rep)
+	}
+	if len(rep.Baselines) != len(TraceReplayPlacementNames) {
+		t.Fatalf("%d baselines for %d placements", len(rep.Baselines), len(TraceReplayPlacementNames))
+	}
+	for _, b := range rep.Baselines {
+		if b.Time <= 0 {
+			t.Errorf("baseline %s empty: %v", b.Name, b.Time)
+		}
+		if rep.BestTime > b.Time {
+			t.Errorf("winner %v worse than baseline %s %v", rep.BestTime, b.Name, b.Time)
+		}
+		if _, ok := rep.BaselineHops[b.Name]; !ok {
+			t.Errorf("baseline %s has no hop count", b.Name)
+		}
+	}
+	if !rep.Deterministic {
+		t.Error("serial and parallel optimizer runs diverged")
+	}
+	if rep.Reevaluated != rep.BestTime {
+		t.Errorf("pooled objective %v, fresh observed replay %v", rep.BestTime, rep.Reevaluated)
+	}
+	if rep.WinnerCensus == nil {
+		t.Error("winner census missing")
+	}
+	if len(rep.Winner) != rep.Ranks {
+		t.Errorf("winner covers %d of %d ranks", len(rep.Winner), rep.Ranks)
+	}
+	if rep.Improvement < 1 {
+		t.Errorf("improvement %.4f < 1", rep.Improvement)
+	}
+	if rep.Evaluations <= len(rep.Baselines) || len(rep.Rounds) < 2 {
+		t.Errorf("search did no work: %d evaluations, %d rounds", rep.Evaluations, len(rep.Rounds))
+	}
+}

@@ -157,54 +157,73 @@ func ReplayUnderPlacements(tr *trace.Trace, captureIteration units.Time) (*Trace
 		CaptureIteration: captureIteration,
 	}
 	fab := fabric.New()
-	for _, name := range TraceReplayPlacementNames {
+	placements := make([][]transport.Endpoint, len(TraceReplayPlacementNames))
+	for i, name := range TraceReplayPlacementNames {
 		places, err := traceReplayPlaces(name, fab, tr.Meta.Ranks)
 		if err != nil {
 			return nil, err
 		}
-		cfg := trace.ReplayConfig{Fabric: fab, Profile: ib.OpenMPI(), Places: places}
-		run := func(pol transport.Policy, skipCompute bool, what string) (*trace.ReplayResult, error) {
-			c := cfg
-			c.Policy = pol
-			c.SkipCompute = skipCompute
-			r, err := trace.Replay(tr, c)
+		placements[i] = places
+	}
+	// One pooled evaluator per (policy, skip-compute) configuration,
+	// each replaying every placement: the trace validates once and the
+	// engine/transport state is reused across the sweep.
+	run := func(pol transport.Policy, skipCompute bool, what string) ([]*trace.ReplayResult, error) {
+		ev, err := trace.NewEvaluator(tr, trace.ReplayConfig{
+			Fabric:      fab,
+			Profile:     ib.OpenMPI(),
+			Policy:      pol,
+			SkipCompute: skipCompute,
+			Observe:     trace.ObserveCensus,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("scenario trace-replay: %s: %w", what, err)
+		}
+		defer ev.Close()
+		out := make([]*trace.ReplayResult, len(placements))
+		for i, places := range placements {
+			r, err := ev.Evaluate(places)
 			if err != nil {
-				return nil, fmt.Errorf("scenario trace-replay: %s %s: %w", name, what, err)
+				return nil, fmt.Errorf("scenario trace-replay: %s %s: %w",
+					TraceReplayPlacementNames[i], what, err)
 			}
-			return r, nil
+			out[i] = r
 		}
-		base, err := run(transport.InfiniteCapacity(), false, "baseline")
-		if err != nil {
-			return nil, err
-		}
-		cong, err := run(transport.Congested(), false, "congested")
-		if err != nil {
-			return nil, err
-		}
-		// SkipCompute strips the compute records: the communication
-		// schedule alone.
-		commBase, err := run(transport.InfiniteCapacity(), true, "comm baseline")
-		if err != nil {
-			return nil, err
-		}
-		commCong, err := run(transport.Congested(), true, "comm congested")
-		if err != nil {
-			return nil, err
-		}
+		return out, nil
+	}
+	base, err := run(transport.InfiniteCapacity(), false, "baseline")
+	if err != nil {
+		return nil, err
+	}
+	cong, err := run(transport.Congested(), false, "congested")
+	if err != nil {
+		return nil, err
+	}
+	// SkipCompute strips the compute records: the communication
+	// schedule alone.
+	commBase, err := run(transport.InfiniteCapacity(), true, "comm baseline")
+	if err != nil {
+		return nil, err
+	}
+	commCong, err := run(transport.Congested(), true, "comm congested")
+	if err != nil {
+		return nil, err
+	}
+	for i, name := range TraceReplayPlacementNames {
 		p := TraceReplayPoint{
 			Placement:     name,
-			MeanHops:      meanSendHops(tr, fab, places),
-			Congested:     cong.Time,
-			Baseline:      base.Time,
-			Slowdown:      float64(cong.Time) / float64(base.Time),
-			CommCongested: commCong.Time,
-			CommBaseline:  commBase.Time,
-			CommSlowdown:  float64(commCong.Time) / float64(commBase.Time),
-			Messages:      cong.Messages,
-			WireBytes:     cong.WireBytes,
-			Events:        cong.EngineStats.Dispatched,
+			MeanHops:      meanSendHops(tr, fab, placements[i]),
+			Congested:     cong[i].Time,
+			Baseline:      base[i].Time,
+			Slowdown:      float64(cong[i].Time) / float64(base[i].Time),
+			CommCongested: commCong[i].Time,
+			CommBaseline:  commBase[i].Time,
+			CommSlowdown:  float64(commCong[i].Time) / float64(commBase[i].Time),
+			Messages:      cong[i].Messages,
+			WireBytes:     cong[i].WireBytes,
+			Events:        cong[i].EngineStats.Dispatched,
 		}
-		if c := cong.Congestion; c != nil {
+		if c := cong[i].Congestion; c != nil {
 			p.QueuedFlows = c.Queued
 			p.TotalWait = c.TotalWait
 			p.UplinkQueued = c.UplinkQueued

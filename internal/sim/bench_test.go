@@ -21,6 +21,12 @@ import (
 //	  BenchmarkEventLoop         265646 ns/op   75864 B/op   1036 allocs/op
 //	  BenchmarkProcParkUnpark   1427189 ns/op   30170 B/op    392 allocs/op
 //	  BenchmarkMailboxPingPong   516821 ns/op    9520 B/op   1044 allocs/op
+//
+//	after PR 5 (iter.Pull coroutine procs, lazy parked set, hole-sift
+//	heap, shift-down queue pops):
+//	  BenchmarkEventLoop         256195 ns/op   75848 B/op   1036 allocs/op
+//	  BenchmarkProcParkUnpark    524442 ns/op   36296 B/op    968 allocs/op
+//	  BenchmarkMailboxPingPong   143468 ns/op    1544 B/op     43 allocs/op
 func BenchmarkEventLoop(b *testing.B) {
 	const batch = 1024
 	b.ReportAllocs()

@@ -1,23 +1,26 @@
 // Package sim implements a deterministic discrete-event simulation engine
-// with cooperative goroutine processes.
+// with cooperative coroutine processes.
 //
 // The engine maintains a calendar of timestamped events. Ties are broken by
 // insertion sequence, so a given program always replays identically. On top
-// of raw events the package offers Procs — goroutines that execute
+// of raw events the package offers Procs — coroutines that execute
 // simulation logic written in a natural blocking style (Sleep, Park,
-// mailbox Get) — while the engine guarantees that at most one goroutine
+// mailbox Get) — while the engine guarantees that at most one of them
 // (the engine loop or exactly one Proc) runs at any instant. This keeps the
 // simulation deterministic and free of data races without any locking in
 // model code.
 //
 // The calendar is a binary min-heap of event values held in one slab
 // slice: scheduling an event costs no allocation beyond amortised slice
-// growth, and dispatching never touches the garbage collector. Process
-// bookkeeping (the live set and the parked set) uses intrusive doubly
-// linked lists threaded through the Procs themselves, so park/unpark is
-// pointer surgery rather than map churn. Both choices matter because the
-// experiment orchestrator runs one engine per experiment across all CPUs
-// at once.
+// growth, and dispatching never touches the garbage collector. Procs ride
+// iter.Pull coroutines (direct runtime switches, no channel round trips),
+// the live set is an intrusive list threaded through the Procs themselves,
+// and a finished engine can be Reset — calendar slab, list headers and
+// daemon procs retained — so pooled callers (the trace replay evaluator)
+// pay construction once per search, not per evaluation. All of it matters
+// because the experiment orchestrator runs one engine per experiment
+// across all CPUs at once, and the placement optimizer replays tens of
+// thousands of evaluations per run.
 package sim
 
 import (
@@ -43,9 +46,9 @@ type Engine struct {
 	seq    int64
 	events []event // binary min-heap ordered by (at, seq)
 
-	procs  procList // all live (not yet finished) procs
-	parked procList // procs currently blocked
-	closed bool
+	procs   procList // all live (not yet finished) procs
+	daemons int      // live procs spawned with SpawnDaemon
+	closed  bool
 
 	dispatched int64 // events executed over the engine's lifetime
 	peakEvents int   // calendar high-water mark
@@ -53,10 +56,7 @@ type Engine struct {
 
 // NewEngine returns an empty engine at time zero.
 func NewEngine() *Engine {
-	return &Engine{
-		procs:  procList{kind: listAll},
-		parked: procList{kind: listParked},
-	}
+	return &Engine{}
 }
 
 // Now returns the current simulated time.
@@ -80,9 +80,8 @@ func (e *Engine) At(t units.Time, fn func()) {
 	e.push(event{at: t, seq: e.seq, fn: fn})
 }
 
-// less orders heap slots by (time, sequence).
-func (e *Engine) less(i, j int) bool {
-	a, b := &e.events[i], &e.events[j]
+// lessEv orders events by (time, sequence).
+func lessEv(a, b *event) bool {
 	if a.at != b.at {
 		return a.at < b.at
 	}
@@ -90,6 +89,8 @@ func (e *Engine) less(i, j int) bool {
 }
 
 // push appends an event value to the slab and restores the heap property.
+// The sift moves a hole up and places the new event once, instead of
+// swapping three words at every level.
 func (e *Engine) push(ev event) {
 	e.events = append(e.events, ev)
 	if len(e.events) > e.peakEvents {
@@ -98,38 +99,44 @@ func (e *Engine) push(ev event) {
 	i := len(e.events) - 1
 	for i > 0 {
 		parent := (i - 1) / 2
-		if !e.less(i, parent) {
+		if !lessEv(&ev, &e.events[parent]) {
 			break
 		}
-		e.events[i], e.events[parent] = e.events[parent], e.events[i]
+		e.events[i] = e.events[parent]
 		i = parent
 	}
+	e.events[i] = ev
 }
 
-// pop removes and returns the earliest event. The vacated slab slot is
+// pop removes and returns the earliest event, sifting the hole down and
+// placing the displaced last element once. The vacated slab slot is
 // zeroed so the event closure can be collected.
 func (e *Engine) pop() event {
 	top := e.events[0]
 	n := len(e.events) - 1
-	e.events[0] = e.events[n]
+	last := e.events[n]
 	e.events[n] = event{}
 	e.events = e.events[:n]
+	if n == 0 {
+		return top
+	}
 	i := 0
 	for {
-		l, r := 2*i+1, 2*i+2
-		least := i
-		if l < n && e.less(l, least) {
-			least = l
+		least := 2*i + 1
+		if least >= n {
+			break
 		}
-		if r < n && e.less(r, least) {
+		if r := least + 1; r < n && lessEv(&e.events[r], &e.events[least]) {
 			least = r
 		}
-		if least == i {
-			return top
+		if !lessEv(&e.events[least], &last) {
+			break
 		}
-		e.events[i], e.events[least] = e.events[least], e.events[i]
+		e.events[i] = e.events[least]
 		i = least
 	}
+	e.events[i] = last
+	return top
 }
 
 // Pending reports the number of events on the calendar.
@@ -143,14 +150,45 @@ type Stats struct {
 	ParkedProcs  int   // procs currently blocked
 }
 
-// Stats returns the engine's lifetime counters.
+// Stats returns the engine's lifetime counters. Daemon procs are
+// infrastructure, not simulation state, and are not counted.
 func (e *Engine) Stats() Stats {
+	parked := 0
+	for p := e.procs.head; p != nil; p = p.next {
+		if p.state == procParked && !p.daemon {
+			parked++
+		}
+	}
 	return Stats{
 		Dispatched:   e.dispatched,
 		CalendarPeak: e.peakEvents,
-		LiveProcs:    e.procs.n,
-		ParkedProcs:  e.parked.n,
+		LiveProcs:    e.procs.n - e.daemons,
+		ParkedProcs:  parked,
 	}
+}
+
+// Reset returns a finished engine to its initial state — time zero,
+// empty calendar, zeroed counters — while keeping the calendar slab and
+// the proc-list headers allocated, so a pooled engine replays a fresh
+// workload without rebuilding its structures. A run that completed
+// cleanly (Run returned nil and every proc finished) resets to a state
+// byte-identical to NewEngine's apart from retained capacity; resetting
+// a closed engine, or one with live procs or queued events, panics —
+// those runs must be torn down with Close instead.
+func (e *Engine) Reset() {
+	if e.closed {
+		panic("sim: reset of a closed engine")
+	}
+	if e.procs.n > e.daemons {
+		panic(fmt.Sprintf("sim: reset with %d live proc(s)", e.procs.n-e.daemons))
+	}
+	if len(e.events) > 0 {
+		panic(fmt.Sprintf("sim: reset with %d queued event(s)", len(e.events)))
+	}
+	e.now = 0
+	e.seq = 0
+	e.dispatched = 0
+	e.peakEvents = 0
 }
 
 // DeadlockError is returned by Run when the calendar empties while
@@ -190,8 +228,18 @@ func (e *Engine) run(until units.Time) error {
 	if e.closed {
 		return fmt.Errorf("sim: engine is closed")
 	}
-	for len(e.events) > 0 {
-		if until >= 0 && e.events[0].at > until {
+	if until < 0 {
+		// The unbounded loop, free of the horizon compare: the shape
+		// every full run dispatches millions of events through.
+		for len(e.events) > 0 {
+			ev := e.pop()
+			e.now = ev.at
+			e.dispatched++
+			ev.fn()
+		}
+	}
+	for until >= 0 && len(e.events) > 0 {
+		if e.events[0].at > until {
 			return nil
 		}
 		ev := e.pop()
@@ -199,10 +247,15 @@ func (e *Engine) run(until units.Time) error {
 		e.dispatched++
 		ev.fn()
 	}
-	if until < 0 && e.parked.n > 0 {
+	if until < 0 && e.procs.n > e.daemons {
+		// Control only returns to the loop when every live proc is
+		// blocked, so an empty calendar with live non-daemon procs is a
+		// deadlock.
 		d := &DeadlockError{Time: e.now}
-		for p := e.parked.head; p != nil; p = p.links[listParked].next {
-			d.Procs = append(d.Procs, p.name+" ("+p.parkReason+")")
+		for p := e.procs.head; p != nil; p = p.next {
+			if !p.daemon {
+				d.Procs = append(d.Procs, p.name+" ("+p.parkReason+")")
+			}
 		}
 		sort.Strings(d.Procs)
 		return d
@@ -218,12 +271,12 @@ func (e *Engine) Close() {
 		return
 	}
 	e.closed = true
-	for p := e.parked.head; p != nil; {
-		next := p.links[listParked].next
+	for p := e.procs.head; p != nil; {
+		next := p.next
 		p.kill()
 		p = next
 	}
-	e.parked = procList{kind: listParked}
-	e.procs = procList{kind: listAll}
+	e.procs = procList{}
+	e.daemons = 0
 	e.events = nil
 }

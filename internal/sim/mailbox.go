@@ -38,10 +38,16 @@ func (m *Mailbox[T]) Put(v T) {
 }
 
 // wakeOne pops the first waiter without a pending wake and wakes it.
+// Pops shift the slice down instead of advancing the window (waiters =
+// waiters[1:]): a sliding window exhausts the backing array's tail and
+// makes the next append reallocate, one fresh array per blocked reader
+// — the queues here stay short, so the copy is cheaper than the churn.
 func (m *Mailbox[T]) wakeOne() {
 	for len(m.waiters) > 0 {
 		w := m.waiters[0]
-		m.waiters = m.waiters[1:]
+		copy(m.waiters, m.waiters[1:])
+		m.waiters[len(m.waiters)-1] = nil
+		m.waiters = m.waiters[:len(m.waiters)-1]
 		if !w.WakePending() && w.Parked() {
 			w.Wake()
 			return
@@ -56,23 +62,27 @@ func (m *Mailbox[T]) Get(p *Proc) T {
 		m.waiters = append(m.waiters, p)
 		p.Park(m.reason)
 	}
+	return m.popFront()
+}
+
+// popFront removes and returns the oldest item, shifting the slice down
+// so the backing array keeps being reused (see wakeOne).
+func (m *Mailbox[T]) popFront() T {
 	v := m.items[0]
+	copy(m.items, m.items[1:])
 	var zero T
-	m.items[0] = zero
-	m.items = m.items[1:]
+	m.items[len(m.items)-1] = zero
+	m.items = m.items[:len(m.items)-1]
 	return v
 }
 
 // TryGet removes and returns the oldest item without blocking.
 func (m *Mailbox[T]) TryGet() (T, bool) {
-	var zero T
 	if len(m.items) == 0 {
+		var zero T
 		return zero, false
 	}
-	v := m.items[0]
-	m.items[0] = zero
-	m.items = m.items[1:]
-	return v, true
+	return m.popFront(), true
 }
 
 // GetMatch removes and returns the oldest item satisfying pred, blocking

@@ -1,0 +1,220 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+
+	"roadrunner/internal/units"
+)
+
+// TestEngineResetReproducesFreshRun: a pooled engine replays a workload
+// with the same timestamps, sequence ordering and stats as a fresh
+// engine.
+func TestEngineResetReproducesFreshRun(t *testing.T) {
+	workload := func(e *Engine) (finish units.Time, st Stats) {
+		for i := 0; i < 4; i++ {
+			i := i
+			e.Spawn("w", func(p *Proc) {
+				for r := 0; r < 8; r++ {
+					p.Sleep(units.Time(1+i) * units.Microsecond)
+				}
+				if p.Now() > finish {
+					finish = p.Now()
+				}
+			})
+		}
+		if err := e.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return finish, e.Stats()
+	}
+	fresh := NewEngine()
+	defer fresh.Close()
+	wantFinish, wantStats := workload(fresh)
+
+	pooled := NewEngine()
+	defer pooled.Close()
+	workload(pooled) // warm
+	pooled.Reset()
+	if pooled.Now() != 0 || pooled.Stats() != (Stats{}) {
+		t.Fatalf("reset engine not pristine: now %v stats %+v", pooled.Now(), pooled.Stats())
+	}
+	gotFinish, gotStats := workload(pooled)
+	if gotFinish != wantFinish || gotStats != wantStats {
+		t.Errorf("pooled run diverged: %v/%+v vs fresh %v/%+v", gotFinish, gotStats, wantFinish, wantStats)
+	}
+}
+
+// TestEngineResetRefusesDirtyState: live procs or queued events must be
+// torn down with Close, not recycled.
+func TestEngineResetRefusesDirtyState(t *testing.T) {
+	expectPanic := func(name string, f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: no panic", name)
+			}
+		}()
+		f()
+	}
+	e := NewEngine()
+	defer e.Close()
+	e.Schedule(units.Microsecond, func() {})
+	expectPanic("queued events", e.Reset)
+
+	e2 := NewEngine()
+	defer e2.Close()
+	box := NewMailbox[int](e2, "box")
+	e2.Spawn("stuck", func(p *Proc) { box.Get(p) })
+	if err := e2.Run(); err == nil {
+		t.Fatal("expected deadlock")
+	}
+	expectPanic("live procs", e2.Reset)
+
+	e3 := NewEngine()
+	e3.Close()
+	expectPanic("closed engine", e3.Reset)
+}
+
+// TestDaemonProcs: daemons park between runs without tripping deadlock
+// detection, are invisible in Stats, allow Reset while parked, and a
+// wake resumes them on the recycled calendar.
+func TestDaemonProcs(t *testing.T) {
+	e := NewEngine()
+	defer e.Close()
+	var runs int
+	var last units.Time
+	d := e.SpawnDaemon("walker", func(p *Proc) {
+		for {
+			p.Sleep(3 * units.Microsecond)
+			runs++
+			last = p.Now()
+			p.Park("idle")
+		}
+	})
+	if err := e.Run(); err != nil {
+		t.Fatalf("daemon counted as deadlock: %v", err)
+	}
+	if runs != 1 || last != 3*units.Microsecond {
+		t.Fatalf("first pass: runs %d at %v", runs, last)
+	}
+	if st := e.Stats(); st.LiveProcs != 0 || st.ParkedProcs != 0 {
+		t.Errorf("daemon leaked into stats: %+v", st)
+	}
+	e.Reset()
+	d.Wake()
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if runs != 2 || last != 3*units.Microsecond {
+		t.Errorf("second pass: runs %d at %v (want recycled clock)", runs, last)
+	}
+	// A non-daemon blocking alongside an idle daemon still deadlocks,
+	// and the report names only the non-daemon.
+	e.Reset()
+	d.Wake()
+	box := NewMailbox[int](e, "never")
+	e.Spawn("blocked", func(p *Proc) { box.Get(p) })
+	err := e.Run()
+	de, ok := err.(*DeadlockError)
+	if !ok {
+		t.Fatalf("deadlock not detected: %v", err)
+	}
+	if len(de.Procs) != 1 || !strings.Contains(de.Procs[0], "blocked") {
+		t.Errorf("deadlock report %v, want only the non-daemon", de.Procs)
+	}
+}
+
+// TestWakeAfter: the timed wake lands exactly at now+delay and respects
+// the double-wake guard.
+func TestWakeAfter(t *testing.T) {
+	e := NewEngine()
+	defer e.Close()
+	var woke units.Time
+	p := e.Spawn("sleeper", func(p *Proc) {
+		p.Park("waiting for a timed wake")
+		woke = p.Now()
+	})
+	e.Schedule(2*units.Microsecond, func() {
+		p.WakeAfter(5 * units.Microsecond)
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if woke != 7*units.Microsecond {
+		t.Errorf("woke at %v, want 7us", woke)
+	}
+}
+
+// TestResourceAcquireFn: the event-chain acquisition grants inline when
+// free, queues FIFO behind proc waiters when contended, and keeps the
+// same occupancy accounting.
+func TestResourceAcquireFn(t *testing.T) {
+	e := NewEngine()
+	defer e.Close()
+	r := NewResource(e, "link", 1)
+	var order []string
+	e.Spawn("holder", func(p *Proc) {
+		r.Acquire(p, 1)
+		p.Sleep(10 * units.Microsecond)
+		order = append(order, "holder-release")
+		r.Release(1)
+	})
+	// A proc waiter queues first, then the fn waiter: grants must come
+	// in FIFO order.
+	e.SpawnAt(units.Microsecond, "second", func(p *Proc) {
+		r.Acquire(p, 1)
+		order = append(order, "second")
+		p.Sleep(5 * units.Microsecond)
+		r.Release(1)
+	})
+	e.Schedule(2*units.Microsecond, func() {
+		if r.AcquireFn(1, func() {
+			order = append(order, "fn")
+			r.Release(1)
+		}) {
+			t.Error("contended AcquireFn granted inline")
+		}
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"holder-release", "second", "fn"}
+	if len(order) != 3 || order[0] != want[0] || order[1] != want[1] || order[2] != want[2] {
+		t.Errorf("grant order %v, want %v", order, want)
+	}
+	st := r.Stats()
+	if st.Acquires != 3 || st.Contended != 2 || st.WaitTime == 0 {
+		t.Errorf("stats %+v", st)
+	}
+	// Inline grant on a free resource.
+	granted := false
+	e.Schedule(0, func() {
+		granted = r.AcquireFn(1, func() { t.Error("inline grant must not call fn") })
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !granted {
+		t.Error("free AcquireFn not granted inline")
+	}
+	r.Release(1)
+	// ResetStats zeroes the accounting and refuses a busy resource.
+	r.ResetStats()
+	if st := r.Stats(); st.Acquires != 0 || st.Contended != 0 || st.WaitTime != 0 || st.BusyTime != 0 {
+		t.Errorf("stats after reset: %+v", st)
+	}
+	e.Spawn("busy", func(p *Proc) {
+		r.Acquire(p, 1)
+		defer func() {
+			if recover() == nil {
+				t.Error("ResetStats of a held resource did not panic")
+			}
+			r.Release(1)
+		}()
+		r.ResetStats()
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+}

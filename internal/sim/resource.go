@@ -23,6 +23,7 @@ type Resource struct {
 	capacity int
 	inUse    int
 	waiters  []resourceWaiter
+	fnWake   func() // reusable wake event for queued fn waiters
 
 	// Occupancy accounting.
 	busySince units.Time
@@ -35,9 +36,18 @@ type Resource struct {
 	queueMark units.Time // instant the queue length last changed
 }
 
+// resourceWaiter is one queued acquisition: a blocked proc, or — for
+// event-chain callers that cannot park — a continuation called once the
+// units are taken on its behalf. Exactly one of p and fn is set.
 type resourceWaiter struct {
-	p *Proc
-	n int
+	p  *Proc
+	fn func()
+	n  int
+	// queuedAt and wakePending replicate, for fn waiters, the state a
+	// proc waiter keeps on its own stack (wait-start instant) and in its
+	// Proc (pending-wake flag).
+	queuedAt    units.Time
+	wakePending bool
 }
 
 // NewResource creates a resource with the given capacity (must be >= 1).
@@ -76,7 +86,7 @@ func (r *Resource) Acquire(p *Proc, n int) {
 	r.contended++
 	queuedAt := r.eng.Now()
 	r.noteQueue()
-	r.waiters = append(r.waiters, resourceWaiter{p, n})
+	r.waiters = append(r.waiters, resourceWaiter{p: p, n: n})
 	for {
 		p.Park(r.reason)
 		// The waiter stays queued until it can actually proceed; a wake
@@ -84,7 +94,12 @@ func (r *Resource) Acquire(p *Proc, n int) {
 		// re-woken by the next Release.
 		if len(r.waiters) > 0 && r.waiters[0].p == p && r.inUse+n <= r.capacity {
 			r.noteQueue()
-			r.waiters = r.waiters[1:]
+			// Shift-down pop: a waiters[1:] window would exhaust the
+			// backing array and force an allocation on nearly every
+			// contended admission (see Mailbox.wakeOne).
+			copy(r.waiters, r.waiters[1:])
+			r.waiters[len(r.waiters)-1] = resourceWaiter{}
+			r.waiters = r.waiters[:len(r.waiters)-1]
 			r.waitTime += r.eng.Now() - queuedAt
 			r.take(n)
 			r.grantNext() // capacity may allow the next waiter too
@@ -93,7 +108,51 @@ func (r *Resource) Acquire(p *Proc, n int) {
 	}
 }
 
-// take records n units as held.
+// AcquireFn is Acquire for event-chain callers: it either takes the n
+// units inline and returns true, or queues the continuation in the same
+// FIFO as blocked procs and returns false — fn will be invoked (from an
+// event, after the units have been taken on its behalf) once the grant
+// reaches it. Occupancy statistics and the wake/re-check event pattern
+// are identical to a proc waiter's, so a run that swaps one for the
+// other schedules the exact same calendar.
+func (r *Resource) AcquireFn(n int, fn func()) bool {
+	if n < 1 || n > r.capacity {
+		panic(fmt.Sprintf("sim: resource %q acquire %d of %d", r.name, n, r.capacity))
+	}
+	r.acquires++
+	if len(r.waiters) == 0 && r.inUse+n <= r.capacity {
+		r.take(n)
+		return true
+	}
+	r.contended++
+	r.noteQueue()
+	r.waiters = append(r.waiters, resourceWaiter{fn: fn, n: n, queuedAt: r.eng.Now()})
+	return false
+}
+
+// wakeHeadFn is the scheduled wake of a queued fn waiter: the analogue
+// of a woken proc re-running its Acquire loop body. If the head can now
+// proceed it is dequeued, charged and granted, and its continuation
+// runs; a wake that raced with another grab just clears the pending
+// flag and waits for the next Release.
+func (r *Resource) wakeHeadFn() {
+	if len(r.waiters) == 0 || r.waiters[0].fn == nil {
+		return
+	}
+	head := &r.waiters[0]
+	head.wakePending = false
+	if r.inUse+head.n <= r.capacity {
+		fn, n, queuedAt := head.fn, head.n, head.queuedAt
+		r.noteQueue()
+		copy(r.waiters, r.waiters[1:])
+		r.waiters[len(r.waiters)-1] = resourceWaiter{}
+		r.waiters = r.waiters[:len(r.waiters)-1]
+		r.waitTime += r.eng.Now() - queuedAt
+		r.take(n)
+		r.grantNext()
+		fn()
+	}
+}
 func (r *Resource) take(n int) {
 	if r.inUse == 0 {
 		r.busySince = r.eng.Now()
@@ -121,9 +180,22 @@ func (r *Resource) grantNext() {
 	if len(r.waiters) == 0 {
 		return
 	}
-	head := r.waiters[0]
-	if r.inUse+head.n <= r.capacity && !head.p.WakePending() && head.p.Parked() {
-		head.p.Wake()
+	head := &r.waiters[0]
+	if r.inUse+head.n > r.capacity {
+		return
+	}
+	if head.p != nil {
+		if !head.p.WakePending() && head.p.Parked() {
+			head.p.Wake()
+		}
+		return
+	}
+	if !head.wakePending {
+		head.wakePending = true
+		if r.fnWake == nil {
+			r.fnWake = r.wakeHeadFn
+		}
+		r.eng.Schedule(0, r.fnWake)
 	}
 }
 
@@ -143,6 +215,26 @@ func (r *Resource) BusyTime() units.Time {
 		t += r.eng.Now() - r.busySince
 	}
 	return t
+}
+
+// ResetStats zeroes the occupancy accounting — peak, contention, wait and
+// queue integrals — so a pooled resource starts the next run with fresh
+// counters. The admission state must be idle (nothing held, nobody
+// queued); resetting a busy resource would corrupt the busy-time and
+// queue-area integrals, so it panics instead.
+func (r *Resource) ResetStats() {
+	if r.inUse > 0 || len(r.waiters) > 0 {
+		panic(fmt.Sprintf("sim: resource %q stats reset with %d in use, %d waiting",
+			r.name, r.inUse, len(r.waiters)))
+	}
+	r.busySince = 0
+	r.busyTime = 0
+	r.peakInUse = 0
+	r.acquires = 0
+	r.contended = 0
+	r.waitTime = 0
+	r.queueArea = 0
+	r.queueMark = 0
 }
 
 // ResourceStats is a snapshot of a resource's occupancy counters.

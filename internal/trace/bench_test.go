@@ -33,14 +33,18 @@ func benchTrace(b *testing.B) *trace.Trace {
 	return tr
 }
 
-func benchReplay(b *testing.B, pol transport.Policy) {
-	tr := benchTrace(b)
-	fab := fabric.New()
+func benchPlaces(tr *trace.Trace) []transport.Endpoint {
 	places := make([]transport.Endpoint, tr.Meta.Ranks)
 	for i := range places {
 		places[i] = transport.Endpoint{Node: fabric.FromGlobal(i), Core: 1}
 	}
-	cfg := trace.ReplayConfig{Fabric: fab, Profile: ib.OpenMPI(), Places: places, Policy: pol}
+	return places
+}
+
+func benchReplay(b *testing.B, pol transport.Policy) {
+	tr := benchTrace(b)
+	cfg := trace.ReplayConfig{Fabric: fabric.New(), Profile: ib.OpenMPI(),
+		Places: benchPlaces(tr), Policy: pol, Observe: trace.ObserveAll}
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -50,9 +54,43 @@ func benchReplay(b *testing.B, pol transport.Policy) {
 	}
 }
 
+// The one-shot replays (validate + build + run + observers per call),
+// against which the Evaluator benches below measure the pooling win.
 func BenchmarkTraceReplayCongested(b *testing.B) { benchReplay(b, transport.Congested()) }
 
 func BenchmarkTraceReplayBaseline(b *testing.B) { benchReplay(b, transport.Policy{}) }
+
+func benchEvaluator(b *testing.B, obs trace.Observe) {
+	tr := benchTrace(b)
+	ev, err := trace.NewEvaluator(tr, trace.ReplayConfig{
+		Fabric: fabric.New(), Profile: ib.OpenMPI(),
+		Policy: transport.Congested(), Observe: obs,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer ev.Close()
+	places := benchPlaces(tr)
+	if _, err := ev.Evaluate(places); err != nil { // warm the pooled state
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ev.Evaluate(places); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEvaluatorReplayCongested is the pooled path with full
+// observers: what a reporting sweep pays per placement.
+func BenchmarkEvaluatorReplayCongested(b *testing.B) { benchEvaluator(b, trace.ObserveAll) }
+
+// BenchmarkEvaluatorReplayMakespanOnly is the optimizer's inner loop:
+// pooled, congested, no observers — compare side by side with
+// BenchmarkTraceReplayCongested for the per-evaluation amortization.
+func BenchmarkEvaluatorReplayMakespanOnly(b *testing.B) { benchEvaluator(b, 0) }
 
 func BenchmarkTraceReplayCapture(b *testing.B) {
 	cfg := sweep3d.Config{I: 5, J: 5, K: 40, MK: 10, Angles: 6}

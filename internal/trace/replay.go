@@ -2,13 +2,33 @@ package trace
 
 import (
 	"fmt"
+	"math"
 
 	"roadrunner/internal/fabric"
 	"roadrunner/internal/ib"
-	"roadrunner/internal/params"
 	"roadrunner/internal/sim"
 	"roadrunner/internal/transport"
 	"roadrunner/internal/units"
+)
+
+// Observe selects which of a replay's expensive observers run. The zero
+// value is makespan-only: the result carries the completion times, the
+// transport counters and the engine stats, but no per-send timing and
+// no link census — the configuration the placement optimizer's inner
+// loop runs, where building and sorting a census per candidate would be
+// pure waste. Reporting callers opt in to what they read.
+type Observe uint8
+
+const (
+	// ObserveSends records per-send MessageTiming (issue, sender-visible
+	// completion, delivery) for every send record.
+	ObserveSends Observe = 1 << iota
+	// ObserveCensus builds the link-contention census after the replay
+	// (congestion-policy runs only; off-policy nets have no link state).
+	ObserveCensus
+
+	// ObserveAll enables every observer: the reporting configuration.
+	ObserveAll = ObserveSends | ObserveCensus
 )
 
 // ReplayConfig places a trace's ranks on the machine and selects the
@@ -19,6 +39,8 @@ type ReplayConfig struct {
 	// Places maps rank → (node, core); it must cover every trace rank.
 	// Two ranks on one node exchange over the shared-memory path, so
 	// placement density changes both hop profiles and wire traffic.
+	// (Evaluators ignore this field: the placement is the argument of
+	// each Evaluate call.)
 	Places []transport.Endpoint
 	// Policy is the transport's congestion model: transport.Congested()
 	// for wormhole link channels, transport.InfiniteCapacity() for the
@@ -27,11 +49,28 @@ type ReplayConfig struct {
 	Policy transport.Policy
 	// ComputeScale multiplies compute-record durations (0 means 1.0):
 	// replay the same schedule on a faster or slower processor model
-	// without recapturing.
+	// without recapturing. Negative and non-finite values are rejected.
 	ComputeScale float64
 	// SkipCompute drops compute records entirely: the bare communication
 	// schedule, for isolating placement and congestion effects.
 	SkipCompute bool
+	// Observe opts in to the expensive observers (per-send timing, link
+	// census). The zero value is makespan-only.
+	Observe Observe
+}
+
+// computeScale normalizes and validates the config's compute scaling.
+func computeScale(scale float64) (float64, error) {
+	if scale == 0 {
+		return 1, nil
+	}
+	if math.IsNaN(scale) || math.IsInf(scale, 0) {
+		return 0, fmt.Errorf("trace: replay: non-finite compute scale %g", scale)
+	}
+	if scale < 0 {
+		return 0, fmt.Errorf("trace: replay: negative compute scale %g", scale)
+	}
+	return scale, nil
 }
 
 // MessageTiming is one send record's replay timing.
@@ -61,15 +100,16 @@ type ReplayResult struct {
 	// RankFinish is each rank's completion time.
 	RankFinish []units.Time
 	// Sends holds per-message timing, one entry per send record, in
-	// canonical record order.
+	// canonical record order (nil unless ObserveSends is set).
 	Sends []MessageTiming
 	// Messages and WireBytes are the transport's counters (WireBytes
 	// excludes intra-node shared-memory messages, so it varies with
 	// placement density).
 	Messages  int64
 	WireBytes units.Size
-	// Congestion is the link-contention census (nil when the replay ran
-	// with the congestion policy off).
+	// Congestion is the link-contention census (nil unless
+	// ObserveCensus is set and the replay ran with a congestion
+	// policy).
 	Congestion *transport.Census
 	// EngineStats snapshots the DES engine at completion.
 	EngineStats sim.Stats
@@ -91,123 +131,16 @@ const replayCensusTop = 10
 // message ordering would, under whatever placement and congestion policy
 // the config selects. The trace is validated first; a valid trace
 // cannot deadlock the engine.
+//
+// Replay is the one-shot path: it builds an Evaluator, runs the
+// config's placement once and tears the evaluator down. Callers
+// evaluating many placements of one trace should hold an Evaluator
+// instead and amortize the setup.
 func Replay(t *Trace, cfg ReplayConfig) (*ReplayResult, error) {
-	if err := t.Validate(); err != nil {
+	e, err := NewEvaluator(t, cfg)
+	if err != nil {
 		return nil, err
 	}
-	if cfg.Fabric == nil {
-		return nil, fmt.Errorf("trace: replay: nil fabric")
-	}
-	if len(cfg.Places) != t.Meta.Ranks {
-		return nil, fmt.Errorf("trace: replay: %d placements for %d ranks", len(cfg.Places), t.Meta.Ranks)
-	}
-	for r, pl := range cfg.Places {
-		if pl.Node.CU < 0 || pl.Node.Node < 0 || pl.Node.Node >= params.NodesPerCU ||
-			pl.Node.GlobalID() >= cfg.Fabric.Nodes() {
-			return nil, fmt.Errorf("trace: replay: rank %d placed on %v outside the %d-node fabric",
-				r, pl.Node, cfg.Fabric.Nodes())
-		}
-		if pl.Core < 0 || pl.Core > 3 {
-			return nil, fmt.Errorf("trace: replay: rank %d on core %d (want 0..3)", r, pl.Core)
-		}
-	}
-	scale := cfg.ComputeScale
-	if scale == 0 {
-		scale = 1
-	}
-	if scale < 0 {
-		return nil, fmt.Errorf("trace: replay: negative compute scale %g", scale)
-	}
-
-	// Per-rank record streams and per-send message-timing slots, both in
-	// canonical order.
-	streams := make([][]Record, t.Meta.Ranks)
-	sendIdx := make([]int, len(t.Records)) // record index -> Sends slot
-	nSends := 0
-	start := 0
-	for i, r := range t.Records {
-		if r.Kind == KindSend {
-			sendIdx[i] = nSends
-			nSends++
-		}
-		if i+1 == len(t.Records) || t.Records[i+1].Rank != r.Rank {
-			streams[r.Rank] = t.Records[start : i+1]
-			start = i + 1
-		}
-	}
-
-	eng := sim.NewEngine()
-	defer eng.Close()
-	net := transport.New(eng, cfg.Fabric, cfg.Profile, cfg.Policy)
-	inbox := make([]*sim.Mailbox[replayMsg], t.Meta.Ranks)
-	for i := range inbox {
-		inbox[i] = sim.NewMailbox[replayMsg](eng, fmt.Sprintf("replay-rank%d", i))
-	}
-	res := &ReplayResult{
-		Name:       t.Meta.Name,
-		Ranks:      t.Meta.Ranks,
-		RankFinish: make([]units.Time, t.Meta.Ranks),
-		Sends:      make([]MessageTiming, nSends),
-	}
-	var replayErr error
-	fail := func(err error) {
-		if replayErr == nil {
-			replayErr = err
-		}
-	}
-	base := 0
-	for rank := 0; rank < t.Meta.Ranks; rank++ {
-		rank := rank
-		stream := streams[rank]
-		streamBase := base
-		base += len(stream)
-		eng.Spawn(fmt.Sprintf("replay-rank%d", rank), func(p *sim.Proc) {
-			for i, r := range stream {
-				switch r.Kind {
-				case KindCompute:
-					if !cfg.SkipCompute {
-						p.Sleep(units.Time(float64(r.Duration) * scale))
-					}
-				case KindSend:
-					slot := sendIdx[streamBase+i]
-					mt := &res.Sends[slot]
-					mt.SrcRank, mt.DstRank, mt.Tag, mt.Size = rank, r.Peer, r.Tag, r.Size
-					mt.SendStart = p.Now()
-					msg := replayMsg{src: rank, tag: r.Tag, seq: r.Seq}
-					box := inbox[r.Peer]
-					net.Transfer(p, cfg.Places[rank], cfg.Places[r.Peer], r.Size, func() {
-						mt.Delivered = eng.Now()
-						box.Put(msg)
-					})
-					mt.SendEnd = p.Now()
-				case KindRecv:
-					m := inbox[rank].GetMatch(p, func(m replayMsg) bool {
-						return m.src == r.Peer && m.tag == r.Tag
-					})
-					if m.seq != r.Dep {
-						// Validate guarantees FIFO matching; reaching here
-						// is an engine-level bug, not a trace error.
-						fail(fmt.Errorf("trace: replay: %v satisfied by send seq %d, dep says %d", r, m.seq, r.Dep))
-					}
-				}
-			}
-			res.RankFinish[rank] = p.Now()
-		})
-	}
-	if err := eng.Run(); err != nil {
-		return nil, fmt.Errorf("trace: replay %s: %w", t.Meta.Name, err)
-	}
-	if replayErr != nil {
-		return nil, replayErr
-	}
-	for _, f := range res.RankFinish {
-		if f > res.Time {
-			res.Time = f
-		}
-	}
-	res.Messages = net.Messages()
-	res.WireBytes = net.WireBytes()
-	res.Congestion = net.Census(replayCensusTop)
-	res.EngineStats = eng.Stats()
-	return res, nil
+	defer e.Close()
+	return e.Evaluate(cfg.Places)
 }

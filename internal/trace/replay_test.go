@@ -2,6 +2,7 @@ package trace
 
 import (
 	"fmt"
+	"math"
 	"reflect"
 	"testing"
 
@@ -61,6 +62,7 @@ func TestReplayMatchesDirectTransfers(t *testing.T) {
 			Profile: ib.OpenMPI(),
 			Places:  blockEndpoints(fab, 2, 1),
 			Policy:  pol,
+			Observe: ObserveAll,
 		})
 		if err != nil {
 			t.Fatalf("replay: %v", err)
@@ -106,7 +108,7 @@ func TestReplayMatchesDirectTransfers(t *testing.T) {
 func TestInfiniteCapacityMatchesOffPath(t *testing.T) {
 	fab := fabric.NewScaled(1)
 	tr := meshTrace(t, 8, 16*units.KB)
-	base := ReplayConfig{Fabric: fab, Profile: ib.OpenMPI(), Places: blockEndpoints(fab, 8, 1)}
+	base := ReplayConfig{Fabric: fab, Profile: ib.OpenMPI(), Places: blockEndpoints(fab, 8, 1), Observe: ObserveAll}
 
 	off := base
 	off.Policy = transport.Policy{}
@@ -166,7 +168,7 @@ func TestReplayDeterministic(t *testing.T) {
 	fab := fabric.NewScaled(1)
 	tr := meshTrace(t, 8, 64*units.KB)
 	for _, pol := range []transport.Policy{{}, transport.Congested()} {
-		cfg := ReplayConfig{Fabric: fab, Profile: ib.OpenMPI(), Places: blockEndpoints(fab, 8, 1), Policy: pol}
+		cfg := ReplayConfig{Fabric: fab, Profile: ib.OpenMPI(), Places: blockEndpoints(fab, 8, 1), Policy: pol, Observe: ObserveAll}
 		a, err := Replay(tr, cfg)
 		if err != nil {
 			t.Fatalf("replay: %v", err)
@@ -208,7 +210,7 @@ func TestCongestionSlowsSharedLinks(t *testing.T) {
 		// four flows out of crossbar 0 share the xbar0→spine8 cable.
 		places[4+r] = transport.Endpoint{Node: fabric.FromGlobal(8 + 12*r), Core: 1}
 	}
-	cfg := ReplayConfig{Fabric: fab, Profile: ib.OpenMPI(), Places: places}
+	cfg := ReplayConfig{Fabric: fab, Profile: ib.OpenMPI(), Places: places, Observe: ObserveCensus}
 	cfg.Policy = transport.InfiniteCapacity()
 	baseline, err := Replay(tr, cfg)
 	if err != nil {
@@ -249,6 +251,15 @@ func TestReplayComputeScale(t *testing.T) {
 	cfg.ComputeScale = -1
 	if _, err := Replay(tr, cfg); err == nil {
 		t.Error("negative compute scale accepted")
+	}
+	// Non-finite scales would propagate NaN/Inf into every compute
+	// sleep (and a NaN duration panics the engine mid-run); they must
+	// be rejected up front like negative ones.
+	for _, bad := range []float64{math.NaN(), math.Inf(1), math.Inf(-1)} {
+		cfg.ComputeScale = bad
+		if _, err := Replay(tr, cfg); err == nil {
+			t.Errorf("compute scale %v accepted", bad)
+		}
 	}
 }
 

@@ -83,6 +83,21 @@ type linkState struct {
 	bytes units.Size
 }
 
+// PairPath is the cached routing work for one directed (src, dst) node
+// pair: the hop-latency term and, with congestion enabled, the
+// fabric-interior link states of the route already resolved and sorted
+// into the global acquisition order. Deriving this once per pair instead
+// of once per message removes the route enumeration, the per-link map
+// lookups and the admission-order sort from the transfer hot path —
+// the placement optimizer replays the same pairs tens of thousands of
+// times, so the cache (which survives Reset) amortizes to nothing.
+type PairPath struct {
+	fabLat   units.Time   // hop count x hop latency
+	rdvExtra units.Time   // rendezvous round trip above the eager threshold
+	src, dst *ib.HCA      // endpoint adapters
+	states   []*linkState // admission-ordered interior links (nil with congestion off)
+}
+
 // Net is the per-engine transport instance: it owns the node HCAs and
 // the lazily materialized link states of one simulation run.
 type Net struct {
@@ -93,6 +108,8 @@ type Net struct {
 
 	hcas  map[fabric.NodeID]*ib.HCA
 	links map[uint64]*linkState
+	paths map[uint64]*PairPath
+	xfers *Pending // free list of chained-transfer state machines
 
 	msgs int64
 	wire units.Size
@@ -104,16 +121,36 @@ func New(eng *sim.Engine, fab *fabric.System, prof ib.Profile, pol Policy) *Net 
 		panic("transport: nil fabric")
 	}
 	n := &Net{
-		eng:  eng,
-		fab:  fab,
-		prof: prof,
-		pol:  pol,
-		hcas: make(map[fabric.NodeID]*ib.HCA),
+		eng:   eng,
+		fab:   fab,
+		prof:  prof,
+		pol:   pol,
+		hcas:  make(map[fabric.NodeID]*ib.HCA),
+		paths: make(map[uint64]*PairPath),
 	}
 	if pol.Enabled {
 		n.links = make(map[uint64]*linkState)
 	}
 	return n
+}
+
+// Reset zeroes every traffic counter — transport totals, per-link
+// occupancy and the endpoint HCA flow accounting — while keeping the
+// HCA map, the link-state map (with their sim.Resource objects) and the
+// route cache intact, so a pooled Net replays a fresh run without
+// rebuilding any per-link state. Call it alongside sim.Engine.Reset;
+// everything must be idle (no flows streaming, no admissions held).
+func (n *Net) Reset() {
+	n.msgs = 0
+	n.wire = 0
+	for _, st := range n.links {
+		st.msgs = 0
+		st.bytes = 0
+		st.res.ResetStats()
+	}
+	for _, h := range n.hcas {
+		h.ResetStats()
+	}
 }
 
 // Policy returns the congestion policy the net runs under.
@@ -152,6 +189,49 @@ func (n *Net) state(l fabric.Link) *linkState {
 	return st
 }
 
+// path returns (deriving on first use) the cached routing work for a
+// directed node pair: hop latency, rendezvous cost, endpoint adapters
+// and — with congestion on — the route's fabric-interior link states
+// already sorted into the global acquisition order. The cache survives
+// Reset: link identities and hop counts are properties of the wiring,
+// not of any one run.
+func (n *Net) path(src, dst fabric.NodeID) *PairPath {
+	k := fabric.PairKey(src, dst)
+	pp, ok := n.paths[k]
+	if !ok {
+		pr := n.prof
+		var lbuf [fabric.RouteMax]fabric.Link
+		route := n.fab.RouteInto(lbuf[:0], src, dst)
+		// len(Route) == Hops+1 for distinct nodes, pinned by the fabric
+		// route tests.
+		fabLat := units.Time(len(route)-1) * pr.HopLatency
+		pp = &PairPath{
+			fabLat:   fabLat,
+			rdvExtra: 2 * (2*pr.PerSideOverhead + fabLat),
+			src:      n.HCA(src),
+			dst:      n.HCA(dst),
+		}
+		if n.pol.Enabled {
+			states := make([]*linkState, 0, len(route))
+			for _, l := range route {
+				if l.Kind == fabric.LinkNodePort {
+					continue
+				}
+				states = append(states, n.state(l))
+			}
+			// Insertion sort by key: routes are at most RouteMax links.
+			for i := 1; i < len(states); i++ {
+				for j := i; j > 0 && states[j].link.Key() < states[j-1].link.Key(); j-- {
+					states[j], states[j-1] = states[j-1], states[j]
+				}
+			}
+			pp.states = states
+		}
+		n.paths[k] = pp
+	}
+	return pp
+}
+
 // Transfer blocks the calling proc for the sender-visible cost of moving
 // size bytes from src to dst — MPI software overhead, the rendezvous
 // round trip above the eager threshold, link admission along the route,
@@ -160,67 +240,205 @@ func (n *Net) state(l fabric.Link) *linkState {
 // Intra-node transfers take the shared-memory path: software overhead on
 // each side, nothing on the fabric.
 func (n *Net) Transfer(p *sim.Proc, src, dst Endpoint, size units.Size, deliver func()) {
-	n.msgs++
-	pr := n.prof
 	if src.Node == dst.Node {
+		n.msgs++
+		pr := n.prof
 		p.Sleep(pr.PerSideOverhead)
 		n.eng.Schedule(pr.PerSideOverhead, deliver)
 		return
 	}
-	n.wire += size
-	hops := n.fab.Hops(src.Node, dst.Node)
-	fabLat := units.Time(hops) * pr.HopLatency
-	p.Sleep(pr.PerSideOverhead)
-	if size > pr.EagerThreshold {
-		// Rendezvous request + clear-to-send at zero payload.
-		p.Sleep(2 * (2*pr.PerSideOverhead + fabLat))
-	}
-	if size > 0 {
-		pairBW := pr.PairBandwidth(src.Core, dst.Core)
-		if n.pol.Enabled {
-			var lbuf [fabric.RouteMax]fabric.Link
-			var sbuf [fabric.RouteMax]*linkState
-			route := n.fab.RouteInto(lbuf[:0], src.Node, dst.Node)
-			held := n.acquire(p, route, sbuf[:0], size)
-			ib.StreamBetween(p, n.HCA(src.Node), n.HCA(dst.Node), size, pairBW)
-			release(held)
-		} else {
-			ib.StreamBetween(p, n.HCA(src.Node), n.HCA(dst.Node), size, pairBW)
-		}
-	}
-	n.eng.Schedule(fabLat+pr.PerSideOverhead, deliver)
+	n.TransferVia(p, n.path(src.Node, dst.Node), src, dst, size, deliver)
 }
 
-// acquire admits the message onto every fabric-interior link of its
-// route, blocking behind flows already holding a channel. Links are
-// acquired in the global Key order — every flow uses the same total
-// order, so the hold-and-wait graph is acyclic and admission can never
-// deadlock.
+// PairPath returns the cached routing work for a directed inter-node
+// pair, for callers that key transfers by an index of their own (the
+// replay evaluator holds one per rank pair) and skip even the pair-cache
+// map lookup per message. src and dst must be distinct nodes.
+func (n *Net) PairPath(src, dst fabric.NodeID) *PairPath {
+	if src == dst {
+		panic("transport: PairPath of an intra-node pair")
+	}
+	return n.path(src, dst)
+}
+
+// TransferVia is Transfer for an inter-node pair whose PairPath the
+// caller already holds; pp must be PairPath(src.Node, dst.Node).
 //
-// Node-port cables are routed but not admission-controlled: that wire is
-// the adapter's own port, whose sharing the ib HCA flow model already
-// charges (multi-flow serialization, duplex caps). Gating it here too
-// would bill the same copper twice; the transport owns the
-// crossbar-to-crossbar tiers the HCA cannot see.
-func (n *Net) acquire(p *sim.Proc, route []fabric.Link, states []*linkState, size units.Size) []*linkState {
-	for _, l := range route {
-		if l.Kind == fabric.LinkNodePort {
-			continue
-		}
-		states = append(states, n.state(l))
+// Payload-carrying transfers run as an event chain: the proc parks once
+// and the software-overhead interval, the rendezvous round trip, link
+// admission and every HCA chunk but the last are driven by scheduled
+// events, with the final chunk's completion waking the proc to run the
+// release-and-deliver tail. The chain performs exactly the Schedule
+// calls the blocking form performed, at exactly the same instants (a
+// queued admission re-checks on the same wake events a parked proc
+// would), so the calendar — and therefore every simulated result — is
+// bit-identical to the multi-sleep shape while costing one proc
+// park/resume instead of one per interval.
+func (n *Net) TransferVia(p *sim.Proc, pp *PairPath, src, dst Endpoint, size units.Size, deliver func()) {
+	if size <= 0 {
+		n.msgs++
+		n.wire += size
+		pr := n.prof
+		p.Sleep(pr.PerSideOverhead)
+		n.eng.Schedule(pp.fabLat+pr.PerSideOverhead, deliver)
+		return
 	}
-	// Insertion sort by key: routes are at most RouteMax links.
-	for i := 1; i < len(states); i++ {
-		for j := i; j > 0 && states[j].link.Key() < states[j-1].link.Key(); j-- {
-			states[j], states[j-1] = states[j-1], states[j]
-		}
+	x := n.StartTransfer(p, pp, src, dst, size, deliver)
+	p.Park("transfer")
+	// The final chunk's completion woke us.
+	n.FinishTransfer(x)
+}
+
+// StartTransfer begins a payload-carrying chained transfer on behalf of
+// proc p and returns its in-flight handle. It is safe to call from
+// event context — replay walkers chain a compute interval directly
+// into the send it precedes, parking their proc once for both. The
+// caller must park p (with no wake pending); the chain wakes it when
+// the stream completes, after which the caller runs FinishTransfer.
+// size must be positive.
+func (n *Net) StartTransfer(p *sim.Proc, pp *PairPath, src, dst Endpoint, size units.Size, deliver func()) *Pending {
+	n.msgs++
+	pr := n.prof
+	n.wire += size
+	x := n.getXfer()
+	x.p = p
+	x.pp = pp
+	x.deliver = deliver
+	x.pairBW = pr.PairBandwidth(src.Core, dst.Core)
+	x.size = size
+	x.remaining = size
+	x.linkIdx = 0
+	if size > pr.EagerThreshold {
+		x.stage = xfRendezvous
+	} else {
+		x.stage = xfAdmit
 	}
-	for _, st := range states {
-		st.res.Acquire(p, 1)
+	n.eng.Schedule(pr.PerSideOverhead, x.stepFn)
+	return x
+}
+
+// FinishTransfer runs a completed transfer's tail — deregister the HCA
+// flow, release the route's links, schedule the delivery — exactly as
+// the blocking form runs it after its last sleep. Call it from the
+// woken proc, then the handle is recycled.
+func (n *Net) FinishTransfer(x *Pending) {
+	pp := x.pp
+	ib.EndBetween(pp.src, pp.dst)
+	release(pp.states)
+	n.eng.Schedule(pp.fabLat+n.prof.PerSideOverhead, x.deliver)
+	n.putXfer(x)
+}
+
+// xfer stages.
+const (
+	xfRendezvous = iota // overhead slept; schedule the rendezvous trip
+	xfAdmit             // protocol slept; admit onto the route's links
+	xfStream            // admitted; one event per HCA chunk interval
+)
+
+// Pending is one in-flight chained transfer. The step and admission
+// continuations are bound once per object, and objects recycle through
+// the net's free list, so a steady-state transfer allocates nothing.
+type Pending struct {
+	n       *Net
+	p       *sim.Proc
+	pp      *PairPath
+	deliver func()
+	pairBW  units.Bandwidth
+	size    units.Size
+
+	stage     uint8
+	linkIdx   int
+	remaining units.Size
+
+	stepFn func()   // bound step; scheduled for every chain interval
+	contFn func()   // bound admission continuation after a queued grant
+	free   *Pending // next in the net's free list
+}
+
+// step advances the chain by one scheduled interval.
+func (x *Pending) step() {
+	switch x.stage {
+	case xfRendezvous:
+		// Rendezvous request + clear-to-send at zero payload.
+		x.stage = xfAdmit
+		x.n.eng.Schedule(x.pp.rdvExtra, x.stepFn)
+	case xfAdmit:
+		x.admit()
+	case xfStream:
+		x.stream()
+	}
+}
+
+// admit takes the route's links in the global acquisition order —
+// every flow uses the same total order, so the hold-and-wait graph is
+// acyclic and admission can never deadlock. Free links are taken
+// inline; a contended link queues the continuation (contFn finishes the
+// granted link's accounting and re-enters here for the rest of the
+// route), on the same FIFO and wake events a blocked proc would use.
+//
+// Node-port cables are routed but not admission-controlled (path drops
+// them): that wire is the adapter's own port, whose sharing the ib HCA
+// flow model already charges (multi-flow serialization, duplex caps).
+// Gating it here too would bill the same copper twice; the transport
+// owns the crossbar-to-crossbar tiers the HCA cannot see.
+func (x *Pending) admit() {
+	states := x.pp.states
+	for x.linkIdx < len(states) {
+		st := states[x.linkIdx]
+		if !st.res.AcquireFn(1, x.contFn) {
+			return // queued; contFn continues from this link
+		}
 		st.msgs++
-		st.bytes += size
+		st.bytes += x.size
+		x.linkIdx++
 	}
-	return states
+	x.stage = xfStream
+	ib.BeginBetween(x.pp.src, x.pp.dst, x.size)
+	x.stream()
+}
+
+// stream schedules the next HCA chunk interval at the rate both
+// adapters sustain this instant; the last interval hands control back
+// to the parked proc for the release-and-deliver tail.
+func (x *Pending) stream() {
+	chunk, t := ib.StepBetween(x.pp.src, x.pp.dst, x.remaining, x.pairBW)
+	x.remaining -= chunk
+	if x.remaining > 0 {
+		x.n.eng.Schedule(t, x.stepFn)
+	} else {
+		x.p.WakeAfter(t)
+	}
+}
+
+// getXfer pops a pooled transfer state machine (allocating on first
+// use).
+func (n *Net) getXfer() *Pending {
+	x := n.xfers
+	if x == nil {
+		x = &Pending{n: n}
+		x.stepFn = x.step
+		x.contFn = func() {
+			st := x.pp.states[x.linkIdx]
+			st.msgs++
+			st.bytes += x.size
+			x.linkIdx++
+			x.admit()
+		}
+		return x
+	}
+	n.xfers = x.free
+	x.free = nil
+	return x
+}
+
+// putXfer returns a finished transfer to the pool.
+func (n *Net) putXfer(x *Pending) {
+	x.p = nil
+	x.pp = nil
+	x.deliver = nil
+	x.free = n.xfers
+	n.xfers = x
 }
 
 // release returns every held channel.
@@ -296,14 +514,24 @@ func Hotter(a, b LinkUsage) bool {
 
 // Census builds the link census, with the top contended links ranked
 // hottest first. A nil receiver or a congestion-off net returns nil.
+// top bounds the ranked Top/TopUplinks lists; top <= 0 returns the
+// summary counters with both lists empty. Links that carried no flow
+// this run (possible on a pooled Net, where Reset keeps earlier runs'
+// link states alive with zeroed counters) do not appear in the census.
 func (n *Net) Census(top int) *Census {
 	if n == nil || n.links == nil {
 		return nil
+	}
+	if top < 0 {
+		top = 0
 	}
 	c := &Census{Horizon: n.eng.Now()}
 	all := make([]LinkUsage, 0, len(n.links))
 	var uplinks []LinkUsage
 	for _, st := range n.links {
+		if st.msgs == 0 {
+			continue
+		}
 		s := st.res.Stats()
 		u := LinkUsage{
 			Link:        st.link,

@@ -209,6 +209,103 @@ func TestCensusTieOrderingDeterministic(t *testing.T) {
 	}
 }
 
+// TestCensusTopBound: top <= 0 returns the summary counters with empty
+// ranked lists instead of relying on slice-bound luck (top = -1 used to
+// slice all[:-1] and panic), and top larger than the link count returns
+// everything.
+func TestCensusTopBound(t *testing.T) {
+	pairs := [][2]Endpoint{
+		{ep(0, 0), ep(1, 0)},
+		{ep(0, 1), ep(1, 4)},
+	}
+	_, _, net := runTransfers(t, Congested(), 64*units.KB, pairs)
+	full := net.Census(1 << 30)
+	if full.Links == 0 {
+		t.Fatal("no links in census")
+	}
+	for _, top := range []int{0, -1, -1 << 30} {
+		c := net.Census(top)
+		if c == nil {
+			t.Fatalf("Census(%d) = nil", top)
+		}
+		if len(c.Top) != 0 || len(c.TopUplinks) != 0 {
+			t.Errorf("Census(%d): %d top links, %d top uplinks, want none",
+				top, len(c.Top), len(c.TopUplinks))
+		}
+		if c.Links != full.Links || c.Queued != full.Queued || c.TotalWait != full.TotalWait ||
+			c.UplinkQueued != full.UplinkQueued || c.UplinkWait != full.UplinkWait {
+			t.Errorf("Census(%d) summary diverged from full census: %+v vs %+v", top, c, full)
+		}
+	}
+}
+
+// TestNetResetReproducesFreshRun pins the pooling contract: after Reset
+// (alongside an engine reset) the same workload on the same Net produces
+// timings, counters and a census identical to a fresh engine+Net pair —
+// including links touched only by a previous, different workload, which
+// must not leak into the census.
+func TestNetResetReproducesFreshRun(t *testing.T) {
+	warm := [][2]Endpoint{ // first workload: touches its own links
+		{ep(0, 30), ep(1, 80)},
+		{ep(1, 12), ep(0, 99)},
+	}
+	pairs := [][2]Endpoint{
+		{ep(0, 0), ep(1, 0)},
+		{ep(0, 1), ep(1, 4)},
+		{ep(0, 7), ep(0, 7)},
+	}
+	const size = 256 * units.KB
+	run := func(eng *sim.Engine, net *Net, ps [][2]Endpoint) (send, recv []units.Time) {
+		send = make([]units.Time, len(ps))
+		recv = make([]units.Time, len(ps))
+		for i, pr := range ps {
+			i, pr := i, pr
+			eng.Spawn("sender", func(p *sim.Proc) {
+				net.Transfer(p, pr[0], pr[1], size, func() { recv[i] = eng.Now() })
+				send[i] = p.Now()
+			})
+		}
+		if err := eng.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return send, recv
+	}
+
+	fresh := sim.NewEngine()
+	defer fresh.Close()
+	freshNet := New(fresh, fabric.NewScaled(2), ib.OpenMPI(), Congested())
+	wantS, wantR := run(fresh, freshNet, pairs)
+	want := freshNet.Census(1 << 30)
+
+	pooled := sim.NewEngine()
+	defer pooled.Close()
+	pooledNet := New(pooled, fabric.NewScaled(2), ib.OpenMPI(), Congested())
+	run(pooled, pooledNet, warm)
+	pooled.Reset()
+	pooledNet.Reset()
+	gotS, gotR := run(pooled, pooledNet, pairs)
+	got := pooledNet.Census(1 << 30)
+
+	for i := range pairs {
+		if gotS[i] != wantS[i] || gotR[i] != wantR[i] {
+			t.Errorf("pair %d: pooled %v/%v != fresh %v/%v", i, gotS[i], gotR[i], wantS[i], wantR[i])
+		}
+	}
+	if pooledNet.Messages() != freshNet.Messages() || pooledNet.WireBytes() != freshNet.WireBytes() {
+		t.Errorf("counters: pooled %d/%v != fresh %d/%v",
+			pooledNet.Messages(), pooledNet.WireBytes(), freshNet.Messages(), freshNet.WireBytes())
+	}
+	if got.Links != want.Links || got.Queued != want.Queued || got.TotalWait != want.TotalWait ||
+		len(got.Top) != len(want.Top) {
+		t.Fatalf("census diverged after reset:\n  pooled %+v\n  fresh  %+v", got, want)
+	}
+	for i := range want.Top {
+		if got.Top[i] != want.Top[i] {
+			t.Errorf("top link %d: pooled %v != fresh %v", i, got.Top[i], want.Top[i])
+		}
+	}
+}
+
 // TestHotterTotalOrder checks the ranking criteria directly: wait beats
 // bytes, bytes beat identity, and identity breaks exact ties both ways.
 func TestHotterTotalOrder(t *testing.T) {

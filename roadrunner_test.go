@@ -174,6 +174,7 @@ func TestFacadeTraceReplay(t *testing.T) {
 		Profile: ib.OpenMPI(),
 		Places:  places,
 		Policy:  transport.Congested(),
+		Observe: ObserveAll,
 	})
 	if err != nil {
 		t.Fatal(err)
