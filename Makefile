@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build lint test bench bench-full bench-artifact trace-smoke suite clean
+.PHONY: all build lint test bench bench-full bench-artifact trace-smoke serve-smoke docs docs-check suite clean
 
 all: lint build test
 
@@ -44,6 +44,21 @@ trace-smoke:
 	$(GO) run ./cmd/rrtrace replay -i /tmp/sweep3d.trace.jsonl -congestion=off -skip-compute
 	$(GO) run ./cmd/rrtrace optimize -i /tmp/sweep3d.trace.jsonl -seed 1 \
 		-greedy-rounds 2 -greedy-batch 6 -anneal-rounds 2 -anneal-batch 6 -mapping 4
+
+# The serving-layer contract under the race detector: structured 4xx on
+# malformed submissions, request coalescing, serial ≡ 64-way-concurrent
+# byte identity, cache round-trip, and the thousands-deep load harness.
+serve-smoke:
+	$(GO) test -race -count=1 -run 'TestServe' ./internal/serve
+
+# Regenerate the generated documentation (docs/experiments.md) and
+# check it is current — CI fails when it is stale.
+docs:
+	$(GO) generate ./internal/experiments
+
+docs-check:
+	$(GO) run ./internal/experiments/expdocs -check docs/experiments.md
+	$(GO) test -run TestEveryPackageHasDoc .
 
 # The full evaluation through the orchestrator, all cores.
 suite:

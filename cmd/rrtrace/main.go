@@ -77,7 +77,7 @@ func run() int {
 func usage() {
 	fmt.Fprintf(os.Stderr, `usage:
   rrtrace capture [-px N -py N -i/-j/-k/-mk/-angles N] -o FILE
-  rrtrace inspect -i FILE
+  rrtrace inspect -i FILE | inspect -spec
   rrtrace replay -i FILE [-placement block|strided|packed] [-stride N]
                  [-per-node N] [-core N] [-congestion on|off]
                  [-skip-compute] [-toplinks N] [-messages N]
@@ -126,7 +126,15 @@ func capture(args []string) int {
 func inspect(args []string) int {
 	fs := flag.NewFlagSet("inspect", flag.ExitOnError)
 	in := fs.String("i", "", "trace file (required)")
+	spec := fs.Bool("spec", false, "print where the normative trace-format specification lives and exit")
 	fs.Parse(args)
+	if *spec {
+		fmt.Printf("format %s version %d\n", trace.FormatName, trace.FormatVersion)
+		fmt.Println("specification: docs/trace-format.md in the roadrunner source tree")
+		fmt.Println("  (JSONL: one header line, then records in rank-major order;")
+		fmt.Println("   validated invariants: dense seqs, FIFO send/recv matching, acyclic deps)")
+		return 0
+	}
 	if *in == "" {
 		fmt.Fprintln(os.Stderr, "rrtrace inspect: -i is required")
 		return 2

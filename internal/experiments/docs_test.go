@@ -1,0 +1,31 @@
+package experiments
+
+import (
+	"os"
+	"strings"
+	"testing"
+)
+
+// TestDocsMarkdownCurrent is the staleness gate for docs/experiments.md:
+// the committed page must match what the registry renders today.
+// Failing here means an experiment was added or edited without running
+// `go generate ./internal/experiments`.
+func TestDocsMarkdownCurrent(t *testing.T) {
+	got, err := os.ReadFile("../../docs/experiments.md")
+	if err != nil {
+		t.Fatalf("reading committed page: %v", err)
+	}
+	want := DocsMarkdown()
+	if string(got) != want {
+		t.Fatal("docs/experiments.md is stale; regenerate with `go generate ./internal/experiments`")
+	}
+	// The renderer itself must be deterministic, or generate would churn.
+	if DocsMarkdown() != want {
+		t.Fatal("DocsMarkdown is not deterministic across calls")
+	}
+	for _, e := range All() {
+		if !strings.Contains(want, "`"+e.ID+"`") {
+			t.Errorf("experiment %s missing from the generated page", e.ID)
+		}
+	}
+}

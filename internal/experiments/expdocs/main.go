@@ -1,0 +1,52 @@
+// Command expdocs renders the experiment registry to markdown
+// (docs/experiments.md). It is the `go generate` target of
+// internal/experiments and CI's staleness gate:
+//
+//	expdocs -o docs/experiments.md        # (re)write the page
+//	expdocs -check docs/experiments.md    # exit 1 if the page is stale
+//
+// Exit status: 0 success / current, 1 stale or write error, 2 usage.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"roadrunner/internal/experiments"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	out := flag.String("o", "", "write the generated page to this path")
+	check := flag.String("check", "", "compare the generated page against this path; fail if they differ")
+	flag.Parse()
+	if (*out == "") == (*check == "") {
+		fmt.Fprintln(os.Stderr, "expdocs: exactly one of -o or -check is required")
+		flag.Usage()
+		return 2
+	}
+	want := experiments.DocsMarkdown()
+	if *out != "" {
+		if err := os.WriteFile(*out, []byte(want), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "expdocs: %v\n", err)
+			return 1
+		}
+		fmt.Printf("wrote %s (%d experiments)\n", *out, len(experiments.All()))
+		return 0
+	}
+	got, err := os.ReadFile(*check)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "expdocs: %v\n", err)
+		return 1
+	}
+	if string(got) != want {
+		fmt.Fprintf(os.Stderr, "expdocs: %s is stale; regenerate with `go generate ./internal/experiments`\n", *check)
+		return 1
+	}
+	fmt.Printf("%s is current\n", *check)
+	return 0
+}

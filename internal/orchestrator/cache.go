@@ -91,9 +91,58 @@ func buildDigest() string {
 	return buildDigestHex
 }
 
+// RawKey returns the content address for an arbitrary service payload
+// under the current model inputs and code: a digest over the caller's
+// namespace, the payload bytes, params.Fingerprint and the build
+// digest. The serving layer keys its job artifacts this way — same
+// request bytes, same calibrated inputs, same binary, same artifact —
+// so a cache entry can never outlive the model it was computed from.
+func (c *Cache) RawKey(namespace string, payload []byte) string {
+	h := sha256.New()
+	h.Write([]byte("roadrunner-raw-v1\n"))
+	h.Write([]byte(namespace))
+	h.Write([]byte{'\n'})
+	h.Write(payload)
+	h.Write([]byte{'\n'})
+	h.Write([]byte(params.Fingerprint()))
+	h.Write([]byte{'\n'})
+	h.Write([]byte(buildDigest()))
+	return hex.EncodeToString(h.Sum(nil))
+}
+
 // path maps a key to its file, fanned out over 256 subdirectories.
 func (c *Cache) path(key string) string {
 	return filepath.Join(c.dir, key[:2], key+".json")
+}
+
+// rawPath maps a raw-entry key to its file. Raw entries use a distinct
+// extension so they can never collide with experiment artifacts.
+func (c *Cache) rawPath(key string) string {
+	return filepath.Join(c.dir, key[:2], key+".raw")
+}
+
+// GetRaw loads the bytes stored under key, reporting whether the entry
+// was present.
+func (c *Cache) GetRaw(key string) ([]byte, bool) {
+	data, err := os.ReadFile(c.rawPath(key))
+	if err != nil {
+		c.misses.Add(1)
+		return nil, false
+	}
+	c.hits.Add(1)
+	return data, true
+}
+
+// PutRaw stores data under key atomically.
+func (c *Cache) PutRaw(key string, data []byte) error {
+	final := c.rawPath(key)
+	if err := os.MkdirAll(filepath.Dir(final), 0o755); err != nil {
+		return err
+	}
+	if err := report.WriteFileAtomic(final, data); err != nil {
+		return fmt.Errorf("orchestrator: cache put raw %s: %w", key[:12], err)
+	}
+	return nil
 }
 
 // Get loads the artifact stored under key, reporting whether it was

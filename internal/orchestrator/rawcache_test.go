@@ -1,0 +1,46 @@
+package orchestrator
+
+import (
+	"bytes"
+	"testing"
+)
+
+// TestRawCacheRoundTrip covers the raw-bytes cache surface the serving
+// layer rides on: PutRaw/GetRaw round-trip, namespace and payload both
+// fold into RawKey, and raw entries never collide with JSON artifacts.
+func TestRawCacheRoundTrip(t *testing.T) {
+	c, err := OpenCache(t.TempDir())
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	payload := []byte(`{"trace":"..."}`)
+	key := c.RawKey("serve/replay", payload)
+
+	if _, ok := c.GetRaw(key); ok {
+		t.Fatal("empty cache reports a hit")
+	}
+	want := []byte("line1\nline2\n")
+	if err := c.PutRaw(key, want); err != nil {
+		t.Fatalf("put: %v", err)
+	}
+	got, ok := c.GetRaw(key)
+	if !ok || !bytes.Equal(got, want) {
+		t.Fatalf("round-trip: ok=%v got %q want %q", ok, got, want)
+	}
+	hits, misses := c.Stats()
+	if hits != 1 || misses != 1 {
+		t.Errorf("stats hits=%d misses=%d, want 1/1", hits, misses)
+	}
+
+	if k2 := c.RawKey("serve/optimize", payload); k2 == key {
+		t.Error("namespace does not change the raw key")
+	}
+	if k3 := c.RawKey("serve/replay", []byte("other")); k3 == key {
+		t.Error("payload does not change the raw key")
+	}
+	// A raw entry and an experiment artifact with a textually identical
+	// key live in different files.
+	if _, ok := c.Get(key); ok {
+		t.Error("raw entry is visible through the artifact Get path")
+	}
+}

@@ -1,0 +1,120 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"sync"
+	"testing"
+
+	"roadrunner/internal/orchestrator"
+	"roadrunner/internal/units"
+)
+
+// TestServeResultsDeterministic pins the serving determinism contract
+// (docs/determinism.md): the artifact for a request is a pure function
+// of its bytes — byte-identical whether the job runs on a single serial
+// worker or under 64-way concurrent submission against a wide worker
+// pool, and a repeated request is served from the content-addressed
+// artifact cache without recomputing.
+func TestServeResultsDeterministic(t *testing.T) {
+	tr := ringTraceJSONL(t, 8, 256*units.KB)
+	bodies := [][]byte{
+		[]byte(`{"trace":` + jsonString(tr) + `,"observe":"all"}`),
+		[]byte(`{"trace":` + jsonString(tr) + `,"observe":"all","placement":{"kind":"strided","stride":3}}`),
+	}
+
+	// Serial reference: one worker, one submission at a time.
+	serial := make([][]byte, len(bodies))
+	func() {
+		s := New(Options{Workers: 1})
+		defer s.Close()
+		for i, body := range bodies {
+			serial[i] = submitWait(t, s, "/v1/replay", body)
+		}
+	}()
+	for i, data := range serial {
+		if len(data) == 0 {
+			t.Fatalf("serial result %d is empty", i)
+		}
+	}
+
+	// Concurrent: 64 goroutines per body race identical submissions at a
+	// multi-worker server; every result must match the serial bytes.
+	s := New(Options{Workers: 8})
+	defer s.Close()
+	const fanout = 64
+	var wg sync.WaitGroup
+	results := make([][][]byte, len(bodies))
+	for i := range bodies {
+		results[i] = make([][]byte, fanout)
+		for j := 0; j < fanout; j++ {
+			wg.Add(1)
+			go func(i, j int) {
+				defer wg.Done()
+				results[i][j] = submitWait(t, s, "/v1/replay", bodies[i])
+			}(i, j)
+		}
+	}
+	wg.Wait()
+	for i := range bodies {
+		for j, data := range results[i] {
+			if !bytes.Equal(data, serial[i]) {
+				t.Fatalf("body %d submission %d: concurrent result differs from serial (%d vs %d bytes)",
+					i, j, len(data), len(serial[i]))
+			}
+		}
+	}
+
+	// All 64 identical submissions coalesced onto a single job each.
+	s.mu.Lock()
+	jobs := len(s.jobs)
+	s.mu.Unlock()
+	if jobs != len(bodies) {
+		t.Errorf("%d jobs registered, want %d (identical submissions must coalesce)", jobs, len(bodies))
+	}
+}
+
+// TestServeArtifactCache pins the cache path: a second server sharing
+// the artifact cache directory answers a repeated request born-done and
+// byte-identical, without running an engine.
+func TestServeArtifactCache(t *testing.T) {
+	dir := t.TempDir()
+	open := func() *orchestrator.Cache {
+		c, err := orchestrator.OpenCache(dir)
+		if err != nil {
+			t.Fatalf("open cache: %v", err)
+		}
+		return c
+	}
+	tr := ringTraceJSONL(t, 4, 64*units.KB)
+	body := []byte(`{"trace":` + jsonString(tr) + `,"observe":"census"}`)
+
+	s1 := New(Options{Workers: 2, Cache: open()})
+	first := submitWait(t, s1, "/v1/replay", body)
+	s1.Close()
+
+	s2 := New(Options{Workers: 2, Cache: open()})
+	defer s2.Close()
+	rec := do(t, s2, http.MethodPost, "/v1/replay", body)
+	if rec.Code != http.StatusAccepted {
+		t.Fatalf("cached submit: status %d: %s", rec.Code, rec.Body.String())
+	}
+	var sub submitResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &sub); err != nil {
+		t.Fatalf("submit response: %v", err)
+	}
+	if !sub.Cached || sub.State != StateDone {
+		t.Errorf("cache-hit submission is cached=%v state=%q, want cached=true state=done", sub.Cached, sub.State)
+	}
+	res := do(t, s2, http.MethodGet, "/v1/jobs/"+sub.JobID+"/result", nil)
+	if res.Code != http.StatusOK {
+		t.Fatalf("cached result: status %d: %s", res.Code, res.Body.String())
+	}
+	if !bytes.Equal(res.Body.Bytes(), first) {
+		t.Error("cached artifact differs from the computed one")
+	}
+	if hits, _ := s2.opts.Cache.Stats(); hits == 0 {
+		t.Error("cache reports zero hits after a cache-served submission")
+	}
+}

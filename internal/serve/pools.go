@@ -1,0 +1,92 @@
+package serve
+
+import (
+	"sync"
+
+	"roadrunner/internal/trace"
+)
+
+// poolCache keeps the warm trace.EvaluatorPools, one per
+// (trace digest, replay config) pair, so every replay job for a trace
+// the service has already seen checks out a warm evaluator instead of
+// revalidating the trace and rebuilding an engine. Bounded: beyond max
+// entries the oldest pool is closed — serving is an accelerator over a
+// pure function, so eviction can change wall clock but never results.
+type poolCache struct {
+	mu     sync.Mutex
+	max    int
+	pools  map[string]*trace.EvaluatorPool
+	order  []string
+	closed bool
+}
+
+func newPoolCache(max int) *poolCache {
+	return &poolCache{max: max, pools: make(map[string]*trace.EvaluatorPool)}
+}
+
+// get returns the pool for key, building it with build on first use and
+// evicting the oldest pool beyond the bound. Concurrent callers for one
+// key may race to build; the loser's pool is closed and the winner's
+// kept, so at most one pool per key is ever retained.
+func (c *poolCache) get(key string, build func() (*trace.EvaluatorPool, error)) (*trace.EvaluatorPool, error) {
+	c.mu.Lock()
+	if p, ok := c.pools[key]; ok && !c.closed {
+		c.mu.Unlock()
+		return p, nil
+	}
+	c.mu.Unlock()
+
+	// Build outside the lock: pool construction validates the trace and
+	// builds an engine, milliseconds the other shards shouldn't wait on.
+	p, err := build()
+	if err != nil {
+		return nil, err
+	}
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		p.Close()
+		return nil, errClosed
+	}
+	if existing, ok := c.pools[key]; ok {
+		c.mu.Unlock()
+		p.Close()
+		return existing, nil
+	}
+	var evict *trace.EvaluatorPool
+	if len(c.pools) >= c.max && len(c.order) > 0 {
+		oldest := c.order[0]
+		c.order = append([]string(nil), c.order[1:]...)
+		evict = c.pools[oldest]
+		delete(c.pools, oldest)
+	}
+	c.pools[key] = p
+	c.order = append(c.order, key)
+	c.mu.Unlock()
+	if evict != nil {
+		// Checked-out evaluators drain back through Put, which closes
+		// them once the pool is closed.
+		evict.Close()
+	}
+	return p, nil
+}
+
+// size reports how many pools are warm.
+func (c *poolCache) size() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.pools)
+}
+
+// Close closes every pool.
+func (c *poolCache) Close() {
+	c.mu.Lock()
+	pools := c.pools
+	c.pools = make(map[string]*trace.EvaluatorPool)
+	c.order = nil
+	c.closed = true
+	c.mu.Unlock()
+	for _, p := range pools {
+		p.Close()
+	}
+}

@@ -1,0 +1,267 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+
+	"roadrunner/internal/collectives"
+	"roadrunner/internal/params"
+	"roadrunner/internal/placement"
+	"roadrunner/internal/trace"
+	"roadrunner/internal/transport"
+	"roadrunner/internal/units"
+)
+
+// Result artifacts are JSONL: one self-describing object per line, the
+// first line a header naming the artifact format. Every line is
+// rendered from structs (never from map iteration) and every simulated
+// duration is an integer picosecond count, so an artifact is
+// byte-canonical: the same request on the same build always renders
+// the same bytes, which is the property the artifact cache and the
+// serial-vs-concurrent determinism tests rely on. docs/api.md
+// documents each line kind.
+
+// ResultFormat and ResultVersion identify the artifact format (the
+// header line's "format" and "version" fields).
+const (
+	ResultFormat  = "roadrunner-serve-result"
+	ResultVersion = 1
+)
+
+type headerLine struct {
+	Kind    string `json:"kind"`
+	Format  string `json:"format"`
+	Version int    `json:"version"`
+	Job     string `json:"job"`
+	// ModelFingerprint is the digest over every calibrated model input
+	// (params.Fingerprint): which model produced this artifact.
+	ModelFingerprint string `json:"model_fingerprint"`
+}
+
+type traceLine struct {
+	Kind    string `json:"kind"`
+	Name    string `json:"name"`
+	App     string `json:"app"`
+	Ranks   int    `json:"ranks"`
+	Records int    `json:"records"`
+	// SHA256 is the digest of the submitted trace text: the content
+	// address the trace contributes to the job key.
+	SHA256 string `json:"sha256"`
+}
+
+type replayLine struct {
+	Kind         string     `json:"kind"`
+	MakespanPs   units.Time `json:"makespan_ps"`
+	Messages     int64      `json:"messages"`
+	WireBytes    units.Size `json:"wire_bytes"`
+	Events       int64      `json:"events"`
+	CalendarPeak int        `json:"calendar_peak"`
+}
+
+type censusLine struct {
+	Kind         string     `json:"kind"`
+	HorizonPs    units.Time `json:"horizon_ps"`
+	Links        int        `json:"links"`
+	Queued       int64      `json:"queued"`
+	TotalWaitPs  units.Time `json:"total_wait_ps"`
+	PeakHeld     int        `json:"peak_held"`
+	UplinkQueued int64      `json:"uplink_queued"`
+	UplinkWaitPs units.Time `json:"uplink_wait_ps"`
+}
+
+type linkLine struct {
+	Kind        string     `json:"kind"`
+	Rank        int        `json:"rank"`
+	Link        string     `json:"link"`
+	LinkKind    string     `json:"link_kind"`
+	Messages    int64      `json:"messages"`
+	Bytes       units.Size `json:"bytes"`
+	Queued      int64      `json:"queued"`
+	WaitPs      units.Time `json:"wait_ps"`
+	BusyPs      units.Time `json:"busy_ps"`
+	Utilization float64    `json:"utilization"`
+}
+
+type sendLine struct {
+	Kind        string     `json:"kind"`
+	Src         int        `json:"src"`
+	Dst         int        `json:"dst"`
+	Tag         int        `json:"tag"`
+	Bytes       units.Size `json:"bytes"`
+	StartPs     units.Time `json:"start_ps"`
+	EndPs       units.Time `json:"end_ps"`
+	DeliveredPs units.Time `json:"delivered_ps"`
+}
+
+type baselineLine struct {
+	Kind   string     `json:"kind"`
+	Name   string     `json:"name"`
+	TimePs units.Time `json:"time_ps"`
+}
+
+type roundLine struct {
+	Kind        string     `json:"kind"`
+	Phase       string     `json:"phase"`
+	Round       int        `json:"round"`
+	TempPs      units.Time `json:"temp_ps"`
+	Accepted    int        `json:"accepted"`
+	CurrentPs   units.Time `json:"current_ps"`
+	BestPs      units.Time `json:"best_ps"`
+	Evaluations int        `json:"evaluations"`
+}
+
+type winnerLine struct {
+	Kind        string     `json:"kind"`
+	Start       string     `json:"start"`
+	StartPs     units.Time `json:"start_ps"`
+	BestPs      units.Time `json:"best_ps"`
+	Improvement float64    `json:"improvement"`
+	Evaluations int        `json:"evaluations"`
+}
+
+type assignLine struct {
+	Kind string `json:"kind"`
+	Rank int    `json:"rank"`
+	CU   int    `json:"cu"`
+	Node int    `json:"node"`
+	Core int    `json:"core"`
+}
+
+type collectiveLine struct {
+	Kind         string     `json:"kind"`
+	Op           string     `json:"op"`
+	Ranks        int        `json:"ranks"`
+	SizeBytes    units.Size `json:"size_bytes"`
+	TimePs       units.Time `json:"time_ps"`
+	MinTimePs    units.Time `json:"min_time_ps"`
+	Messages     int64      `json:"messages"`
+	WireBytes    units.Size `json:"wire_bytes"`
+	Events       int64      `json:"events"`
+	CalendarPeak int        `json:"calendar_peak"`
+}
+
+// artifact accumulates JSONL lines.
+type artifact struct {
+	buf bytes.Buffer
+	enc *json.Encoder
+	err error
+}
+
+func newArtifact(job string) *artifact {
+	a := &artifact{}
+	a.enc = json.NewEncoder(&a.buf)
+	a.line(headerLine{Kind: "header", Format: ResultFormat, Version: ResultVersion,
+		Job: job, ModelFingerprint: params.Fingerprint()})
+	return a
+}
+
+func (a *artifact) line(v any) {
+	if a.err == nil {
+		a.err = a.enc.Encode(v)
+	}
+}
+
+func (a *artifact) bytes() ([]byte, error) {
+	if a.err != nil {
+		return nil, a.err
+	}
+	return a.buf.Bytes(), nil
+}
+
+// censusLines renders the census summary and its ranked top links.
+func (a *artifact) censusLines(c *transport.Census) {
+	if c == nil {
+		return
+	}
+	a.line(censusLine{Kind: "census", HorizonPs: c.Horizon, Links: c.Links,
+		Queued: c.Queued, TotalWaitPs: c.TotalWait, PeakHeld: c.PeakHeld,
+		UplinkQueued: c.UplinkQueued, UplinkWaitPs: c.UplinkWait})
+	for i, u := range c.Top {
+		a.line(linkLine{Kind: "link", Rank: i + 1, Link: u.Link.String(),
+			LinkKind: u.Link.Kind.String(), Messages: u.Messages, Bytes: u.Bytes,
+			Queued: u.Queued, WaitPs: u.Wait, BusyPs: u.Busy, Utilization: u.Utilization})
+	}
+}
+
+// normCongestion echoes the congestion field with its default applied.
+func normCongestion(c string) string {
+	if c == "" {
+		return "on"
+	}
+	return c
+}
+
+// renderReplay renders a replay job's artifact.
+func renderReplay(req *replayRequest, tr *trace.Trace, digest string, res *trace.ReplayResult) ([]byte, error) {
+	a := newArtifact("replay")
+	a.line(traceLine{Kind: "trace", Name: tr.Meta.Name, App: tr.Meta.App,
+		Ranks: tr.Meta.Ranks, Records: len(tr.Records), SHA256: digest})
+	echo := struct {
+		Kind         string        `json:"kind"`
+		Placement    placementSpec `json:"placement"`
+		Congestion   string        `json:"congestion"`
+		SkipCompute  bool          `json:"skip_compute"`
+		ComputeScale float64       `json:"compute_scale"`
+		Observe      string        `json:"observe"`
+	}{"request", req.Placement, normCongestion(req.Congestion), req.SkipCompute,
+		req.ComputeScale, req.Observe}
+	if echo.Observe == "" {
+		echo.Observe = "none"
+	}
+	a.line(echo)
+	a.line(replayLine{Kind: "replay", MakespanPs: res.Time, Messages: res.Messages,
+		WireBytes: res.WireBytes, Events: res.EngineStats.Dispatched,
+		CalendarPeak: res.EngineStats.CalendarPeak})
+	a.censusLines(res.Congestion)
+	for _, m := range res.Sends {
+		a.line(sendLine{Kind: "send", Src: m.SrcRank, Dst: m.DstRank, Tag: m.Tag,
+			Bytes: m.Size, StartPs: m.SendStart, EndPs: m.SendEnd, DeliveredPs: m.Delivered})
+	}
+	return a.bytes()
+}
+
+// renderOptimize renders an optimize job's artifact.
+func renderOptimize(req *optimizeRequest, tr *trace.Trace, digest string, res *placement.Result) ([]byte, error) {
+	a := newArtifact("optimize")
+	a.line(traceLine{Kind: "trace", Name: tr.Meta.Name, App: tr.Meta.App,
+		Ranks: tr.Meta.Ranks, Records: len(tr.Records), SHA256: digest})
+	echo := struct {
+		Kind         string `json:"kind"`
+		Congestion   string `json:"congestion"`
+		FullSchedule bool   `json:"full_schedule"`
+		Seed         int64  `json:"seed"`
+	}{"request", normCongestion(req.Congestion), req.FullSchedule, req.Seed}
+	a.line(echo)
+	for _, b := range res.Baselines {
+		a.line(baselineLine{Kind: "baseline", Name: b.Name, TimePs: b.Time})
+	}
+	for _, r := range res.Rounds {
+		a.line(roundLine{Kind: "round", Phase: r.Phase, Round: r.Round, TempPs: r.Temp,
+			Accepted: r.Accepted, CurrentPs: r.Current, BestPs: r.Best, Evaluations: r.Evaluations})
+	}
+	a.line(winnerLine{Kind: "winner", Start: res.Start, StartPs: res.StartTime,
+		BestPs: res.BestTime, Improvement: res.Improvement, Evaluations: res.Evaluations})
+	for rank, ep := range res.Best {
+		a.line(assignLine{Kind: "assign", Rank: rank, CU: ep.Node.CU, Node: ep.Node.Node, Core: ep.Core})
+	}
+	return a.bytes()
+}
+
+// renderCollective renders a collective job's artifact.
+func renderCollective(req *collectiveRequest, res *collectives.Result) ([]byte, error) {
+	a := newArtifact("collective")
+	echo := struct {
+		Kind       string `json:"kind"`
+		Op         string `json:"op"`
+		Nodes      int    `json:"nodes"`
+		SizeBytes  int64  `json:"size_bytes"`
+		Congestion string `json:"congestion"`
+	}{"request", req.Op, req.Nodes, req.SizeBytes, normCongestion(req.Congestion)}
+	a.line(echo)
+	a.line(collectiveLine{Kind: "collective", Op: string(res.Op), Ranks: res.Ranks,
+		SizeBytes: res.Size, TimePs: res.Time, MinTimePs: res.MinTime,
+		Messages: res.Messages, WireBytes: res.WireBytes,
+		Events: res.EngineStats.Dispatched, CalendarPeak: res.EngineStats.CalendarPeak})
+	a.censusLines(res.Congestion)
+	return a.bytes()
+}

@@ -1,0 +1,131 @@
+package trace
+
+import (
+	"sync"
+	"testing"
+
+	"roadrunner/internal/fabric"
+	"roadrunner/internal/ib"
+	"roadrunner/internal/transport"
+	"roadrunner/internal/units"
+)
+
+// TestEvaluatorPoolCheckoutReturn pins the pool contract: a warm
+// checkout returns results byte-identical to a cold evaluator, the free
+// list is bounded by maxIdle, and concurrent checkouts each own their
+// evaluator exclusively (the race detector would catch sharing).
+func TestEvaluatorPoolCheckoutReturn(t *testing.T) {
+	fab := fabric.NewScaled(1)
+	tr := meshTrace(t, 16, 96*units.KB)
+	cfg := ReplayConfig{Fabric: fab, Profile: ib.OpenMPI(), Policy: transport.Congested()}
+	places := evalPlacements(fab, 16)
+
+	pool, err := NewEvaluatorPool(tr, cfg, 2)
+	if err != nil {
+		t.Fatalf("pool: %v", err)
+	}
+	defer pool.Close()
+
+	want, err := Replay(tr, ReplayConfig{Fabric: fab, Profile: ib.OpenMPI(),
+		Policy: transport.Congested(), Places: places[0]})
+	if err != nil {
+		t.Fatalf("fresh replay: %v", err)
+	}
+
+	// Serial checkout/return cycles hit the warm evaluator and agree
+	// with the fresh replay.
+	for i := 0; i < 3; i++ {
+		e, err := pool.Get()
+		if err != nil {
+			t.Fatalf("get %d: %v", i, err)
+		}
+		got, err := e.Evaluate(places[0])
+		if err != nil {
+			t.Fatalf("evaluate %d: %v", i, err)
+		}
+		if got.Time != want.Time {
+			t.Errorf("checkout %d: makespan %v, fresh replay %v", i, got.Time, want.Time)
+		}
+		pool.Put(e)
+	}
+	if built, reused := pool.Stats(); built != 1 || reused != 3 {
+		t.Errorf("serial cycles: built %d reused %d, want 1 and 3", built, reused)
+	}
+
+	// Concurrent checkouts: every worker gets an exclusive evaluator
+	// and every result matches.
+	const workers = 8
+	var wg sync.WaitGroup
+	errs := make([]error, workers)
+	times := make([]units.Time, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			e, err := pool.Get()
+			if err != nil {
+				errs[w] = err
+				return
+			}
+			defer pool.Put(e)
+			res, err := e.Evaluate(places[0])
+			if err != nil {
+				errs[w] = err
+				return
+			}
+			times[w] = res.Time
+		}(w)
+	}
+	wg.Wait()
+	for w := 0; w < workers; w++ {
+		if errs[w] != nil {
+			t.Fatalf("worker %d: %v", w, errs[w])
+		}
+		if times[w] != want.Time {
+			t.Errorf("worker %d: makespan %v, want %v", w, times[w], want.Time)
+		}
+	}
+
+	// The free list is capped at maxIdle; surplus returns were closed,
+	// not leaked into the pool.
+	e1, _ := pool.Get()
+	e2, _ := pool.Get()
+	e3, err := pool.Get()
+	if err != nil {
+		t.Fatalf("get past idle bound: %v", err)
+	}
+	pool.Put(e1)
+	pool.Put(e2)
+	pool.Put(e3)
+	pool.mu.Lock()
+	idle := len(pool.free)
+	pool.mu.Unlock()
+	if idle != 2 {
+		t.Errorf("idle evaluators after returning 3 with maxIdle 2: %d", idle)
+	}
+}
+
+// TestEvaluatorPoolClose pins the shutdown contract: Get fails after
+// Close, and a straggler returned afterwards is closed, not retained.
+func TestEvaluatorPoolClose(t *testing.T) {
+	fab := fabric.NewScaled(1)
+	tr := meshTrace(t, 4, 4*units.KB)
+	cfg := ReplayConfig{Fabric: fab, Profile: ib.OpenMPI()}
+	pool, err := NewEvaluatorPool(tr, cfg, 4)
+	if err != nil {
+		t.Fatalf("pool: %v", err)
+	}
+	straggler, err := pool.Get()
+	if err != nil {
+		t.Fatalf("get: %v", err)
+	}
+	pool.Close()
+	if _, err := pool.Get(); err == nil {
+		t.Error("Get after Close succeeded")
+	}
+	pool.Put(straggler)
+	if !straggler.closed {
+		t.Error("straggler returned after Close was not closed")
+	}
+	pool.Close() // idempotent
+}
