@@ -7,6 +7,7 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 
@@ -31,6 +32,25 @@ func ringTraceJSONL(t testing.TB, ranks int, size units.Size) string {
 	}
 	if err := tr.Validate(); err != nil {
 		t.Fatalf("test trace invalid: %v", err)
+	}
+	var buf bytes.Buffer
+	if err := trace.Encode(&buf, tr); err != nil {
+		t.Fatalf("encode: %v", err)
+	}
+	return buf.String()
+}
+
+// wideTraceJSONL builds a tiny valid trace whose header claims ranks
+// rank streams (the format allows record-less ranks), so oversized-
+// fabric validation can be exercised without a megabyte fixture.
+func wideTraceJSONL(t testing.TB, ranks int) string {
+	t.Helper()
+	tr := &trace.Trace{Meta: trace.Meta{Name: "wide", App: "serve-test", Ranks: ranks}}
+	tr.Records = append(tr.Records,
+		trace.Record{Rank: 0, Seq: 0, Kind: trace.KindCompute, Peer: trace.NoPeer,
+			Duration: units.Microsecond, Dep: trace.NoDep})
+	if err := tr.Validate(); err != nil {
+		t.Fatalf("wide trace invalid: %v", err)
 	}
 	var buf bytes.Buffer
 	if err := trace.Encode(&buf, tr); err != nil {
@@ -98,6 +118,11 @@ func TestServeMalformedSubmissions(t *testing.T) {
 	req := func(fields string) []byte {
 		return []byte(`{"trace":` + jsonString(tr) + `,` + fields + `}`)
 	}
+	// Valid trace format-wise, but wider than the 3060-node fabric.
+	wide := wideTraceJSONL(t, 4000)
+	wideReq := func(fields string) []byte {
+		return []byte(`{"trace":` + jsonString(wide) + `,` + fields + `}`)
+	}
 	cases := []struct {
 		name   string
 		path   string
@@ -116,6 +141,14 @@ func TestServeMalformedSubmissions(t *testing.T) {
 			req(`"placement":{"kind":"explicit","places":[{"cu":99,"node":0,"core":1},{"cu":0,"node":1,"core":1},{"cu":0,"node":2,"core":1},{"cu":0,"node":3,"core":1}]}`),
 			400, "invalid_request"},
 		{"bad placement core", "/v1/replay", req(`"placement":{"kind":"block","core":7}`), 400, "invalid_request"},
+		{"oversized block", "/v1/replay", wideReq(`"placement":{"kind":"block"}`), 400, "invalid_request"},
+		{"oversized strided", "/v1/replay", wideReq(`"placement":{"kind":"strided"}`), 400, "invalid_request"},
+		{"oversized packed", "/v1/replay", wideReq(`"placement":{"kind":"packed","per_node":1}`), 400, "invalid_request"},
+		{"oversized default placement", "/v1/replay", wideReq(`"skip_compute":true`), 400, "invalid_request"},
+		{"explicit cu overflows int", "/v1/replay",
+			req(`"placement":{"kind":"explicit","places":[{"cu":60000000000000000,"node":0,"core":1},{"cu":0,"node":1,"core":1},{"cu":0,"node":2,"core":1},{"cu":0,"node":3,"core":1}]}`),
+			400, "invalid_request"},
+		{"oversized optimize trace", "/v1/optimize", wideReq(`"seed":1`), 400, "invalid_request"},
 		{"unknown placement kind", "/v1/replay", req(`"placement":{"kind":"diagonal"}`), 400, "invalid_request"},
 		{"NaN compute scale", "/v1/replay", req(`"compute_scale":NaN`), 400, "invalid_json"},
 		{"infinite compute scale", "/v1/replay", req(`"compute_scale":1e999`), 400, "invalid_json"},
@@ -282,6 +315,114 @@ func TestServeCollectiveAndOptimize(t *testing.T) {
 	}
 	if st.Done < 2 {
 		t.Errorf("stats report %d done jobs, want >= 2", st.Done)
+	}
+}
+
+// TestServeWorkerPanicFailsJob pins the worker's panic containment: a
+// job whose work function panics fails that job with a structured
+// error, and the worker survives to run the next submission.
+func TestServeWorkerPanicFailsJob(t *testing.T) {
+	s := New(Options{Workers: 1})
+	defer s.Close()
+
+	job := newJob("rp-panic", "replay", "k", "", func() ([]byte, error) { panic("engine blew up") })
+	if _, aerr := s.register(job); aerr != nil {
+		t.Fatalf("register: %v", aerr)
+	}
+	s.queue <- job
+	deadline := time.Now().Add(10 * time.Second)
+	for !job.settled() {
+		if time.Now().After(deadline) {
+			t.Fatal("panicking job never settled")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	_, state, errMsg := job.resultBytes()
+	if state != StateFailed || !strings.Contains(errMsg, "panicked") {
+		t.Fatalf("state %q error %q, want failed with a panic message", state, errMsg)
+	}
+
+	// The worker survived: a well-formed replay still completes.
+	tr := ringTraceJSONL(t, 4, 64*units.KB)
+	submitWait(t, s, "/v1/replay", []byte(`{"trace":`+jsonString(tr)+`}`))
+}
+
+// TestServeSubmitDuringClose hammers submit while Close runs: the
+// serve.Server API itself (independent of rrserve's shutdown ordering)
+// must never send on the closed queue — every racing submission either
+// enqueues cleanly or gets a structured shutting_down error.
+func TestServeSubmitDuringClose(t *testing.T) {
+	parse := func() (func() ([]byte, error), *apiError) {
+		return func() ([]byte, error) { return []byte("{}\n"), nil }, nil
+	}
+	for round := 0; round < 25; round++ {
+		s := New(Options{Workers: 1})
+		start := make(chan struct{})
+		var wg sync.WaitGroup
+		for g := 0; g < 4; g++ {
+			wg.Add(1)
+			go func(g int) {
+				defer wg.Done()
+				<-start
+				for j := 0; j < 32; j++ {
+					body := []byte(fmt.Sprintf(`{"round":%d,"g":%d,"j":%d}`, round, g, j))
+					_, _, aerr := s.submit("collective", body, parse)
+					if aerr != nil && aerr.Code != "shutting_down" && aerr.Code != "queue_full" {
+						t.Errorf("submit: unexpected error %s: %s", aerr.Code, aerr.Message)
+					}
+				}
+			}(g)
+		}
+		close(start)
+		s.Close()
+		wg.Wait()
+	}
+}
+
+// TestServeReplayPoolEviction pins the eviction-race fix: with a
+// single-entry pool cache, concurrent replays with distinct pool keys
+// evict each other's evaluator pools constantly; a job whose pool is
+// closed between cache lookup and checkout must retry on a fresh pool
+// instead of failing (and, because jobs are content-addressed, staying
+// failed for every identical resubmission).
+func TestServeReplayPoolEviction(t *testing.T) {
+	s := New(Options{Workers: 4, PoolTraces: 1})
+	defer s.Close()
+	tr := ringTraceJSONL(t, 4, 16*units.KB)
+
+	var ids []string
+	for i := 0; i < 24; i++ {
+		// Distinct compute scales give every job its own pool key.
+		body := []byte(fmt.Sprintf(`{"trace":%s,"compute_scale":%d.5}`, jsonString(tr), i+1))
+		rec := do(t, s, http.MethodPost, "/v1/replay", body)
+		if rec.Code != http.StatusAccepted {
+			t.Fatalf("submit %d: status %d: %s", i, rec.Code, rec.Body.String())
+		}
+		var sub submitResponse
+		if err := json.Unmarshal(rec.Body.Bytes(), &sub); err != nil {
+			t.Fatalf("submit response: %v", err)
+		}
+		ids = append(ids, sub.JobID)
+	}
+	deadline := time.Now().Add(60 * time.Second)
+	for _, id := range ids {
+		for {
+			st := do(t, s, http.MethodGet, "/v1/jobs/"+id, nil)
+			var js jobStatus
+			if err := json.Unmarshal(st.Body.Bytes(), &js); err != nil {
+				t.Fatalf("job status: %v", err)
+			}
+			if js.State == StateDone {
+				break
+			}
+			if js.State == StateFailed {
+				t.Fatalf("job %s failed: %s", id, js.Error)
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("job %s still %s", id, js.State)
+			}
+			time.Sleep(time.Millisecond)
+		}
 	}
 }
 

@@ -1,10 +1,35 @@
 package serve
 
 import (
+	"errors"
 	"sync"
 
 	"roadrunner/internal/trace"
 )
+
+// checkout resolves a warm evaluator for key: look up (or build) the
+// pool, then Get an evaluator from it. The pool cache hands out raw
+// pool pointers without refcounting, so a bounded-cache eviction can
+// Close a pool between the lookup and the Get; that surfaces as
+// trace.ErrPoolClosed and is retried against a freshly built pool
+// rather than failing the job — the request was well-formed, and the
+// race is the server's own. The attempt bound only guards against a
+// pathological eviction storm; one retry suffices in practice.
+func (s *Server) checkout(key string, build func() (*trace.EvaluatorPool, error)) (*trace.Evaluator, *trace.EvaluatorPool, error) {
+	for attempt := 0; ; attempt++ {
+		pool, err := s.pools.get(key, build)
+		if err != nil {
+			return nil, nil, err
+		}
+		ev, err := pool.Get()
+		if err == nil {
+			return ev, pool, nil
+		}
+		if !errors.Is(err, trace.ErrPoolClosed) || attempt >= 8 {
+			return nil, nil, err
+		}
+	}
+}
 
 // poolCache keeps the warm trace.EvaluatorPools, one per
 // (trace digest, replay config) pair, so every replay job for a trace

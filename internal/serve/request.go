@@ -80,6 +80,9 @@ func (p *placementSpec) endpoints(fab *fabric.System, ranks int) ([]transport.En
 		if stride < 1 {
 			return nil, badRequest("placement stride %d below 1", stride)
 		}
+		if ranks > fab.Nodes() {
+			return nil, badRequest("strided placement needs %d nodes, fabric has %d", ranks, fab.Nodes())
+		}
 		return toEndpoints(collectives.StridedPlacement(fab, ranks, stride, core)), nil
 	case "packed":
 		perNode := p.PerNode
@@ -89,6 +92,10 @@ func (p *placementSpec) endpoints(fab *fabric.System, ranks int) ([]transport.En
 		if perNode < 1 || perNode > 4 {
 			return nil, badRequest("placement per_node %d outside 1..4", perNode)
 		}
+		if nodes := (ranks + perNode - 1) / perNode; nodes > fab.Nodes() {
+			return nil, badRequest("packed placement of %d ranks at %d/node needs %d nodes, fabric has %d",
+				ranks, perNode, nodes, fab.Nodes())
+		}
 		return toEndpoints(collectives.PackedPlacement(fab, ranks, perNode)), nil
 	case "explicit":
 		if len(p.Places) != ranks {
@@ -96,17 +103,18 @@ func (p *placementSpec) endpoints(fab *fabric.System, ranks int) ([]transport.En
 		}
 		out := make([]transport.Endpoint, ranks)
 		for i, e := range p.Places {
-			if e.CU < 0 || e.Node < 0 || e.Node >= params.NodesPerCU {
-				return nil, badRequest("rank %d placed at cu %d node %d outside the machine", i, e.CU, e.Node)
-			}
-			id := fabric.NodeID{CU: e.CU, Node: e.Node}
-			if id.GlobalID() >= fab.Nodes() {
-				return nil, badRequest("rank %d placed on %v outside the %d-node fabric", i, id, fab.Nodes())
+			// Bound the CU index directly rather than via GlobalID():
+			// CU*NodesPerCU overflows int for absurd CU values and would
+			// wrap negative past a fab.Nodes() comparison.
+			if e.CU < 0 || e.CU >= fab.Nodes()/params.NodesPerCU ||
+				e.Node < 0 || e.Node >= params.NodesPerCU {
+				return nil, badRequest("rank %d placed at cu %d node %d outside the %d-node fabric",
+					i, e.CU, e.Node, fab.Nodes())
 			}
 			if e.Core < 0 || e.Core > 3 {
 				return nil, badRequest("rank %d on core %d (want 0..3)", i, e.Core)
 			}
-			out[i] = transport.Endpoint{Node: id, Core: e.Core}
+			out[i] = transport.Endpoint{Node: fabric.NodeID{CU: e.CU, Node: e.Node}, Core: e.Core}
 		}
 		return out, nil
 	}
@@ -220,13 +228,9 @@ func (s *Server) parseReplay(body []byte) (func() ([]byte, error), *apiError) {
 	poolKey := fmt.Sprintf("%s|cong=%v,ch=%d|skip=%v|scale=%g|obs=%d",
 		digest, policy.Enabled, policy.Channels, cfg.SkipCompute, cfg.ComputeScale, observe)
 	return func() ([]byte, error) {
-		pool, err := s.pools.get(poolKey, func() (*trace.EvaluatorPool, error) {
+		ev, pool, err := s.checkout(poolKey, func() (*trace.EvaluatorPool, error) {
 			return trace.NewEvaluatorPool(tr, cfg, s.opts.PoolIdle)
 		})
-		if err != nil {
-			return nil, err
-		}
-		ev, err := pool.Get()
 		if err != nil {
 			return nil, err
 		}

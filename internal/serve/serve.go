@@ -172,7 +172,7 @@ func (s *Server) worker() {
 	defer s.wg.Done()
 	for job := range s.queue {
 		job.setRunning()
-		data, err := job.run()
+		data, err := runJob(job)
 		if err != nil {
 			job.fail(err)
 			continue
@@ -184,6 +184,18 @@ func (s *Server) worker() {
 			_ = s.opts.Cache.PutRaw(job.cacheKey, data)
 		}
 	}
+}
+
+// runJob runs one job's work function, converting a panic into that
+// job's failure: workers are shared across requests, so an engine panic
+// on one crafted submission must never take down the process.
+func runJob(job *Job) (data []byte, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("job panicked: %v", r)
+		}
+	}()
+	return job.run()
 }
 
 // jobKey derives a job's content address from the request kind and raw
@@ -220,40 +232,56 @@ func (s *Server) submit(kind string, body []byte, parse func() (func() ([]byte, 
 	s.mu.Unlock()
 
 	// Cache probe and request parsing both happen outside the registry
-	// lock; a concurrent identical submission is resolved below.
+	// lock; a concurrent identical submission is resolved in enqueue.
 	if s.opts.Cache != nil {
 		if data, ok := s.opts.Cache.GetRaw(s.cacheKey(kind, body)); ok {
 			job := newJob(id, kind, key, s.cacheKey(kind, body), nil)
 			job.finish(data, true)
-			reg, aerr := s.register(job)
-			if aerr != nil {
-				return nil, false, aerr
-			}
-			return reg, reg == job, nil
+			return s.enqueue(job)
 		}
 	}
 	run, aerr := parse()
 	if aerr != nil {
 		return nil, false, aerr
 	}
-	job := newJob(id, kind, key, s.cacheKey(kind, body), run)
-	reg, aerr := s.register(job)
-	if aerr != nil {
+	return s.enqueue(newJob(id, kind, key, s.cacheKey(kind, body), run))
+}
+
+// enqueue registers a job and reserves its queue slot in one locked
+// step. Holding the lock across both operations is what makes the
+// submission path safe: the closed flag is re-checked at the send (a
+// submission racing Close can never hit the closed channel, because
+// Close sets the flag under this lock before closing the queue), and a
+// job id is never visible to any client unless the job is actually
+// queued (a full queue rejects the submission before the registry
+// insert, so no client is handed an id that later resolves to 404).
+// Jobs born finished (cache hits) skip the queue. Returns the
+// registered job and whether this call created it.
+func (s *Server) enqueue(job *Job) (*Job, bool, *apiError) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil, false, &apiError{http.StatusServiceUnavailable, "shutting_down", "server is shutting down"}
+	}
+	if existing, ok := s.jobs[job.ID]; ok {
+		// A concurrent identical submission won the race; its job is
+		// already queued (or done) and ours is never enqueued.
+		return existing, false, nil
+	}
+	if aerr := s.makeRoomLocked(); aerr != nil {
 		return nil, false, aerr
 	}
-	if reg != job {
-		// A concurrent identical submission won the race; its job is
-		// already queued (or done) and ours was never enqueued.
-		return reg, false, nil
+	if job.run != nil {
+		select {
+		case s.queue <- job:
+		default:
+			return nil, false, &apiError{http.StatusServiceUnavailable, "queue_full",
+				fmt.Sprintf("job queue is full (%d deep); retry later", s.opts.QueueDepth)}
+		}
 	}
-	select {
-	case s.queue <- job:
-		return job, true, nil
-	default:
-		s.drop(job)
-		return nil, false, &apiError{http.StatusServiceUnavailable, "queue_full",
-			fmt.Sprintf("job queue is full (%d deep); retry later", s.opts.QueueDepth)}
-	}
+	s.jobs[job.ID] = job
+	s.order = append(s.order, job.ID)
+	return job, true, nil
 }
 
 // cacheKey is the persistent artifact address for a request (valid only
@@ -274,39 +302,35 @@ func (s *Server) register(job *Job) (*Job, *apiError) {
 	if existing, ok := s.jobs[job.ID]; ok {
 		return existing, nil
 	}
-	if len(s.jobs) >= s.opts.MaxJobs {
-		kept := s.order[:0]
-		for _, id := range s.order {
-			if len(s.jobs) >= s.opts.MaxJobs && s.jobs[id].settled() {
-				delete(s.jobs, id)
-				continue
-			}
-			kept = append(kept, id)
-		}
-		s.order = append([]string(nil), kept...)
-		if len(s.jobs) >= s.opts.MaxJobs {
-			return nil, &apiError{http.StatusServiceUnavailable, "registry_full",
-				fmt.Sprintf("%d jobs in flight; retry later", len(s.jobs))}
-		}
+	if aerr := s.makeRoomLocked(); aerr != nil {
+		return nil, aerr
 	}
 	s.jobs[job.ID] = job
 	s.order = append(s.order, job.ID)
 	return job, nil
 }
 
-// drop removes a job that was registered but could not be enqueued.
-func (s *Server) drop(job *Job) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.jobs[job.ID] == job {
-		delete(s.jobs, job.ID)
-		for i, id := range s.order {
-			if id == job.ID {
-				s.order = append(s.order[:i], s.order[i+1:]...)
-				break
-			}
-		}
+// makeRoomLocked evicts the oldest finished jobs when the registry is
+// full, answering registry_full when nothing is evictable. Caller holds
+// s.mu.
+func (s *Server) makeRoomLocked() *apiError {
+	if len(s.jobs) < s.opts.MaxJobs {
+		return nil
 	}
+	kept := s.order[:0]
+	for _, id := range s.order {
+		if len(s.jobs) >= s.opts.MaxJobs && s.jobs[id].settled() {
+			delete(s.jobs, id)
+			continue
+		}
+		kept = append(kept, id)
+	}
+	s.order = append([]string(nil), kept...)
+	if len(s.jobs) >= s.opts.MaxJobs {
+		return &apiError{http.StatusServiceUnavailable, "registry_full",
+			fmt.Sprintf("%d jobs in flight; retry later", len(s.jobs))}
+	}
+	return nil
 }
 
 // lookup finds a job by id.

@@ -426,8 +426,11 @@ func validatePlaces(t *Trace, fab *fabric.System, places []transport.Endpoint) e
 		return fmt.Errorf("trace: replay: %d placements for %d ranks", len(places), t.Meta.Ranks)
 	}
 	for r, pl := range places {
-		if pl.Node.CU < 0 || pl.Node.Node < 0 || pl.Node.Node >= params.NodesPerCU ||
-			pl.Node.GlobalID() >= fab.Nodes() {
+		// Bound the CU index directly rather than via GlobalID(), whose
+		// CU*NodesPerCU product overflows int for absurd CU values and
+		// would wrap negative past the fab.Nodes() comparison.
+		if pl.Node.CU < 0 || pl.Node.CU >= fab.Nodes()/params.NodesPerCU ||
+			pl.Node.Node < 0 || pl.Node.Node >= params.NodesPerCU {
 			return fmt.Errorf("trace: replay: rank %d placed on %v outside the %d-node fabric",
 				r, pl.Node, fab.Nodes())
 		}

@@ -1,9 +1,15 @@
 package trace
 
 import (
-	"fmt"
+	"errors"
 	"sync"
 )
+
+// ErrPoolClosed is returned by Get after Close: the pool's evaluators
+// are gone, and a caller holding a stale pool pointer (for example one
+// the serving layer's bounded cache evicted) should look up or build a
+// fresh pool instead.
+var ErrPoolClosed = errors.New("trace: evaluator pool is closed")
 
 // EvaluatorPool is a concurrency-safe checkout/return pool of
 // Evaluators for one (trace, replay config) pair. An Evaluator is
@@ -61,7 +67,7 @@ func (p *EvaluatorPool) Get() (*Evaluator, error) {
 	p.mu.Lock()
 	if p.closed {
 		p.mu.Unlock()
-		return nil, fmt.Errorf("trace: evaluator pool is closed")
+		return nil, ErrPoolClosed
 	}
 	if n := len(p.free); n > 0 {
 		e := p.free[n-1]
