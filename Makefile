@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build lint test bench bench-full bench-artifact trace-smoke serve-smoke docs docs-check suite clean
+.PHONY: all build lint test bench bench-full bench-artifact trace-smoke serve-smoke sched-smoke docs docs-check suite clean
 
 all: lint build test
 
@@ -23,7 +23,7 @@ bench:
 	$(GO) test -bench=. -benchtime=1x -run '^$$' ./...
 
 bench-full:
-	$(GO) test -bench=. -benchmem -run '^$$' ./internal/sim/ ./internal/collectives/ ./internal/scenario/ ./internal/trace/ ./internal/placement/ .
+	$(GO) test -bench=. -benchmem -run '^$$' ./internal/sim/ ./internal/collectives/ ./internal/scenario/ ./internal/trace/ ./internal/placement/ ./internal/facility/ .
 
 # Collective + congested-transport + trace-replay + placement-search +
 # sim hot-path benches as BENCH_<short-sha>.json, the per-commit perf
@@ -33,8 +33,8 @@ bench-full:
 # benches the pooled batch evaluation path side by side with it (the
 # ~5x/7,500x pooling win); PlacementOptimize the optimizer end to end.
 bench-artifact:
-	$(GO) test -json -run '^$$' -bench 'Collective|Saturation|TraceReplay|EvaluatorReplay|PlacementOptimize|EventLoop|ProcParkUnpark|MailboxPingPong' \
-		-benchmem ./internal/collectives ./internal/scenario ./internal/trace ./internal/placement ./internal/sim > BENCH_$$(git rev-parse --short HEAD).json
+	$(GO) test -json -run '^$$' -bench 'Collective|Saturation|TraceReplay|EvaluatorReplay|PlacementOptimize|EventLoop|ProcParkUnpark|MailboxPingPong|Facility' \
+		-benchmem ./internal/collectives ./internal/scenario ./internal/trace ./internal/placement ./internal/sim ./internal/facility > BENCH_$$(git rev-parse --short HEAD).json
 
 # The rrtrace capture→replay→optimize smoke CI runs (mirrored here).
 trace-smoke:
@@ -50,6 +50,13 @@ trace-smoke:
 # byte identity, cache round-trip, and the thousands-deep load harness.
 serve-smoke:
 	$(GO) test -race -count=1 -run 'TestServe' ./internal/serve
+
+# The rrsched facility-simulator smoke CI runs (mirrored here): a
+# model-only mix, the trace-pricing path, and the full sweep.
+sched-smoke:
+	$(GO) run ./cmd/rrsched run -policy fcfs -alloc scattered -jobs 16 -trace=false -jsonl /tmp/rrsched-run.jsonl
+	$(GO) run ./cmd/rrsched run -policy easy -alloc assisted -jobs 24 -gantt
+	$(GO) run ./cmd/rrsched sweep -jsonl /tmp/rrsched-sweep.jsonl
 
 # Regenerate the generated documentation (docs/experiments.md) and
 # check it is current — CI fails when it is stale.

@@ -1,0 +1,99 @@
+package experiments
+
+import (
+	"fmt"
+
+	"roadrunner/internal/scenario"
+)
+
+// The facility-stream experiment runs the machine-level job-stream
+// simulator: the whole 3,060-node machine under the canonical 48-job
+// LINPACK/Sweep3D/trace mix, swept over FCFS and EASY-backfill x the
+// contiguous, scattered and placement-assisted allocators. Its checks
+// assert the operational deltas rather than printing them: backfill
+// cuts mean queue wait under both allocators without delaying any
+// queue head, CU packing keeps external fragmentation below striping
+// under both policies, no run beats the oracle packer bound, and the
+// admission-time placement search never prices a trace job worse than
+// the linear walk of the same grant.
+func init() {
+	register("facility-stream", "Machine-level job-stream scheduling over the facility simulator", "§I / §V operated-facility framing",
+		"Runs the 48-job LINPACK/Sweep3D/trace mix over FCFS and EASY-backfill x contiguous/scattered/assisted allocators and asserts the backfill, fragmentation and placement-assist deltas",
+		runFacilityStream)
+}
+
+func runFacilityStream() *Artifact {
+	a := newArtifact("facility-stream", "Machine-level job-stream scheduling over the facility simulator", "§I / §V operated-facility framing")
+	rep, err := scenario.FacilityStream()
+	if err != nil {
+		a.Checks.True("facility stream runs", false, err.Error())
+		return a
+	}
+
+	t := newTableHelper("Policy x allocator sweep over the canonical mix",
+		"policy", "allocator", "utilization", "mean wait", "p95 wait", "slowdown", "frag", "makespan", "vs oracle", "backfilled")
+	for _, p := range rep.Points {
+		t.AddRow(p.Policy, p.Alloc,
+			fmt.Sprintf("%.1f%%", p.UtilizationFrac*100),
+			p.MeanWait.String(), p.P95Wait.String(),
+			fmt.Sprintf("%.1f", p.MeanSlowdown),
+			fmt.Sprintf("%.3f", p.MeanFragmentation),
+			p.Makespan.String(),
+			fmt.Sprintf("%.3f", p.OracleRatio),
+			p.Backfilled)
+	}
+	t.AddNote("%s: %d jobs on %d nodes; trace jobs replay %s (%d ranks, %v reference iteration) under the granted mapping",
+		rep.Workload, rep.Jobs, rep.MachineNodes, rep.TraceName, rep.TraceRanks, rep.TraceReference)
+	a.Tables = append(a.Tables, t)
+
+	a.Checks.True("all policy x allocator points ran",
+		len(rep.Points) == len(scenario.FacilityPolicyNames)*len(scenario.FacilityAllocNames),
+		fmt.Sprintf("%d points", len(rep.Points)))
+	a.Checks.True("two identical sweeps byte-identical", rep.Deterministic,
+		"capture + workload + 12 runs, twice")
+
+	for _, p := range rep.Points {
+		a.Checks.True(fmt.Sprintf("%s/%s utilization in (0,1]", p.Policy, p.Alloc),
+			p.UtilizationFrac > 0 && p.UtilizationFrac <= 1,
+			fmt.Sprintf("%.3f", p.UtilizationFrac))
+		a.Checks.True(fmt.Sprintf("%s/%s respects the oracle packer bound", p.Policy, p.Alloc),
+			p.OracleRatio >= 1,
+			fmt.Sprintf("makespan %v vs oracle %v", p.Makespan, p.OracleMakespan))
+	}
+
+	point := func(policy, alloc string) scenario.FacilityPoint {
+		p, perr := rep.FacilityPointFor(policy, alloc)
+		if perr != nil {
+			a.Checks.True("sweep point "+policy+"/"+alloc+" present", false, perr.Error())
+		}
+		return p
+	}
+	// The backfill delta, asserted per allocator.
+	for _, alloc := range []string{"contiguous", "scattered"} {
+		fcfs, easy := point("fcfs", alloc), point("easy", alloc)
+		a.Checks.True(fmt.Sprintf("EASY cuts mean wait under %s", alloc),
+			easy.MeanWait < fcfs.MeanWait,
+			fmt.Sprintf("easy %v vs fcfs %v", easy.MeanWait, fcfs.MeanWait))
+		a.Checks.True(fmt.Sprintf("EASY backfills under %s, FCFS never", alloc),
+			easy.Backfilled > 0 && fcfs.Backfilled == 0,
+			fmt.Sprintf("easy %d, fcfs %d", easy.Backfilled, fcfs.Backfilled))
+	}
+	// The fragmentation delta, asserted per policy.
+	for _, policy := range scenario.FacilityPolicyNames {
+		cont, scat := point(policy, "contiguous"), point(policy, "scattered")
+		a.Checks.True(fmt.Sprintf("CU packing keeps fragmentation below striping under %s", policy),
+			cont.MeanFragmentation < scat.MeanFragmentation,
+			fmt.Sprintf("contiguous %.3f vs scattered %.3f", cont.MeanFragmentation, scat.MeanFragmentation))
+		a.Checks.True(fmt.Sprintf("no single-CU job spans CUs under %s/contiguous", policy),
+			cont.MaxCUsSpannedSmall == 1,
+			fmt.Sprintf("max CUs spanned %d", cont.MaxCUsSpannedSmall))
+		// The first trace job's grant is identical across allocators
+		// (everything before it is), so the assisted-vs-linear pricing
+		// comparison is exact.
+		assisted := point(policy, "assisted")
+		a.Checks.True(fmt.Sprintf("assisted mapping never worse than linear under %s", policy),
+			assisted.FirstTraceRuntime <= cont.FirstTraceRuntime,
+			fmt.Sprintf("assisted %v vs linear %v", assisted.FirstTraceRuntime, cont.FirstTraceRuntime))
+	}
+	return a
+}

@@ -18,6 +18,9 @@ func TestRegistryComplete(t *testing.T) {
 		// Trace replay: a real application phase over the congested
 		// transport.
 		"trace-replay",
+		// Machine-level job-stream scheduling over the facility
+		// simulator.
+		"facility-stream",
 	}
 	for _, id := range want {
 		if _, ok := ByID(id); !ok {

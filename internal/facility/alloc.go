@@ -1,0 +1,235 @@
+package facility
+
+import (
+	"fmt"
+	"sort"
+
+	"roadrunner/internal/fabric"
+	"roadrunner/internal/placement"
+	"roadrunner/internal/transport"
+	"roadrunner/internal/units"
+)
+
+// Allocator picks the nodes a job runs on. Alloc either grants exactly
+// n nodes (marking them busy on the map) or declines and leaves the map
+// untouched — a declined job waits in the scheduler's queue. Allocators
+// are stateless between calls; all state lives in the NodeMap, so one
+// allocator value is safely shared across runs.
+type Allocator interface {
+	Name() string
+	Alloc(m *NodeMap, n int) ([]fabric.NodeID, bool)
+}
+
+// Contiguous is the CU-packed allocator. A request that fits inside one
+// Connected Unit is granted only from a single CU — the best-fitting
+// one (smallest sufficient free count, ties to the lowest index) — and
+// waits when fragmentation leaves no CU with room, rather than
+// shredding the job across CUs. Requests wider than a CU take whole
+// CUs emptiest-first, so large jobs consolidate instead of scattering.
+// The payoff is locality (a CU-packed job's traffic stays under one
+// crossbar complex) and low external fragmentation; the cost is
+// fragmentation-induced waiting the scattered allocator never pays.
+type Contiguous struct{}
+
+// Name identifies the allocator in reports.
+func (Contiguous) Name() string { return "contiguous" }
+
+// Alloc grants n nodes CU-packed, or declines.
+func (Contiguous) Alloc(m *NodeMap, n int) ([]fabric.NodeID, bool) {
+	if n <= 0 || n > m.Free() {
+		return nil, false
+	}
+	if n <= m.perCU {
+		best := -1
+		for cu := 0; cu < m.cus; cu++ {
+			f := m.freeCU[cu]
+			if f >= n && (best == -1 || f < m.freeCU[best]) {
+				best = cu
+			}
+		}
+		if best == -1 {
+			return nil, false // fragmented: wait for a CU to open up
+		}
+		return takeInCU(m, best, n), true
+	}
+	// Wider than a CU: drain the freest CUs first (ties to the lowest
+	// index) so the grant spans as few CUs as possible.
+	order := make([]int, m.cus)
+	for cu := range order {
+		order[cu] = cu
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		return m.freeCU[order[a]] > m.freeCU[order[b]]
+	})
+	var grant []fabric.NodeID
+	left := n
+	for _, cu := range order {
+		if left == 0 {
+			break
+		}
+		take := m.freeCU[cu]
+		if take > left {
+			take = left
+		}
+		if take == 0 {
+			continue
+		}
+		grant = append(grant, takeInCU(m, cu, take)...)
+		left -= take
+	}
+	return grant, true
+}
+
+// takeInCU marks the cu's k lowest-indexed free nodes busy and returns
+// them. The caller has checked k <= FreeInCU(cu).
+func takeInCU(m *NodeMap, cu, k int) []fabric.NodeID {
+	out := make([]fabric.NodeID, 0, k)
+	base := cu * m.perCU
+	for i := 0; i < m.perCU && len(out) < k; i++ {
+		if !m.used[base+i] {
+			m.take(base + i)
+			out = append(out, m.nodeID(base+i))
+		}
+	}
+	return out
+}
+
+// Scattered is the striping allocator: a grant walks the CUs round-
+// robin, one free node from each in turn, so every job spreads across
+// the whole machine. It never waits while free capacity exists and it
+// balances load over the CU switches, but it shreds free space — each
+// grant leaves every CU partially occupied, so external fragmentation
+// climbs and no whole CU stays free for a CU-packed competitor.
+type Scattered struct{}
+
+// Name identifies the allocator in reports.
+func (Scattered) Name() string { return "scattered" }
+
+// Alloc stripes n free nodes across the CUs, or declines when fewer are
+// free.
+func (Scattered) Alloc(m *NodeMap, n int) ([]fabric.NodeID, bool) {
+	if n <= 0 || n > m.Free() {
+		return nil, false
+	}
+	out := make([]fabric.NodeID, 0, n)
+	next := make([]int, m.cus) // per-CU scan cursor
+	for len(out) < n {
+		for cu := 0; cu < m.cus && len(out) < n; cu++ {
+			base := cu * m.perCU
+			i := next[cu]
+			for i < m.perCU && m.used[base+i] {
+				i++
+			}
+			next[cu] = i
+			if i == m.perCU {
+				continue // this CU is drained
+			}
+			next[cu] = i + 1
+			m.take(base + i)
+			out = append(out, m.nodeID(base+i))
+		}
+	}
+	return out, true
+}
+
+// Assisted is the placement-optimizer-assisted allocator: node
+// selection is delegated to Under (contiguous when nil), and the
+// rank→node mapping of trace-driven jobs is then searched with
+// internal/placement over exactly the granted nodes — the optimizer's
+// relocation pool is the grant, so the improved mapping can never
+// drift onto nodes the scheduler gave to another job. Fixed-model jobs
+// are unaffected; the assist prices placements with the same pooled
+// replay objective the place-optimize experiment uses.
+type Assisted struct {
+	// Under selects the nodes (nil means Contiguous{}).
+	Under Allocator
+	// Seed drives the per-job search stream; job IDs are mixed in so
+	// every job searches a distinct but reproducible stream.
+	Seed int64
+	// GreedyRounds/GreedyBatch/AnnealRounds/AnnealBatch bound the
+	// per-job search (zero takes small facility defaults: 2/8/2/8 —
+	// a job admission should cost milliseconds, not a full search).
+	GreedyRounds int
+	GreedyBatch  int
+	AnnealRounds int
+	AnnealBatch  int
+}
+
+// Name identifies the allocator in reports.
+func (a *Assisted) Name() string { return "assisted" }
+
+// Alloc grants via the underlying allocator.
+func (a *Assisted) Alloc(m *NodeMap, n int) ([]fabric.NodeID, bool) {
+	return a.under().Alloc(m, n)
+}
+
+func (a *Assisted) under() Allocator {
+	if a.Under == nil {
+		return Contiguous{}
+	}
+	return a.Under
+}
+
+// MapRanks searches rank→node mappings of the trace over the granted
+// nodes and returns the winning placement with its per-iteration
+// makespan. The linear walk of the grant (rank i on grant node i) and
+// its reverse seed the search; the optimizer can only improve on them.
+func (a *Assisted) MapRanks(rt *TraceRuntime, jobID int, nodes []fabric.NodeID) ([]transport.Endpoint, units.Time, error) {
+	linear := linearMapping(nodes)
+	reversed := make([]transport.Endpoint, len(linear))
+	for i := range linear {
+		reversed[i] = linear[len(linear)-1-i]
+	}
+	cfg := placement.Config{
+		Trace:  rt.Trace,
+		Replay: rt.Replay,
+		Starts: []placement.Start{
+			{Name: "linear", Places: linear},
+			{Name: "reversed", Places: reversed},
+		},
+		Seed:    a.Seed + int64(jobID)*1_000_003,
+		Workers: 1, // one job admission, one worker: deterministic and cheap
+		Pool:    nodes,
+
+		GreedyRounds: defaultBudget(a.GreedyRounds, 2),
+		GreedyBatch:  defaultBudget(a.GreedyBatch, 8),
+		AnnealRounds: defaultBudget(a.AnnealRounds, 2),
+		AnnealBatch:  defaultBudget(a.AnnealBatch, 8),
+	}
+	res, err := placement.Optimize(cfg)
+	if err != nil {
+		return nil, 0, fmt.Errorf("facility: assisted mapping for job %d: %w", jobID, err)
+	}
+	return res.Best, res.BestTime, nil
+}
+
+func defaultBudget(v, def int) int {
+	if v <= 0 {
+		return def
+	}
+	return v
+}
+
+// linearMapping places rank i on grant node i, core 0 — the default
+// mapping every allocator without a search uses for trace-driven jobs.
+func linearMapping(nodes []fabric.NodeID) []transport.Endpoint {
+	out := make([]transport.Endpoint, len(nodes))
+	for i, n := range nodes {
+		out[i] = transport.Endpoint{Node: n, Core: 0}
+	}
+	return out
+}
+
+// NewAllocator resolves an allocator by name ("contiguous", "scattered"
+// or "assisted"), the CLI and scenario entry point.
+func NewAllocator(name string, seed int64) (Allocator, error) {
+	switch name {
+	case "contiguous":
+		return Contiguous{}, nil
+	case "scattered":
+		return Scattered{}, nil
+	case "assisted":
+		return &Assisted{Seed: seed}, nil
+	}
+	return nil, fmt.Errorf("facility: unknown allocator %q (want contiguous, scattered or assisted)", name)
+}

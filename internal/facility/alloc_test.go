@@ -1,0 +1,184 @@
+package facility
+
+import (
+	"testing"
+)
+
+// occupancyFromMask sets up a NodeMap whose busy nodes are the mask's
+// set bits (bit g = global node g).
+func occupancyFromMask(cus, perCU int, mask uint) *NodeMap {
+	m := NewNodeMap(cus, perCU)
+	for g := 0; g < cus*perCU; g++ {
+		if mask&(1<<g) != 0 {
+			m.take(g)
+		}
+	}
+	return m
+}
+
+// snapshot captures the map's full state for exact-restore checks.
+func snapshot(m *NodeMap) []bool {
+	out := make([]bool, m.Nodes())
+	for g := range out {
+		out[g] = m.Used(g)
+	}
+	return out
+}
+
+// TestContiguousExhaustive enumerates every occupancy state of small
+// machines and every request size, and checks the contiguous
+// allocator's two invariants directly:
+//
+//   - a single-CU-sized request is granted if and only if some CU can
+//     hold it whole, and the grant never spans CUs — contiguous
+//     allocation never fragments a CU while a fitting CU exists;
+//   - releasing the grant restores the exact prior state — no leaked
+//     nodes, no double frees.
+func TestContiguousExhaustive(t *testing.T) {
+	shapes := []struct{ cus, perCU int }{{1, 4}, {2, 3}, {2, 4}, {3, 3}, {4, 2}}
+	for _, sh := range shapes {
+		nodes := sh.cus * sh.perCU
+		for mask := uint(0); mask < 1<<nodes; mask++ {
+			for n := 1; n <= nodes; n++ {
+				m := occupancyFromMask(sh.cus, sh.perCU, mask)
+				before := snapshot(m)
+				freeBefore := m.Free()
+
+				fitsOneCU := false
+				for cu := 0; cu < sh.cus; cu++ {
+					if m.FreeInCU(cu) >= n {
+						fitsOneCU = true
+						break
+					}
+				}
+
+				grant, ok := Contiguous{}.Alloc(m, n)
+				if n <= sh.perCU {
+					if ok != fitsOneCU {
+						t.Fatalf("%dx%d mask %b n=%d: granted=%v, fitting CU exists=%v",
+							sh.cus, sh.perCU, mask, n, ok, fitsOneCU)
+					}
+					if ok {
+						cu := grant[0].CU
+						for _, g := range grant {
+							if g.CU != cu {
+								t.Fatalf("%dx%d mask %b n=%d: single-CU grant spans CUs: %v",
+									sh.cus, sh.perCU, mask, n, grant)
+							}
+						}
+					}
+				} else if ok != (n <= freeBefore) {
+					t.Fatalf("%dx%d mask %b n=%d: multi-CU granted=%v with %d free",
+						sh.cus, sh.perCU, mask, n, ok, freeBefore)
+				}
+
+				if !ok {
+					// A declined request must leave the map untouched.
+					for g, u := range snapshot(m) {
+						if u != before[g] {
+							t.Fatalf("%dx%d mask %b n=%d: declined alloc mutated node %d",
+								sh.cus, sh.perCU, mask, n, g)
+						}
+					}
+					continue
+				}
+
+				// The grant is exact: n distinct, previously free nodes.
+				if len(grant) != n {
+					t.Fatalf("%dx%d mask %b n=%d: grant size %d", sh.cus, sh.perCU, mask, n, len(grant))
+				}
+				seen := make(map[int]bool, n)
+				for _, g := range grant {
+					gid := g.CU*sh.perCU + g.Node
+					if seen[gid] {
+						t.Fatalf("%dx%d mask %b n=%d: duplicate node %v in grant", sh.cus, sh.perCU, mask, n, g)
+					}
+					seen[gid] = true
+					if before[gid] {
+						t.Fatalf("%dx%d mask %b n=%d: granted busy node %v", sh.cus, sh.perCU, mask, n, g)
+					}
+				}
+				if m.Free() != freeBefore-n {
+					t.Fatalf("%dx%d mask %b n=%d: free count %d after granting %d of %d",
+						sh.cus, sh.perCU, mask, n, m.Free(), n, freeBefore)
+				}
+
+				// Freeing is exact: the precise prior state comes back,
+				// and freeing again fails.
+				if err := m.Release(grant); err != nil {
+					t.Fatalf("%dx%d mask %b n=%d: release: %v", sh.cus, sh.perCU, mask, n, err)
+				}
+				for g, u := range snapshot(m) {
+					if u != before[g] {
+						t.Fatalf("%dx%d mask %b n=%d: release did not restore node %d",
+							sh.cus, sh.perCU, mask, n, g)
+					}
+				}
+				if m.Free() != freeBefore {
+					t.Fatalf("%dx%d mask %b n=%d: free count %d after release, want %d",
+						sh.cus, sh.perCU, mask, n, m.Free(), freeBefore)
+				}
+				if err := m.Release(grant); err == nil {
+					t.Fatalf("%dx%d mask %b n=%d: double free undetected", sh.cus, sh.perCU, mask, n)
+				}
+			}
+		}
+	}
+}
+
+// scatteredOrder emulates the striping walk: CUs round-robin, each
+// yielding its lowest free node in turn.
+func scatteredOrder(cus, perCU int, mask uint, n int) []int {
+	next := make([]int, cus)
+	var out []int
+	for len(out) < n {
+		for cu := 0; cu < cus && len(out) < n; cu++ {
+			i := next[cu]
+			for i < perCU && mask&(1<<(cu*perCU+i)) != 0 {
+				i++
+			}
+			next[cu] = i
+			if i == perCU {
+				continue
+			}
+			next[cu] = i + 1
+			mask |= 1 << (cu*perCU + i)
+			out = append(out, cu*perCU+i)
+		}
+	}
+	return out
+}
+
+// TestScatteredExhaustive pins the scattered allocator on the same state
+// space: it grants exactly when enough nodes are free anywhere, stripes
+// the grant across the CUs round-robin, and frees exactly.
+func TestScatteredExhaustive(t *testing.T) {
+	const cus, perCU = 2, 4
+	nodes := cus * perCU
+	for mask := uint(0); mask < 1<<nodes; mask++ {
+		for n := 1; n <= nodes; n++ {
+			m := occupancyFromMask(cus, perCU, mask)
+			freeBefore := m.Free()
+			grant, ok := Scattered{}.Alloc(m, n)
+			if ok != (n <= freeBefore) {
+				t.Fatalf("mask %b n=%d: granted=%v with %d free", mask, n, ok, freeBefore)
+			}
+			if !ok {
+				continue
+			}
+			want := scatteredOrder(cus, perCU, mask, n)
+			for i, g := range grant {
+				if gid := g.CU*perCU + g.Node; gid != want[i] {
+					t.Fatalf("mask %b n=%d: grant[%d] = node %d, want stripe order %v",
+						mask, n, i, gid, want)
+				}
+			}
+			if err := m.Release(grant); err != nil {
+				t.Fatalf("mask %b n=%d: release: %v", mask, n, err)
+			}
+			if m.Free() != freeBefore {
+				t.Fatalf("mask %b n=%d: free %d after release, want %d", mask, n, m.Free(), freeBefore)
+			}
+		}
+	}
+}

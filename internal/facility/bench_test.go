@@ -1,0 +1,88 @@
+package facility
+
+import (
+	"testing"
+
+	"roadrunner/internal/params"
+	"roadrunner/internal/units"
+)
+
+// BenchmarkFacilityAllocContiguous measures one full-machine CU-packed
+// grant/release cycle on a half-loaded map.
+func BenchmarkFacilityAllocContiguous(b *testing.B) {
+	m := NewNodeMap(FullMachineCUs, params.NodesPerCU)
+	for g := 0; g < m.Nodes(); g += 2 {
+		m.take(g)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		grant, ok := Contiguous{}.Alloc(m, 64)
+		if !ok {
+			b.Fatal("alloc declined")
+		}
+		if err := m.Release(grant); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFacilityAllocScattered measures the first-fit equivalent.
+func BenchmarkFacilityAllocScattered(b *testing.B) {
+	m := NewNodeMap(FullMachineCUs, params.NodesPerCU)
+	for g := 0; g < m.Nodes(); g += 2 {
+		m.take(g)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		grant, ok := Scattered{}.Alloc(m, 64)
+		if !ok {
+			b.Fatal("alloc declined")
+		}
+		if err := m.Release(grant); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// benchJobs is a 200-job model-only stream on the full machine.
+func benchJobs(b *testing.B) []Job {
+	w := Workload{
+		Name: "bench", Seed: 1, Jobs: 200,
+		MeanInterarrival: 120 * units.Second,
+		Classes: []ClassSpec{
+			{Class: ClassSweep3D, Weight: 3, Nodes: []int{64, 128, 256, 512}, MinIters: 100, MaxIters: 400},
+			{Class: ClassLinpack, Weight: 1, Nodes: []int{256, 1020, 1530}},
+		},
+	}
+	jobs, err := w.Generate(nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return jobs
+}
+
+// BenchmarkFacilityRunFCFS measures a whole 200-job facility run on the
+// full 3,060-node machine under FCFS + contiguous.
+func BenchmarkFacilityRunFCFS(b *testing.B) {
+	jobs := benchJobs(b)
+	cfg := Config{Policy: FCFS{}, Alloc: Contiguous{}}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Run(cfg, jobs); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFacilityRunEASY measures the same stream under EASY-backfill,
+// whose reservation scan is the scheduler's hot step.
+func BenchmarkFacilityRunEASY(b *testing.B) {
+	jobs := benchJobs(b)
+	cfg := Config{Policy: EASY{}, Alloc: Scattered{}}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Run(cfg, jobs); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

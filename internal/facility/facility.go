@@ -1,0 +1,148 @@
+// Package facility scales the simulator up one level: from one job on
+// an empty fabric to the whole machine under a stream of jobs — the
+// operated-facility framing of the paper (17 Connected Units sharing a
+// job mix of LINPACK, Sweep3D and hybrid workloads over time), in the
+// spirit of facility digital twins such as ExaDigiT/RAPS.
+//
+// The package composes four layers:
+//
+//   - a workload model (workload.go): a deterministic seeded arrival
+//     process over a declarative job-mix spec, with each job's runtime
+//     drawn from the repository's calibrated application models
+//     (Sweep3D's at-scale wavefront model, the hybrid HPL model) or
+//     from a trace.Evaluator replay of a captured schedule under the
+//     node allocation the job was actually granted;
+//   - a node-allocation layer (alloc.go): pluggable allocators over a
+//     per-CU occupancy map — contiguous CU-packed, scattered
+//     first-fit, and a placement-optimizer-assisted allocator that
+//     runs internal/placement over the granted nodes;
+//   - a batch scheduler (sched.go): a discrete-event loop over job
+//     arrivals and completions with pluggable policies (FCFS and
+//     EASY-backfill);
+//   - accounting over time: utilization, queue wait, bounded slowdown,
+//     external fragmentation integrated over the run, and the makespan
+//     against an oracle packer lower bound.
+//
+// Everything is a pure, deterministic function of (workload spec,
+// policy, allocator, machine size): no wall clock, no unseeded
+// randomness, no map iteration in any result path. The facility-stream
+// experiment runs inside the orchestrator's serial-vs-parallel
+// byte-identity contract like every other experiment.
+package facility
+
+import (
+	"fmt"
+
+	"roadrunner/internal/fabric"
+	"roadrunner/internal/params"
+)
+
+// NodeMap tracks which compute nodes are busy, CU by CU. It is the
+// state every allocator operates on: a global free/used bit per node
+// plus per-CU free counts, so single-CU fit questions are O(CUs) and
+// fragmentation is O(CUs) to measure.
+type NodeMap struct {
+	cus    int
+	perCU  int
+	used   []bool // indexed by global node id
+	free   int
+	freeCU []int
+}
+
+// NewNodeMap returns an all-free occupancy map for cus Connected Units
+// of perCU nodes each.
+func NewNodeMap(cus, perCU int) *NodeMap {
+	if cus < 1 || perCU < 1 {
+		panic(fmt.Sprintf("facility: %d CUs x %d nodes", cus, perCU))
+	}
+	m := &NodeMap{
+		cus:    cus,
+		perCU:  perCU,
+		used:   make([]bool, cus*perCU),
+		free:   cus * perCU,
+		freeCU: make([]int, cus),
+	}
+	for cu := range m.freeCU {
+		m.freeCU[cu] = perCU
+	}
+	return m
+}
+
+// Nodes returns the machine size.
+func (m *NodeMap) Nodes() int { return m.cus * m.perCU }
+
+// CUs returns the Connected Unit count.
+func (m *NodeMap) CUs() int { return m.cus }
+
+// PerCU returns the nodes per Connected Unit.
+func (m *NodeMap) PerCU() int { return m.perCU }
+
+// Free returns the machine-wide free node count.
+func (m *NodeMap) Free() int { return m.free }
+
+// FreeInCU returns one CU's free node count.
+func (m *NodeMap) FreeInCU(cu int) int { return m.freeCU[cu] }
+
+// Used reports whether a global node index is allocated.
+func (m *NodeMap) Used(g int) bool { return m.used[g] }
+
+// take marks one node busy. It is the only mutation allocators use, so
+// the free counters can never drift from the bitmap.
+func (m *NodeMap) take(g int) {
+	if m.used[g] {
+		panic(fmt.Sprintf("facility: double allocation of node %d", g))
+	}
+	m.used[g] = true
+	m.free--
+	m.freeCU[g/m.perCU]--
+}
+
+// Release frees an exact grant. Freeing a node that is not allocated —
+// a double free, or a free of nodes never granted — is an accounting
+// corruption and returns an error rather than silently leaking.
+func (m *NodeMap) Release(nodes []fabric.NodeID) error {
+	for _, n := range nodes {
+		g := n.CU*m.perCU + n.Node
+		if g < 0 || g >= len(m.used) || n.Node < 0 || n.Node >= m.perCU {
+			return fmt.Errorf("facility: releasing %v outside the %d-node machine", n, m.Nodes())
+		}
+		if !m.used[g] {
+			return fmt.Errorf("facility: double free of node %v", n)
+		}
+		m.used[g] = false
+		m.free++
+		m.freeCU[n.CU]++
+	}
+	return nil
+}
+
+// Fragmentation returns the external-fragmentation metric of the
+// current occupancy: 1 - (largest single-CU free block / total free
+// nodes). Zero means all free capacity is usable by the largest
+// single-CU request that fits anywhere (one CU holds it all, or the
+// machine is full); values toward 1 mean the free nodes are shredded
+// across CUs where no CU-packed job can use them.
+func (m *NodeMap) Fragmentation() float64 {
+	if m.free == 0 {
+		return 0
+	}
+	maxCU := 0
+	for _, f := range m.freeCU {
+		if f > maxCU {
+			maxCU = f
+		}
+	}
+	return 1 - float64(maxCU)/float64(m.free)
+}
+
+// nodeID converts a global index to the fabric's node identifier,
+// honouring the map's own CU width (scaled machines have the standard
+// 180-node CUs, so this matches fabric.FromGlobal whenever perCU is
+// params.NodesPerCU).
+func (m *NodeMap) nodeID(g int) fabric.NodeID {
+	return fabric.NodeID{CU: g / m.perCU, Node: g % m.perCU}
+}
+
+// FullMachineCUs is the as-built Connected Unit count, the default
+// machine the facility simulator drives.
+const FullMachineCUs = params.NumCUs

@@ -1,0 +1,137 @@
+package facility
+
+import (
+	"fmt"
+	"strings"
+
+	"roadrunner/internal/units"
+)
+
+// Gantt renders the run as a fixed-width text chart, one row per job:
+// dots for queue wait, hashes for execution, over a [0, makespan] axis.
+func Gantt(res *Result, width int) string {
+	if width < 20 {
+		width = 20
+	}
+	if res.Makespan <= 0 || len(res.Jobs) == 0 {
+		return "(empty run)\n"
+	}
+	col := func(t units.Time) int {
+		c := int(float64(t) / float64(res.Makespan) * float64(width))
+		if c > width {
+			c = width
+		}
+		return c
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-4s %-8s %6s  %-*s  %s\n", "job", "class", "nodes", width, "timeline", "wait/run")
+	for _, j := range res.Jobs {
+		row := make([]byte, width)
+		for i := range row {
+			row[i] = ' '
+		}
+		a, s, f := col(j.Arrival), col(j.Start), col(j.Finish)
+		for i := a; i < s && i < width; i++ {
+			row[i] = '.'
+		}
+		for i := s; i < f && i < width; i++ {
+			row[i] = '#'
+		}
+		if s < width && s >= 0 && row[s] == ' ' {
+			row[s] = '#' // sub-column jobs still show up
+		}
+		mark := ""
+		if j.Backfilled {
+			mark = " <backfill"
+		}
+		fmt.Fprintf(&b, "%-4d %-8s %6d  [%s]  %v/%v%s\n",
+			j.ID, j.Class, j.Nodes, row, j.Wait, j.Runtime, mark)
+	}
+	return b.String()
+}
+
+// occupancyLevels maps a bucket's mean occupancy fraction to a glyph.
+const occupancyLevels = " .:-=+*#%@"
+
+// Occupancy renders the node-occupancy timeline as a one-line density
+// strip plus the fragmentation strip underneath, bucketed to width.
+func Occupancy(res *Result, width int) string {
+	if width < 20 {
+		width = 20
+	}
+	if res.Makespan <= 0 || len(res.Timeline) == 0 {
+		return "(empty run)\n"
+	}
+	nodes := float64(res.CUs * res.PerCU)
+	occ := make([]float64, width)
+	frag := make([]float64, width)
+	wsum := make([]float64, width)
+	// Integrate each piecewise-constant segment into its buckets.
+	for i, s := range res.Timeline {
+		t0 := s.Time
+		t1 := res.Makespan
+		if i+1 < len(res.Timeline) {
+			t1 = res.Timeline[i+1].Time
+		}
+		if t1 <= t0 {
+			continue
+		}
+		b0 := int(float64(t0) / float64(res.Makespan) * float64(width))
+		b1 := int(float64(t1) / float64(res.Makespan) * float64(width))
+		for b := b0; b <= b1 && b < width; b++ {
+			lo, hi := t0, t1
+			if bs := units.Time(float64(res.Makespan) * float64(b) / float64(width)); bs > lo {
+				lo = bs
+			}
+			if be := units.Time(float64(res.Makespan) * float64(b+1) / float64(width)); be < hi {
+				hi = be
+			}
+			if hi <= lo {
+				continue
+			}
+			w := float64(hi - lo)
+			occ[b] += float64(s.Used) / nodes * w
+			frag[b] += s.Frag * w
+			wsum[b] += w
+		}
+	}
+	glyph := func(v float64) byte {
+		i := int(v * float64(len(occupancyLevels)))
+		if i >= len(occupancyLevels) {
+			i = len(occupancyLevels) - 1
+		}
+		if i < 0 {
+			i = 0
+		}
+		return occupancyLevels[i]
+	}
+	occRow := make([]byte, width)
+	fragRow := make([]byte, width)
+	for b := 0; b < width; b++ {
+		o, f := 0.0, 0.0
+		if wsum[b] > 0 {
+			o, f = occ[b]/wsum[b], frag[b]/wsum[b]
+		}
+		occRow[b] = glyph(o)
+		fragRow[b] = glyph(f)
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "occupancy [%s] 0..%v\n", occRow, res.Makespan)
+	fmt.Fprintf(&b, "frag      [%s] (scale %q)\n", fragRow, occupancyLevels)
+	return b.String()
+}
+
+// Summary renders the run's headline metrics.
+func Summary(res *Result) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "policy=%s alloc=%s machine=%dx%d (%d nodes) jobs=%d\n",
+		res.Policy, res.Alloc, res.CUs, res.PerCU, res.CUs*res.PerCU, len(res.Jobs))
+	fmt.Fprintf(&b, "makespan        %v (oracle %v, ratio %.3f)\n",
+		res.Makespan, res.OracleMakespan, res.OracleRatio)
+	fmt.Fprintf(&b, "utilization     %.1f%%\n", res.Utilization*100)
+	fmt.Fprintf(&b, "queue wait      mean %v, p95 %v\n", res.MeanWait, res.P95Wait)
+	fmt.Fprintf(&b, "bounded slowdown %.2f (tau %v)\n", res.MeanSlowdown, units.Time(BoundedSlowdownTau))
+	fmt.Fprintf(&b, "fragmentation   %.3f mean over makespan\n", res.MeanFragmentation)
+	fmt.Fprintf(&b, "backfilled      %d jobs\n", res.Backfilled)
+	return b.String()
+}

@@ -95,6 +95,13 @@ type Config struct {
 	// mapping the search visits is physically placeable — provided the
 	// start mappings are.
 	PoolNodes int
+	// Pool, when non-empty, replaces the PoolNodes prefix as the
+	// relocation candidate set: a relocated rank lands only on one of
+	// these nodes. The facility simulator's placement-assisted
+	// allocator uses this to keep the search inside the node set a job
+	// was actually granted — a mapping must never drift onto nodes the
+	// batch scheduler gave to someone else.
+	Pool []fabric.NodeID
 }
 
 // BaselinePoint is one start mapping's objective value.
@@ -197,6 +204,12 @@ func Optimize(cfg Config) (*Result, error) {
 				s.Name, len(s.Places), ranks)
 		}
 	}
+	for _, n := range cfg.Pool {
+		if g := n.GlobalID(); g < 0 || g >= cfg.Replay.Fabric.Nodes() {
+			return nil, fmt.Errorf("placement: pool node %v outside the %d-node fabric",
+				n, cfg.Replay.Fabric.Nodes())
+		}
+	}
 	c := cfg.defaults(ranks, cfg.Replay.Fabric.Nodes())
 
 	// The search loop reads only the makespan.
@@ -293,7 +306,7 @@ func Optimize(cfg Config) (*Result, error) {
 			if rng.Intn(2) == 0 {
 				swapMove(rng, m)
 			} else {
-				relocateMove(rng, m, c.PoolNodes)
+				relocateMove(rng, m, c.PoolNodes, c.Pool)
 			}
 			cands[i] = m
 		}
@@ -340,15 +353,22 @@ func swapMove(rng *rand.Rand, m []transport.Endpoint) {
 	m[i], m[j] = m[j], m[i]
 }
 
-// relocateMove sends one rank to a random node of the relocation pool,
-// keeping its core when free and taking the node's first free core
-// otherwise. Nodes already hosting four other ranks are infeasible (a
-// node has four Opteron cores); after a few infeasible draws the move
-// degenerates to a no-op, which just re-proposes the incumbent.
-func relocateMove(rng *rand.Rand, m []transport.Endpoint, poolNodes int) {
+// relocateMove sends one rank to a random node of the relocation pool —
+// an explicit node set when given, the global index prefix [0,
+// poolNodes) otherwise — keeping its core when free and taking the
+// node's first free core otherwise. Nodes already hosting four other
+// ranks are infeasible (a node has four Opteron cores); after a few
+// infeasible draws the move degenerates to a no-op, which just
+// re-proposes the incumbent.
+func relocateMove(rng *rand.Rand, m []transport.Endpoint, poolNodes int, pool []fabric.NodeID) {
 	i := rng.Intn(len(m))
 	for try := 0; try < 8; try++ {
-		node := fabric.FromGlobal(rng.Intn(poolNodes))
+		var node fabric.NodeID
+		if len(pool) > 0 {
+			node = pool[rng.Intn(len(pool))]
+		} else {
+			node = fabric.FromGlobal(rng.Intn(poolNodes))
+		}
 		var used [4]bool
 		occupants := 0
 		for j := range m {

@@ -1,0 +1,266 @@
+package scenario
+
+import (
+	"fmt"
+	"reflect"
+
+	"roadrunner/internal/cml"
+	"roadrunner/internal/fabric"
+	"roadrunner/internal/facility"
+	"roadrunner/internal/ib"
+	"roadrunner/internal/params"
+	"roadrunner/internal/sweep3d"
+	"roadrunner/internal/trace"
+	"roadrunner/internal/transport"
+	"roadrunner/internal/units"
+)
+
+// The facility-stream scenario scales the simulator from one job on an
+// empty fabric to the operated machine the paper reports: all 17 CUs
+// under a deterministic stream of LINPACK, Sweep3D and trace-replay
+// jobs, scheduled by FCFS and EASY-backfill over the contiguous,
+// scattered and placement-assisted allocators. The sweep quantifies the
+// operational trade-offs the single-job layers cannot see — backfill
+// against queue wait, CU packing against external fragmentation, and
+// the placement optimizer run at admission time against the mapping a
+// plain allocator would hand a trace job.
+
+// FacilitySeed fixes the workload's arrival stream and the assisted
+// allocator's search streams.
+const FacilitySeed = 2008
+
+// FacilityTracePx and FacilityTracePy size the captured schedule behind
+// the mix's trace-replay jobs: a 4x4 rank grid, small enough that
+// pricing a job admission costs milliseconds.
+const (
+	FacilityTracePx = 4
+	FacilityTracePy = 4
+)
+
+// FacilityTraceGrid is the captured per-rank problem for the facility's
+// trace jobs (a short-K variant of the trace-replay grid).
+var FacilityTraceGrid = sweep3d.Config{I: 5, J: 5, K: 20, MK: 10, Angles: 6}
+
+// FacilityPolicyNames and FacilityAllocNames fix the sweep's axes, in
+// sweep order.
+var (
+	FacilityPolicyNames = []string{"fcfs", "easy"}
+	FacilityAllocNames  = []string{"contiguous", "scattered", "assisted"}
+)
+
+// FacilityWorkload returns the canonical mix: 48 jobs, LINPACK
+// partitions from a sixth of the machine to half of it, weak-scaling
+// Sweep3D runs, and 16-rank trace-replay jobs, arriving every ~90
+// seconds on average.
+func FacilityWorkload() facility.Workload {
+	return facility.Workload{
+		Name: "roadrunner-mix", Seed: FacilitySeed, Jobs: 48,
+		MeanInterarrival: 90 * units.Second,
+		Classes: []facility.ClassSpec{
+			{Class: facility.ClassLinpack, Weight: 1, Nodes: []int{256, 512, 1020, 1530}},
+			{Class: facility.ClassSweep3D, Weight: 2, Nodes: []int{64, 128, 256, 512},
+				MinIters: 200, MaxIters: 800},
+			{Class: facility.ClassTrace, Weight: 1, MinIters: 500, MaxIters: 2000},
+		},
+	}
+}
+
+// FacilityPoint is one (policy, allocator) run's headline accounting.
+type FacilityPoint struct {
+	Policy string
+	Alloc  string
+
+	Utilization       units.Time // delivered node-time per machine node (makespan * utilization)
+	UtilizationFrac   float64
+	MeanWait          units.Time
+	P95Wait           units.Time
+	MeanSlowdown      float64
+	MeanFragmentation float64
+	Makespan          units.Time
+	OracleMakespan    units.Time
+	OracleRatio       float64
+	Backfilled        int
+	// MaxCUsSpannedSmall is the worst CU spread of any job that fits in
+	// one CU — 1 under contiguous packing by construction.
+	MaxCUsSpannedSmall int
+	// TraceRuntimeTotal sums the actual runtimes of the trace-replay
+	// jobs; FirstTraceRuntime is the earliest trace job's alone (the
+	// one job whose grant is identical across allocators, so the
+	// assisted-vs-linear comparison is exact).
+	TraceRuntimeTotal units.Time
+	FirstTraceRuntime units.Time
+}
+
+// FacilityStreamReport is the whole sweep.
+type FacilityStreamReport struct {
+	Workload     string
+	Jobs         int
+	MachineNodes int
+	TraceName    string
+	TraceRanks   int
+	// TraceReference is the per-iteration makespan under the reference
+	// mapping (the trace jobs' estimate basis).
+	TraceReference units.Time
+	Points         []FacilityPoint
+	// Deterministic reports that a second full sweep (fresh capture,
+	// fresh evaluator, fresh runs) was byte-identical.
+	Deterministic bool
+}
+
+// CaptureFacilityTrace captures the schedule behind the mix's trace
+// jobs.
+func CaptureFacilityTrace() (*trace.Trace, error) {
+	_, tr, err := sweep3d.CaptureDES(FacilityTraceGrid, FacilityTracePx, FacilityTracePy, cml.CurrentSoftware())
+	if err != nil {
+		return nil, fmt.Errorf("scenario facility-stream: capture: %w", err)
+	}
+	return tr, nil
+}
+
+// FacilityRun simulates one (policy, allocator) combination over the
+// given workload on the full machine — the facade's and rrsched's entry
+// point. The canonical Sweep3D trace is captured only when the mix
+// includes trace-replay jobs.
+func FacilityRun(policy, alloc string, w facility.Workload) (*facility.Result, error) {
+	pol, err := facility.NewPolicy(policy)
+	if err != nil {
+		return nil, err
+	}
+	al, err := facility.NewAllocator(alloc, w.Seed)
+	if err != nil {
+		return nil, err
+	}
+	var rt *facility.TraceRuntime
+	for _, c := range w.Classes {
+		if c.Class != facility.ClassTrace || c.Weight <= 0 {
+			continue
+		}
+		tr, err := CaptureFacilityTrace()
+		if err != nil {
+			return nil, err
+		}
+		rt, err = facility.NewTraceRuntime(tr, trace.ReplayConfig{
+			Fabric:  fabric.New(),
+			Profile: ib.OpenMPI(),
+			Policy:  transport.Congested(),
+		})
+		if err != nil {
+			return nil, fmt.Errorf("scenario facility-run: trace runtime: %w", err)
+		}
+		defer rt.Close()
+		break
+	}
+	jobs, err := w.Generate(rt)
+	if err != nil {
+		return nil, fmt.Errorf("scenario facility-run: %w", err)
+	}
+	return facility.Run(facility.Config{Policy: pol, Alloc: al, Trace: rt}, jobs)
+}
+
+// FacilityStream runs the policy x allocator sweep twice and reports
+// the first pass plus whether the second reproduced it byte-identically.
+func FacilityStream() (*FacilityStreamReport, error) {
+	rep, err := facilityStreamOnce()
+	if err != nil {
+		return nil, err
+	}
+	again, err := facilityStreamOnce()
+	if err != nil {
+		return nil, err
+	}
+	rep.Deterministic = reflect.DeepEqual(rep.Points, again.Points)
+	return rep, nil
+}
+
+// facilityStreamOnce captures the trace, generates the mix and runs
+// every (policy, allocator) combination.
+func facilityStreamOnce() (*FacilityStreamReport, error) {
+	tr, err := CaptureFacilityTrace()
+	if err != nil {
+		return nil, err
+	}
+	rt, err := facility.NewTraceRuntime(tr, trace.ReplayConfig{
+		Fabric:  fabric.New(),
+		Profile: ib.OpenMPI(),
+		Policy:  transport.Congested(),
+	})
+	if err != nil {
+		return nil, fmt.Errorf("scenario facility-stream: trace runtime: %w", err)
+	}
+	defer rt.Close()
+
+	w := FacilityWorkload()
+	jobs, err := w.Generate(rt)
+	if err != nil {
+		return nil, fmt.Errorf("scenario facility-stream: %w", err)
+	}
+	rep := &FacilityStreamReport{
+		Workload:       w.Name,
+		Jobs:           len(jobs),
+		MachineNodes:   facility.FullMachineCUs * params.NodesPerCU,
+		TraceName:      tr.Meta.Name,
+		TraceRanks:     rt.Ranks(),
+		TraceReference: rt.Reference(),
+	}
+	for _, pname := range FacilityPolicyNames {
+		pol, err := facility.NewPolicy(pname)
+		if err != nil {
+			return nil, err
+		}
+		for _, aname := range FacilityAllocNames {
+			al, err := facility.NewAllocator(aname, FacilitySeed)
+			if err != nil {
+				return nil, err
+			}
+			res, err := facility.Run(facility.Config{Policy: pol, Alloc: al, Trace: rt}, jobs)
+			if err != nil {
+				return nil, fmt.Errorf("scenario facility-stream: %s/%s: %w", pname, aname, err)
+			}
+			rep.Points = append(rep.Points, summarizeFacility(res))
+		}
+	}
+	return rep, nil
+}
+
+// summarizeFacility flattens one run into its sweep point.
+func summarizeFacility(res *facility.Result) FacilityPoint {
+	p := FacilityPoint{
+		Policy:            res.Policy,
+		Alloc:             res.Alloc,
+		UtilizationFrac:   res.Utilization,
+		Utilization:       units.Time(float64(res.Makespan) * res.Utilization),
+		MeanWait:          res.MeanWait,
+		P95Wait:           res.P95Wait,
+		MeanSlowdown:      res.MeanSlowdown,
+		MeanFragmentation: res.MeanFragmentation,
+		Makespan:          res.Makespan,
+		OracleMakespan:    res.OracleMakespan,
+		OracleRatio:       res.OracleRatio,
+		Backfilled:        res.Backfilled,
+	}
+	firstID := -1
+	for _, j := range res.Jobs {
+		if j.Nodes <= res.PerCU && j.CUsSpanned > p.MaxCUsSpannedSmall {
+			p.MaxCUsSpannedSmall = j.CUsSpanned
+		}
+		if j.Class == facility.ClassTrace.String() {
+			p.TraceRuntimeTotal += j.Runtime
+			if firstID == -1 || j.ID < firstID {
+				firstID = j.ID
+				p.FirstTraceRuntime = j.Runtime
+			}
+		}
+	}
+	return p
+}
+
+// FacilityPointFor returns the sweep point of one (policy, allocator)
+// combination.
+func (r *FacilityStreamReport) FacilityPointFor(policy, alloc string) (FacilityPoint, error) {
+	for _, p := range r.Points {
+		if p.Policy == policy && p.Alloc == alloc {
+			return p, nil
+		}
+	}
+	return FacilityPoint{}, fmt.Errorf("scenario facility-stream: no point for %s/%s", policy, alloc)
+}

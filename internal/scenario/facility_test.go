@@ -1,0 +1,78 @@
+package scenario
+
+import (
+	"testing"
+)
+
+// TestFacilityStream runs the full sweep once and pins the operational
+// laws the experiment asserts: backfill cuts queue wait without losing
+// the makespan race, CU packing keeps fragmentation below scattering,
+// and the assisted allocator never prices a trace job worse than the
+// linear walk of the same grant.
+func TestFacilityStream(t *testing.T) {
+	if testing.Short() {
+		t.Skip("captures a Sweep3D trace and runs 12 facility simulations")
+	}
+	rep, err := FacilityStream()
+	if err != nil {
+		t.Fatalf("facility stream: %v", err)
+	}
+	if !rep.Deterministic {
+		t.Error("second sweep not byte-identical")
+	}
+	if len(rep.Points) != len(FacilityPolicyNames)*len(FacilityAllocNames) {
+		t.Fatalf("%d points, want %d", len(rep.Points), len(FacilityPolicyNames)*len(FacilityAllocNames))
+	}
+	for _, p := range rep.Points {
+		if p.UtilizationFrac <= 0 || p.UtilizationFrac > 1 {
+			t.Errorf("%s/%s: utilization %v", p.Policy, p.Alloc, p.UtilizationFrac)
+		}
+		if p.OracleRatio < 1 {
+			t.Errorf("%s/%s: makespan %v beats the oracle %v", p.Policy, p.Alloc, p.Makespan, p.OracleMakespan)
+		}
+	}
+	for _, alloc := range []string{"contiguous", "scattered"} {
+		fcfs, err := rep.FacilityPointFor("fcfs", alloc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		easy, err := rep.FacilityPointFor("easy", alloc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if easy.MeanWait >= fcfs.MeanWait {
+			t.Errorf("%s: easy mean wait %v not below fcfs %v", alloc, easy.MeanWait, fcfs.MeanWait)
+		}
+		if easy.Backfilled == 0 {
+			t.Errorf("%s: easy backfilled nothing", alloc)
+		}
+		if fcfs.Backfilled != 0 {
+			t.Errorf("%s: fcfs backfilled %d jobs", alloc, fcfs.Backfilled)
+		}
+	}
+	for _, policy := range FacilityPolicyNames {
+		cont, err := rep.FacilityPointFor(policy, "contiguous")
+		if err != nil {
+			t.Fatal(err)
+		}
+		scat, err := rep.FacilityPointFor(policy, "scattered")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cont.MeanFragmentation >= scat.MeanFragmentation {
+			t.Errorf("%s: contiguous fragmentation %v not below scattered %v",
+				policy, cont.MeanFragmentation, scat.MeanFragmentation)
+		}
+		if cont.MaxCUsSpannedSmall != 1 {
+			t.Errorf("%s: contiguous single-CU job spans %d CUs", policy, cont.MaxCUsSpannedSmall)
+		}
+		assisted, err := rep.FacilityPointFor(policy, "assisted")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if assisted.FirstTraceRuntime > cont.FirstTraceRuntime {
+			t.Errorf("%s: assisted first trace job %v slower than linear %v",
+				policy, assisted.FirstTraceRuntime, cont.FirstTraceRuntime)
+		}
+	}
+}

@@ -303,18 +303,33 @@ func TestServeCollectiveAndOptimize(t *testing.T) {
 		}
 	}
 
-	// The health and stats endpoints answer.
-	if rec := do(t, s, http.MethodGet, "/v1/healthz", nil); rec.Code != http.StatusOK ||
-		!strings.Contains(rec.Body.String(), `"ok"`) {
+	// The health and stats endpoints answer, and healthz carries the
+	// load snapshot a balancer polls for alongside liveness.
+	rec := do(t, s, http.MethodGet, "/v1/healthz", nil)
+	if rec.Code != http.StatusOK || !strings.Contains(rec.Body.String(), `"ok"`) {
 		t.Errorf("healthz: %d %s", rec.Code, rec.Body.String())
 	}
-	rec := do(t, s, http.MethodGet, "/v1/stats", nil)
+	var h healthz
+	if err := json.Unmarshal(rec.Body.Bytes(), &h); err != nil {
+		t.Fatalf("healthz: %v", err)
+	}
+	if h.Workers != s.opts.Workers || h.QueueDepth != s.opts.QueueDepth {
+		t.Errorf("healthz workers/queue_depth %d/%d, want %d/%d",
+			h.Workers, h.QueueDepth, s.opts.Workers, s.opts.QueueDepth)
+	}
+	if h.Done < 2 || h.Queued+h.Running+h.Done+h.Failed == 0 {
+		t.Errorf("healthz job tally %+v, want >= 2 done", h)
+	}
+	rec = do(t, s, http.MethodGet, "/v1/stats", nil)
 	var st serveStats
 	if err := json.Unmarshal(rec.Body.Bytes(), &st); err != nil {
 		t.Fatalf("stats: %v", err)
 	}
 	if st.Done < 2 {
 		t.Errorf("stats report %d done jobs, want >= 2", st.Done)
+	}
+	if st.Done != h.Done || st.Workers != h.Workers {
+		t.Errorf("stats/healthz disagree: %+v vs %+v", st, h)
 	}
 }
 

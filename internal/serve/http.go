@@ -195,14 +195,51 @@ func (s *Server) handleJobResult(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
-// healthz is the GET /v1/healthz body.
+// healthz is the GET /v1/healthz body: liveness plus the load snapshot
+// a balancer or operator dashboard polls for — worker count, queue
+// occupancy and the job-state tally.
 type healthz struct {
 	Status           string `json:"status"`
 	ModelFingerprint string `json:"model_fingerprint"`
+	Workers          int    `json:"workers"`
+	QueueDepth       int    `json:"queue_depth"`
+	QueueLen         int    `json:"queue_len"`
+	Queued           int    `json:"jobs_queued"`
+	Running          int    `json:"jobs_running"`
+	Done             int    `json:"jobs_done"`
+	Failed           int    `json:"jobs_failed"`
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, healthz{Status: "ok", ModelFingerprint: params.Fingerprint()})
+	h := healthz{
+		Status:           "ok",
+		ModelFingerprint: params.Fingerprint(),
+		Workers:          s.opts.Workers,
+		QueueDepth:       s.opts.QueueDepth,
+		QueueLen:         len(s.queue),
+	}
+	_, h.Queued, h.Running, h.Done, h.Failed = s.tallyJobs()
+	writeJSON(w, http.StatusOK, h)
+}
+
+// tallyJobs counts jobs by state under the server lock.
+func (s *Server) tallyJobs() (total, queued, running, done, failed int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	total = len(s.jobs)
+	for _, j := range s.jobs {
+		switch state, _, _, _, _, _ := j.snapshot(); state {
+		case StateQueued:
+			queued++
+		case StateRunning:
+			running++
+		case StateDone:
+			done++
+		case StateFailed:
+			failed++
+		}
+	}
+	return total, queued, running, done, failed
 }
 
 // serveStats is the GET /v1/stats body.
@@ -227,21 +264,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		QueueLen:   len(s.queue),
 		WarmPools:  s.pools.size(),
 	}
-	s.mu.Lock()
-	st.Jobs = len(s.jobs)
-	for _, j := range s.jobs {
-		switch state, _, _, _, _, _ := j.snapshot(); state {
-		case StateQueued:
-			st.Queued++
-		case StateRunning:
-			st.Running++
-		case StateDone:
-			st.Done++
-		case StateFailed:
-			st.Failed++
-		}
-	}
-	s.mu.Unlock()
+	st.Jobs, st.Queued, st.Running, st.Done, st.Failed = s.tallyJobs()
 	if s.opts.Cache != nil {
 		st.CacheHits, st.CacheMiss = s.opts.Cache.Stats()
 	}

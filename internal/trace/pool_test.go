@@ -1,6 +1,7 @@
 package trace
 
 import (
+	"errors"
 	"sync"
 	"testing"
 
@@ -128,4 +129,116 @@ func TestEvaluatorPoolClose(t *testing.T) {
 		t.Error("straggler returned after Close was not closed")
 	}
 	pool.Close() // idempotent
+}
+
+// TestEvaluatorPoolClosedRetry pins the checkout-retry contract the
+// serving layer builds on (serve.checkout): Get on a closed pool fails
+// with an error that is errors.Is-identifiable as ErrPoolClosed — not
+// some generic failure — so a caller holding a stale pool pointer can
+// distinguish "this pool was evicted, build a fresh one and retry"
+// from a genuinely broken request.
+func TestEvaluatorPoolClosedRetry(t *testing.T) {
+	fab := fabric.NewScaled(1)
+	tr := meshTrace(t, 4, 4*units.KB)
+	cfg := ReplayConfig{Fabric: fab, Profile: ib.OpenMPI()}
+
+	stale, err := NewEvaluatorPool(tr, cfg, 2)
+	if err != nil {
+		t.Fatalf("pool: %v", err)
+	}
+	stale.Close()
+	if _, err := stale.Get(); !errors.Is(err, ErrPoolClosed) {
+		t.Fatalf("Get on closed pool: %v, want errors.Is ErrPoolClosed", err)
+	}
+
+	// The retry loop itself: each attempt that lands on a closed pool
+	// rebuilds; a fresh pool satisfies the checkout on the next attempt.
+	pools := []*EvaluatorPool{stale}
+	lookup := func() (*EvaluatorPool, error) {
+		return pools[len(pools)-1], nil
+	}
+	rebuild := func() error {
+		p, err := NewEvaluatorPool(tr, cfg, 2)
+		if err != nil {
+			return err
+		}
+		pools = append(pools, p)
+		return nil
+	}
+	var ev *Evaluator
+	attempts := 0
+	for {
+		attempts++
+		p, err := lookup()
+		if err != nil {
+			t.Fatalf("lookup: %v", err)
+		}
+		ev, err = p.Get()
+		if err == nil {
+			defer p.Put(ev)
+			break
+		}
+		if !errors.Is(err, ErrPoolClosed) || attempts >= 8 {
+			t.Fatalf("checkout attempt %d: %v", attempts, err)
+		}
+		if err := rebuild(); err != nil {
+			t.Fatalf("rebuild: %v", err)
+		}
+	}
+	if attempts != 2 {
+		t.Errorf("checkout took %d attempts, want 2 (stale miss + fresh hit)", attempts)
+	}
+	places := evalPlacements(fab, 4)
+	if _, err := ev.Evaluate(places[0]); err != nil {
+		t.Fatalf("evaluate on retried checkout: %v", err)
+	}
+	for _, p := range pools {
+		p.Close()
+	}
+
+	// A pool closed concurrently with checkouts never hands out a dead
+	// evaluator: every Get either succeeds with a usable evaluator or
+	// fails identifiably as ErrPoolClosed.
+	race, err := NewEvaluatorPool(tr, cfg, 4)
+	if err != nil {
+		t.Fatalf("pool: %v", err)
+	}
+	const workers = 8
+	var wg sync.WaitGroup
+	start := make(chan struct{})
+	errs := make([]error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			<-start
+			for i := 0; i < 4; i++ {
+				e, err := race.Get()
+				if err != nil {
+					if !errors.Is(err, ErrPoolClosed) {
+						errs[w] = err
+					}
+					return
+				}
+				if _, err := e.Evaluate(places[0]); err != nil {
+					errs[w] = err
+					return
+				}
+				race.Put(e)
+			}
+		}(w)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		<-start
+		race.Close()
+	}()
+	close(start)
+	wg.Wait()
+	for w, err := range errs {
+		if err != nil {
+			t.Errorf("worker %d under concurrent close: %v", w, err)
+		}
+	}
 }
