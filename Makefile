@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build lint test bench bench-full bench-artifact trace-smoke serve-smoke sched-smoke docs docs-check suite clean
+.PHONY: all build lint test bench bench-full bench-artifact bench-baseline pdes-smoke trace-smoke serve-smoke sched-smoke docs docs-check suite clean
 
 all: lint build test
 
@@ -26,15 +26,44 @@ bench-full:
 	$(GO) test -bench=. -benchmem -run '^$$' ./internal/sim/ ./internal/collectives/ ./internal/scenario/ ./internal/trace/ ./internal/placement/ ./internal/facility/ .
 
 # Collective + congested-transport + trace-replay + placement-search +
-# sim hot-path benches as BENCH_<short-sha>.json, the per-commit perf
-# record CI uploads as an artifact. The Saturation benches track the
-# congested path's hot-loop cost (routing, link admission, queueing);
-# the TraceReplay benches the one-shot replay; the EvaluatorReplay
-# benches the pooled batch evaluation path side by side with it (the
-# ~5x/7,500x pooling win); PlacementOptimize the optimizer end to end.
+# sim hot-path benches as bench/BENCH_<short-sha>.json, the per-commit
+# perf record CI uploads as an artifact next to the committed
+# bench/BENCH_baseline.json (the trajectory anchor; see bench/README.md).
+# The Saturation benches track the congested path's hot-loop cost
+# (routing, link admission, queueing); the TraceReplay benches the
+# one-shot replay; the EvaluatorReplay benches the pooled batch
+# evaluation path side by side with it (the ~5x/7,500x pooling win);
+# PlacementOptimize the optimizer end to end; ParallelDES the windowed
+# cluster at 1/2/4/8 workers against the serial engine.
+BENCH_RE = Collective|Saturation|TraceReplay|EvaluatorReplay|PlacementOptimize|EventLoop|ProcParkUnpark|MailboxPingPong|Facility|ParallelDES
+BENCH_PKGS = ./internal/collectives ./internal/scenario ./internal/trace ./internal/placement ./internal/sim ./internal/facility
+
 bench-artifact:
-	$(GO) test -json -run '^$$' -bench 'Collective|Saturation|TraceReplay|EvaluatorReplay|PlacementOptimize|EventLoop|ProcParkUnpark|MailboxPingPong|Facility' \
-		-benchmem ./internal/collectives ./internal/scenario ./internal/trace ./internal/placement ./internal/sim ./internal/facility > BENCH_$$(git rev-parse --short HEAD).json
+	$(GO) test -json -run '^$$' -bench '$(BENCH_RE)' \
+		-benchmem $(BENCH_PKGS) > bench/BENCH_$$(git rev-parse --short HEAD).json
+
+# Regenerate the committed trajectory anchor (one timed iteration per
+# bench: cheap, and every iteration of the DES benches is a full run).
+bench-baseline:
+	$(GO) test -json -run '^$$' -bench '$(BENCH_RE)' -benchtime=1x \
+		-benchmem $(BENCH_PKGS) > bench/BENCH_baseline.json
+
+# The parallel-DES byte-identity smoke CI runs (mirrored here): the
+# coll-saturation and trace-replay experiments at GOMAXPROCS 1, 2 and
+# 8, with the result JSONL and every CSV artifact diffed byte-for-byte
+# across worker counts (only the wall-clock elapsed_ms field is
+# stripped first — it is observability output, never simulation input).
+pdes-smoke:
+	@for p in 1 2 8; do \
+		echo "pdes-smoke: GOMAXPROCS=$$p"; \
+		GOMAXPROCS=$$p $(GO) run ./cmd/rrexp -run coll-saturation,trace-replay -parallel -quiet \
+			-jsonl /tmp/pdes-$$p.jsonl -csv /tmp/pdes-csv-$$p || exit 1; \
+		jq -c 'del(.elapsed_ms)' /tmp/pdes-$$p.jsonl > /tmp/pdes-$$p.stripped.jsonl || exit 1; \
+	done
+	diff /tmp/pdes-1.stripped.jsonl /tmp/pdes-2.stripped.jsonl
+	diff /tmp/pdes-1.stripped.jsonl /tmp/pdes-8.stripped.jsonl
+	diff -r -x suite-summary.csv /tmp/pdes-csv-1 /tmp/pdes-csv-2
+	diff -r -x suite-summary.csv /tmp/pdes-csv-1 /tmp/pdes-csv-8
 
 # The rrtrace capture→replay→optimize smoke CI runs (mirrored here).
 trace-smoke:

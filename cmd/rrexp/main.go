@@ -32,6 +32,7 @@ import (
 	"time"
 
 	"roadrunner"
+	"roadrunner/internal/scenario"
 )
 
 func main() {
@@ -50,7 +51,13 @@ func run() int {
 	jsonl := flag.String("jsonl", "", "stream one JSON line per result to this file ('-' = stdout)")
 	csvDir := flag.String("csv", "", "directory to write CSV artifacts into")
 	quiet := flag.Bool("quiet", false, "print only the per-experiment summaries")
+	pdes := flag.String("pdes", "auto",
+		"parallel DES inside experiments: off (serial engine), auto (GOMAXPROCS workers) or a worker count; results are identical at any setting")
 	flag.Parse()
+	if err := scenario.ApplyPDESFlag(*pdes); err != nil {
+		fmt.Fprintf(os.Stderr, "rrexp: %v\n", err)
+		return 2
+	}
 
 	var matches func(string) bool
 	if *filter != "" {

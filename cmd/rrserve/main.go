@@ -36,6 +36,7 @@ import (
 	"time"
 
 	"roadrunner"
+	"roadrunner/internal/scenario"
 	"roadrunner/internal/serve"
 )
 
@@ -50,10 +51,16 @@ func run() int {
 	maxBody := flag.Int64("max-body", 0, "request body bound in bytes (0 = 64 MB)")
 	poolTraces := flag.Int("pool-traces", 0, "warm evaluator pools to retain (0 = 8)")
 	cacheDir := flag.String("cache-dir", defaultCacheDir(), "artifact cache location ('' disables the persistent cache)")
+	pdes := flag.String("pdes", "auto",
+		"parallel DES inside scenario jobs: off (serial engine), auto (GOMAXPROCS workers) or a worker count; results are identical at any setting")
 	flag.Parse()
 	if flag.NArg() > 0 {
 		fmt.Fprintf(os.Stderr, "rrserve: unexpected arguments %v\n", flag.Args())
 		flag.Usage()
+		return 2
+	}
+	if err := scenario.ApplyPDESFlag(*pdes); err != nil {
+		fmt.Fprintf(os.Stderr, "rrserve: %v\n", err)
 		return 2
 	}
 

@@ -28,10 +28,14 @@ import (
 	"roadrunner"
 	"roadrunner/internal/cml"
 	"roadrunner/internal/fabric"
+	"roadrunner/internal/ib"
 	"roadrunner/internal/isa"
 	"roadrunner/internal/microbench"
+	"roadrunner/internal/scenario"
 	"roadrunner/internal/spu"
 	"roadrunner/internal/sweep3d"
+	"roadrunner/internal/trace"
+	"roadrunner/internal/transport"
 	"roadrunner/internal/units"
 )
 
@@ -47,7 +51,13 @@ func main() {
 	congestion := flag.String("congestion", "on",
 		"link congestion for -collective: on routes messages over the cable topology with finite-capacity channels; off reproduces the infinite-capacity fabric")
 	toplinks := flag.Int("toplinks", 5, "contended links to print after a congested -collective run (the census keeps the 10 hottest)")
+	pdes := flag.String("pdes", "auto",
+		"parallel DES for batch runs: off (serial engine), auto (GOMAXPROCS workers) or a worker count; results are identical at any setting")
 	flag.Parse()
+	if err := scenario.ApplyPDESFlag(*pdes); err != nil {
+		fmt.Fprintf(os.Stderr, "rrsim: %v\n", err)
+		os.Exit(2)
+	}
 
 	fab := fabric.New()
 	args := flag.Args()
@@ -118,6 +128,12 @@ func main() {
 		fmt.Printf("engine: %d events dispatched, calendar peak %d, %.0f events/s host\n",
 			st.Dispatched, st.CalendarPeak,
 			float64(st.Dispatched)/wall.Seconds())
+		if workers := scenario.ParallelWorkers(); workers > 1 {
+			if err := desParallelStats(px, py, workers); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(2)
+			}
+		}
 	}
 	if *coll != "" {
 		if *coll == "list" {
@@ -174,4 +190,51 @@ func main() {
 	if !*census && !*audit && !*chip && !*memory && !*des && *coll == "" && len(args) == 0 {
 		flag.Usage()
 	}
+}
+
+// desParallelStats reruns the -des Sweep3D model through the parallel
+// DES path: the run's wavefront schedule is captured as a trace and
+// replayed under the three standard placements on the congested fabric,
+// one sim.Cluster domain per placement, spread over the -pdes workers.
+// The per-domain counters (events executed, windows, cross-domain
+// messages) and per-worker busy/idle make the partition's lookahead
+// quality observable; the replay results themselves are byte-identical
+// to serial replays of the same placements.
+func desParallelStats(px, py, workers int) error {
+	cfg := sweep3d.Config{I: 5, J: 5, K: 40, MK: 10, Angles: 6}
+	_, tr, err := sweep3d.CaptureDES(cfg, px, py, cml.CurrentSoftware())
+	if err != nil {
+		return err
+	}
+	fab := roadrunner.Fabric()
+	placements := make([][]transport.Endpoint, len(scenario.TraceReplayPlacementNames))
+	for i, name := range scenario.TraceReplayPlacementNames {
+		p, err := scenario.TraceReplayPlaces(name, fab, tr.Meta.Ranks)
+		if err != nil {
+			return err
+		}
+		placements[i] = p
+	}
+	start := time.Now()
+	results, dstats, wstats, err := trace.ReplayMany(tr, trace.ReplayConfig{
+		Fabric:  fab,
+		Profile: ib.OpenMPI(),
+		Policy:  transport.Congested(),
+	}, placements, workers)
+	if err != nil {
+		return err
+	}
+	wall := time.Since(start)
+	fmt.Printf("parallel DES: %d domains (one per placement replay) on %d workers, %v wall clock\n",
+		len(results), len(wstats), wall.Round(time.Millisecond))
+	for i, st := range dstats {
+		fmt.Printf("  domain %d %-8s %9d events, %d windows, %d cross-domain msgs, makespan %v\n",
+			i, scenario.TraceReplayPlacementNames[i], st.Events, st.Windows,
+			st.Sent+st.Received, results[i].Time)
+	}
+	for w, st := range wstats {
+		fmt.Printf("  worker %d: busy %v, idle %v\n",
+			w, st.Busy.Round(time.Microsecond), st.Idle.Round(time.Microsecond))
+	}
+	return nil
 }

@@ -94,7 +94,7 @@ func bcastBinomial(c *comm, p *sim.Proc, r int, size units.Size) []float64 {
 			h *= 2
 		}
 		src := (rel - h + root) % n
-		data = c.recv(p, r, src, tagBcast).data
+		data = c.recv(p, r, src, tagBcast)
 	}
 	h := 1
 	for h <= rel {
@@ -133,7 +133,7 @@ func foldDown(c *comm, p *sim.Proc, r int, size units.Size, vec []float64, rem i
 		c.send(p, r, r+1, tagFold, size, cloneSlice(vec))
 		return -1
 	case r < 2*rem:
-		addInto(vec, c.recv(p, r, r-1, tagFold).data)
+		addInto(vec, c.recv(p, r, r-1, tagFold))
 		return r / 2
 	default:
 		return r - rem
@@ -147,7 +147,7 @@ func foldUp(c *comm, p *sim.Proc, r int, size units.Size, vec []float64, rem int
 		return vec
 	}
 	if r%2 == 0 {
-		return c.recv(p, r, r+1, tagUnfold).data
+		return c.recv(p, r, r+1, tagUnfold)
 	}
 	c.send(p, r, r-1, tagUnfold, size, cloneSlice(vec))
 	return vec
@@ -170,7 +170,7 @@ func allreduceRecursiveDoubling(c *comm, p *sim.Proc, r int, size units.Size) []
 		for step, mask := 0, 1; mask < pof2; step, mask = step+1, mask*2 {
 			partner := realRank(newrank^mask, rem)
 			c.send(p, r, partner, tagStep+step, size, cloneSlice(vec))
-			addInto(vec, c.recv(p, r, partner, tagStep+step).data)
+			addInto(vec, c.recv(p, r, partner, tagStep+step))
 		}
 	}
 	return foldUp(c, p, r, size, vec, rem)
@@ -217,8 +217,7 @@ func allreduceRabenseifner(c *comm, p *sim.Proc, r int, size units.Size) []float
 			}
 			c.send(p, r, partner, tagStep+step, sizeFrac(size, sendV, pof2),
 				cloneSlice(vec[sendLo:sendHi]))
-			m := c.recv(p, r, partner, tagStep+step)
-			addInto(vec[recvLo:], m.data)
+			addInto(vec[recvLo:], c.recv(p, r, partner, tagStep+step))
 			stack = append(stack, level{lo, mid, hi, vlo, vmid, vhi, keepLow})
 			if keepLow {
 				hi, vhi = mid, vmid
@@ -241,8 +240,7 @@ func allreduceRabenseifner(c *comm, p *sim.Proc, r int, size units.Size) []float
 			}
 			c.send(p, r, partner, tagGather+i, sizeFrac(size, ownV, pof2),
 				cloneSlice(vec[ownLo:ownHi]))
-			m := c.recv(p, r, partner, tagGather+i)
-			copy(vec[otherLo:], m.data)
+			copy(vec[otherLo:], c.recv(p, r, partner, tagGather+i))
 		}
 	}
 	return foldUp(c, p, r, size, vec, rem)
@@ -269,14 +267,14 @@ func allreduceRing(c *comm, p *sim.Proc, r int, size units.Size) []float64 {
 		sendSeg := ((r-s)%n + n) % n
 		recvSeg := ((r-s-1)%n + n) % n
 		c.send(p, r, next, tagStep+s, segSize, []float64{vec[sendSeg]})
-		vec[recvSeg] += c.recv(p, r, prev, tagStep+s).data[0]
+		vec[recvSeg] += c.recv(p, r, prev, tagStep+s)[0]
 	}
 	// Allgather: circulate the finished segments.
 	for s := 0; s < n-1; s++ {
 		sendSeg := ((r+1-s)%n + n) % n
 		recvSeg := ((r-s)%n + n) % n
 		c.send(p, r, next, tagGather+s, segSize, []float64{vec[sendSeg]})
-		vec[recvSeg] = c.recv(p, r, prev, tagGather+s).data[0]
+		vec[recvSeg] = c.recv(p, r, prev, tagGather+s)[0]
 	}
 	return vec
 }
@@ -295,7 +293,7 @@ func allgatherRing(c *comm, p *sim.Proc, r int, size units.Size) []float64 {
 		sendSeg := ((r-s)%n + n) % n
 		recvSeg := ((r-s-1)%n + n) % n
 		c.send(p, r, next, tagStep+s, size, []float64{vec[sendSeg]})
-		vec[recvSeg] = c.recv(p, r, prev, tagStep+s).data[0]
+		vec[recvSeg] = c.recv(p, r, prev, tagStep+s)[0]
 	}
 	return vec
 }
@@ -312,7 +310,7 @@ func alltoallPairwise(c *comm, p *sim.Proc, r int, size units.Size) []float64 {
 		dst := (r + k) % n
 		src := (r - k + n) % n
 		c.send(p, r, dst, tagStep+k, size, []float64{contribution(r, dst)})
-		out[src] = c.recv(p, r, src, tagStep+k).data[0]
+		out[src] = c.recv(p, r, src, tagStep+k)[0]
 	}
 	return out
 }

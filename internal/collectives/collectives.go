@@ -26,6 +26,7 @@ package collectives
 import (
 	"fmt"
 	"math"
+	"runtime"
 
 	"roadrunner/internal/fabric"
 	"roadrunner/internal/ib"
@@ -223,6 +224,16 @@ type comm struct {
 	net    *transport.Net
 	inbox  []*sim.Mailbox[*message]
 	finish []units.Time
+
+	// Message recycling and match state. Messages pool through a free
+	// list with their delivery closure bound once, and each rank's
+	// receive predicate is bound once over per-rank match slots, so the
+	// send/recv hot path — millions of messages in a full-machine
+	// alltoall — allocates nothing beyond the semantic payload.
+	freeMsg  *message
+	matchSrc []int
+	matchTag []int
+	preds    []func(*message) bool
 }
 
 // message is one in-flight point-to-point transfer inside a collective.
@@ -231,20 +242,54 @@ type message struct {
 	tag  int
 	size units.Size
 	data []float64
+
+	box     *sim.Mailbox[*message] // destination inbox of the current flight
+	deliver func()                 // bound once: box.Put(this)
+	next    *message               // free-list link
 }
 
 func newComm(eng *sim.Engine, cfg Config) *comm {
+	ranks := len(cfg.Places)
 	c := &comm{
-		eng:    eng,
-		cfg:    cfg,
-		net:    transport.New(eng, cfg.Fabric, cfg.Profile, cfg.Congestion),
-		inbox:  make([]*sim.Mailbox[*message], len(cfg.Places)),
-		finish: make([]units.Time, len(cfg.Places)),
+		eng:      eng,
+		cfg:      cfg,
+		net:      transport.New(eng, cfg.Fabric, cfg.Profile, cfg.Congestion),
+		inbox:    make([]*sim.Mailbox[*message], ranks),
+		finish:   make([]units.Time, ranks),
+		matchSrc: make([]int, ranks),
+		matchTag: make([]int, ranks),
+		preds:    make([]func(*message) bool, ranks),
 	}
 	for i := range cfg.Places {
 		c.inbox[i] = sim.NewMailbox[*message](eng, fmt.Sprintf("coll-rank%d", i))
+		i := i
+		c.preds[i] = func(m *message) bool {
+			return m.src == c.matchSrc[i] && m.tag == c.matchTag[i]
+		}
 	}
 	return c
+}
+
+// getMsg pops a pooled message (allocating, with its delivery closure,
+// on first use).
+func (c *comm) getMsg() *message {
+	m := c.freeMsg
+	if m == nil {
+		m = &message{}
+		m.deliver = func() { m.box.Put(m) }
+		return m
+	}
+	c.freeMsg = m.next
+	m.next = nil
+	return m
+}
+
+// putMsg returns a delivered-and-consumed message to the pool.
+func (c *comm) putMsg(m *message) {
+	m.data = nil
+	m.box = nil
+	m.next = c.freeMsg
+	c.freeMsg = m
 }
 
 // send transmits a message from src to dst over the transport, blocking
@@ -253,21 +298,27 @@ func newComm(eng *sim.Engine, cfg Config) *comm {
 // delivered to dst's mailbox after the fabric traversal and the
 // receive-side overhead.
 func (c *comm) send(p *sim.Proc, src, dst, tag int, size units.Size, data []float64) {
-	m := &message{src: src, tag: tag, size: size, data: data}
+	m := c.getMsg()
+	m.src, m.tag, m.size, m.data = src, tag, size, data
+	m.box = c.inbox[dst]
 	a, b := c.cfg.Places[src], c.cfg.Places[dst]
-	box := c.inbox[dst]
 	c.net.Transfer(p,
 		transport.Endpoint{Node: a.Node, Core: a.Core},
 		transport.Endpoint{Node: b.Node, Core: b.Core},
-		size, func() { box.Put(m) })
+		size, m.deliver)
 }
 
 // recv blocks until the message with the given source and tag arrives at
-// rank dst.
-func (c *comm) recv(p *sim.Proc, dst, src, tag int) *message {
-	return c.inbox[dst].GetMatch(p, func(m *message) bool {
-		return m.src == src && m.tag == tag
-	})
+// rank dst, recycles the message and returns its payload. Safe because
+// rank dst is the only reader of its inbox, so the match slots stay
+// stable while the proc is parked inside GetMatch.
+func (c *comm) recv(p *sim.Proc, dst, src, tag int) []float64 {
+	c.matchSrc[dst] = src
+	c.matchTag[dst] = tag
+	m := c.inbox[dst].GetMatch(p, c.preds[dst])
+	data := m.data
+	c.putMsg(m)
+	return data
 }
 
 // contribution is rank r's semantic input for element i. The values are
@@ -282,11 +333,19 @@ func reducedValue(p, i int) float64 {
 	return float64(1000003)*float64(p)*float64(p+1)/2 + float64(p)*float64(i*7919)
 }
 
-// Run executes one collective on a fresh engine and returns its Result.
-// The run is deterministic and self-validating: reductions, gathers and
-// broadcasts check their semantic payloads against the collective's
-// definition and fail loudly on any algorithm bug.
-func Run(cfg Config, op Op, size units.Size) (*Result, error) {
+// pendingRun is one prepared collective: its comm and rank procs live on
+// an engine the caller runs (alone, or as one domain of a sim.Cluster).
+type pendingRun struct {
+	c    *comm
+	op   Op
+	size units.Size
+	out  [][]float64
+}
+
+// prepare validates the run's inputs and spawns its rank procs on eng.
+// The spawned state is exactly what Run builds, so finishing a prepared
+// run yields a Result byte-identical to Run's.
+func prepare(eng *sim.Engine, cfg Config, op Op, size units.Size) (*pendingRun, error) {
 	ranks := len(cfg.Places)
 	if ranks == 0 {
 		return nil, fmt.Errorf("collectives: no ranks placed")
@@ -301,25 +360,89 @@ func Run(cfg Config, op Op, size units.Size) (*Result, error) {
 	if !ok {
 		return nil, fmt.Errorf("collectives: unknown op %q (have %v)", op, Ops())
 	}
-
-	eng := sim.NewEngine()
-	defer eng.Close()
-	c := newComm(eng, cfg)
-	out := make([][]float64, ranks)
+	pr := &pendingRun{c: newComm(eng, cfg), op: op, size: size, out: make([][]float64, ranks)}
 	for r := 0; r < ranks; r++ {
 		r := r
 		eng.Spawn(fmt.Sprintf("rank%d", r), func(p *sim.Proc) {
-			out[r] = algo(c, p, r, size)
-			c.finish[r] = p.Now()
+			pr.out[r] = algo(pr.c, p, r, size)
+			pr.c.finish[r] = p.Now()
 		})
 	}
-	if err := eng.Run(); err != nil {
-		return nil, fmt.Errorf("collectives: %s over %d ranks: %w", op, ranks, err)
-	}
-	if err := validate(op, cfg, out); err != nil {
+	return pr, nil
+}
+
+// finish validates the completed run's semantic payloads and assembles
+// its Result.
+func (pr *pendingRun) finish(st sim.Stats) (*Result, error) {
+	if err := validate(pr.op, pr.c.cfg, pr.out); err != nil {
 		return nil, err
 	}
-	return c.result(op, size, out, eng.Stats()), nil
+	return pr.c.result(pr.op, pr.size, pr.out, st), nil
+}
+
+// Run executes one collective on a fresh engine and returns its Result.
+// The run is deterministic and self-validating: reductions, gathers and
+// broadcasts check their semantic payloads against the collective's
+// definition and fail loudly on any algorithm bug.
+func Run(cfg Config, op Op, size units.Size) (*Result, error) {
+	eng := sim.NewEngine()
+	defer eng.Close()
+	pr, err := prepare(eng, cfg, op, size)
+	if err != nil {
+		return nil, err
+	}
+	if err := eng.Run(); err != nil {
+		return nil, fmt.Errorf("collectives: %s over %d ranks: %w", op, len(cfg.Places), err)
+	}
+	return pr.finish(eng.Stats())
+}
+
+// Request is one independent collective run, for RunMany.
+type Request struct {
+	Cfg  Config
+	Op   Op
+	Size units.Size
+}
+
+// RunMany executes independent collective runs concurrently, one
+// sim.Cluster domain per request, spread over the given number of
+// worker goroutines (workers < 1 uses one worker per request up to
+// GOMAXPROCS). Each run is its own engine, transport and fabric
+// state — the CU/communicator granularity at which the machine
+// partitions cleanly, since the ib endpoint model couples a
+// communicator's HCAs at instant granularity — so every Result is
+// byte-identical to Run's for the same request, in request order, at
+// any worker count. The serial engine path is unchanged: workers == 1
+// executes the same domains on one goroutine.
+func RunMany(reqs []Request, workers int) ([]*Result, error) {
+	if len(reqs) == 0 {
+		return nil, fmt.Errorf("collectives: no requests")
+	}
+	if workers < 1 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	cl := sim.NewCluster(len(reqs), 0)
+	defer cl.Close()
+	prs := make([]*pendingRun, len(reqs))
+	for i, rq := range reqs {
+		pr, err := prepare(cl.Domain(i), rq.Cfg, rq.Op, rq.Size)
+		if err != nil {
+			return nil, fmt.Errorf("collectives: request %d: %w", i, err)
+		}
+		prs[i] = pr
+	}
+	if err := cl.Run(workers); err != nil {
+		return nil, fmt.Errorf("collectives: parallel runs: %w", err)
+	}
+	results := make([]*Result, len(reqs))
+	for i, pr := range prs {
+		res, err := pr.finish(cl.Domain(i).Stats())
+		if err != nil {
+			return nil, err
+		}
+		results[i] = res
+	}
+	return results, nil
 }
 
 // censusTop is how many contended links a Result's census retains.

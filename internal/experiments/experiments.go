@@ -43,10 +43,10 @@ type Experiment struct {
 	// Description says what the experiment sweeps and what its checks
 	// pin, in one sentence; rrexp -list prints it under each entry.
 	Description string
-	// Expensive marks experiments that run minutes of DES on their own
-	// (the congestion sweep today; trace replay tomorrow). The suite
-	// benches, the orchestrator's serial-vs-parallel byte-identity test
-	// and the race-instrumented test run all consult this one flag
+	// Expensive marks experiments whose single run dominates the whole
+	// suite (the congestion sweep today; its full-machine alltoall is
+	// minutes of serial event loop, seconds under parallel DES). The
+	// -short test skip and the experiment docs consult this one flag
 	// instead of keeping their own ID lists.
 	Expensive bool
 	Run       func() *Artifact

@@ -41,9 +41,8 @@ func TestAllExperimentsPass(t *testing.T) {
 	for _, e := range All() {
 		e := e
 		t.Run(e.ID, func(t *testing.T) {
-			if raceDetectorEnabled && e.Expensive {
-				t.Skip("expensive experiment is too slow under the race detector; " +
-					"covered by the non-instrumented suite and the CI rrexp job")
+			if testing.Short() && e.Expensive {
+				t.Skip("expensive experiment skipped under -short")
 			}
 			a := e.Run()
 			if a.ID != e.ID {

@@ -90,6 +90,18 @@ const nodesPerLineXbar = 8
 // the last 4 compute nodes (plus 4 I/O nodes); crossbar 23 is all I/O.
 func LineXbar(node int) int { return node / nodesPerLineXbar }
 
+// LineXbarsPerCU is the number of line crossbars carrying compute nodes
+// in one CU (the 24th crossbar is I/O-only and never a route endpoint).
+const LineXbarsPerCU = (params.NodesPerCU-1)/nodesPerLineXbar + 1
+
+// XbarID returns the system-wide index of the node's line crossbar,
+// numbering compute-node crossbars CU-major. Routes leaving a crossbar
+// depend only on this index and the destination (every node of one
+// crossbar shares the spine/uplink choice and the hop count to any
+// other node), which is what makes a crossbar-granular route cache
+// exact; see transport.Net.
+func (n NodeID) XbarID() int { return n.CU*LineXbarsPerCU + LineXbar(n.Node) }
+
 // UplinkSwitches returns the four inter-CU switches line crossbar k
 // connects to (parity wiring: crossbar k uses the switches of parity
 // k mod 2).

@@ -40,18 +40,11 @@ func TestParallelMatchesSerial(t *testing.T) {
 	if testing.Short() {
 		t.Skip("full suite")
 	}
-	// Experiments flagged Expensive (the congestion sweep: two
-	// ~19M-message DES runs at its top point) dwarf the rest of the
-	// suite combined. The byte-identity this test pins is a property of
-	// the orchestrator's scheduling — workers never affect execution
-	// inside an experiment — so they sit the double run out; their own
-	// determinism is pinned by the scenario and collectives tests.
-	var exps []experiments.Experiment
-	for _, e := range experiments.All() {
-		if !e.Expensive {
-			exps = append(exps, e)
-		}
-	}
+	// The whole registry, Expensive experiments included: the parallel
+	// DES path spreads the congestion sweep's independent runs across
+	// cores, so the double run is affordable everywhere (-pdes=off on
+	// the CLIs, or SetParallel(1), still forces the serial engine).
+	exps := experiments.All()
 	ctx := context.Background()
 	serial, err := Run(ctx, exps, Options{Workers: 1})
 	if err != nil {

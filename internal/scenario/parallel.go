@@ -1,0 +1,57 @@
+package scenario
+
+import (
+	"fmt"
+	"runtime"
+	"strconv"
+	"sync/atomic"
+)
+
+// The scenario sweeps run their independent simulations — separate
+// (op, communicator, fabric-policy) points, replay placements — as
+// domains of a sim.Cluster, spread across cores. Results are
+// byte-identical at any worker count (pinned by the orchestrator's
+// serial ≡ parallel suite and the pdes-smoke CI job); the knob exists so
+// the CLIs' -pdes=off flag can force the plain serial engine path.
+var pdesWorkers atomic.Int32 // 0 = auto (NumCPU); 1 = serial escape hatch
+
+// SetParallel sets how many workers the sweeps' parallel-DES runs use:
+// 0 restores auto (one per CPU), 1 forces the serial engine path
+// (the -pdes=off escape hatch), higher values pin a worker count.
+func SetParallel(workers int) {
+	if workers < 0 {
+		workers = 0
+	}
+	pdesWorkers.Store(int32(workers))
+}
+
+// ParallelWorkers returns the effective worker count for parallel-DES
+// sweeps. Auto follows GOMAXPROCS, not the raw CPU count, so
+// GOMAXPROCS=1 environments (the pdes-smoke CI job's serial leg) get
+// the serial path without touching the flag.
+func ParallelWorkers() int {
+	if w := pdesWorkers.Load(); w > 0 {
+		return int(w)
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// ApplyPDESFlag parses the CLIs' shared -pdes value: "off" forces the
+// serial engine path (the escape hatch), "auto" (or "") sizes the
+// worker pool to GOMAXPROCS, and a positive integer pins the worker
+// count. Any setting changes wall clock only, never results.
+func ApplyPDESFlag(v string) error {
+	switch v {
+	case "off":
+		SetParallel(1)
+	case "auto", "":
+		SetParallel(0)
+	default:
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 1 {
+			return fmt.Errorf("bad -pdes value %q: want off, auto or a positive worker count", v)
+		}
+		SetParallel(n)
+	}
+	return nil
+}

@@ -69,25 +69,9 @@ var SaturationOps = []collectives.Op{
 // overheads.
 const SaturationSize = 64 * units.KB
 
-// saturationPoint measures one operation at one communicator size on
-// both fabrics.
-func saturationPoint(op collectives.Op, nodes int) (SaturationPoint, error) {
-	baseCfg, err := collectives.DefaultConfig(nodes)
-	if err != nil {
-		return SaturationPoint{}, fmt.Errorf("scenario coll-saturation: %w", err)
-	}
-	base, err := collectives.Run(baseCfg, op, SaturationSize)
-	if err != nil {
-		return SaturationPoint{}, fmt.Errorf("scenario coll-saturation: %w", err)
-	}
-	congCfg, err := collectives.CongestedConfig(nodes)
-	if err != nil {
-		return SaturationPoint{}, fmt.Errorf("scenario coll-saturation: %w", err)
-	}
-	cong, err := collectives.Run(congCfg, op, SaturationSize)
-	if err != nil {
-		return SaturationPoint{}, fmt.Errorf("scenario coll-saturation: %w", err)
-	}
+// assemblePoint folds one point's base and congested Results into its
+// SaturationPoint.
+func assemblePoint(op collectives.Op, nodes int, base, cong *collectives.Result) SaturationPoint {
 	p := SaturationPoint{
 		Op:        op,
 		Nodes:     nodes,
@@ -106,7 +90,7 @@ func saturationPoint(op collectives.Op, nodes int) (SaturationPoint, error) {
 		p.Top = c.Top
 		p.TopUplinks = c.TopUplinks
 	}
-	return p, nil
+	return p
 }
 
 // Saturation runs the congestion sweep: every saturation op at every
@@ -124,15 +108,53 @@ func SaturationSubset(nodeCounts []int) ([]SaturationPoint, error) {
 	return saturationSweep(nodeCounts)
 }
 
+// saturationSweep measures every (op, communicator) point on both
+// fabrics. Each of the sweep's runs is an independent simulation, so
+// they execute as domains of a sim.Cluster across ParallelWorkers()
+// cores — the full-machine congested alltoall overlaps the other 23
+// runs instead of following them — with results byte-identical to the
+// serial loop, which SetParallel(1) (the CLIs' -pdes=off) still takes
+// verbatim.
 func saturationSweep(nodeCounts []int) ([]SaturationPoint, error) {
-	var out []SaturationPoint
+	var reqs []collectives.Request
 	for _, op := range SaturationOps {
 		for _, n := range nodeCounts {
-			p, err := saturationPoint(op, n)
+			baseCfg, err := collectives.DefaultConfig(n)
 			if err != nil {
-				return nil, err
+				return nil, fmt.Errorf("scenario coll-saturation: %w", err)
 			}
-			out = append(out, p)
+			congCfg, err := collectives.CongestedConfig(n)
+			if err != nil {
+				return nil, fmt.Errorf("scenario coll-saturation: %w", err)
+			}
+			reqs = append(reqs,
+				collectives.Request{Cfg: baseCfg, Op: op, Size: SaturationSize},
+				collectives.Request{Cfg: congCfg, Op: op, Size: SaturationSize})
+		}
+	}
+	results := make([]*collectives.Result, len(reqs))
+	if workers := ParallelWorkers(); workers > 1 {
+		rs, err := collectives.RunMany(reqs, workers)
+		if err != nil {
+			return nil, fmt.Errorf("scenario coll-saturation: %w", err)
+		}
+		copy(results, rs)
+	} else {
+		// Serial escape hatch: the plain single-engine loop.
+		for i, rq := range reqs {
+			r, err := collectives.Run(rq.Cfg, rq.Op, rq.Size)
+			if err != nil {
+				return nil, fmt.Errorf("scenario coll-saturation: %w", err)
+			}
+			results[i] = r
+		}
+	}
+	var out []SaturationPoint
+	i := 0
+	for _, op := range SaturationOps {
+		for _, n := range nodeCounts {
+			out = append(out, assemblePoint(op, n, results[i], results[i+1]))
+			i += 2
 		}
 	}
 	return out, nil

@@ -4,7 +4,6 @@ import (
 	"fmt"
 	"testing"
 
-	"roadrunner/internal/collectives"
 	"roadrunner/internal/fabric"
 )
 
@@ -45,14 +44,15 @@ func TestSaturationSubsetShape(t *testing.T) {
 // TestSaturationDeterministic pins byte-identical reruns of a congested
 // sweep point.
 func TestSaturationDeterministic(t *testing.T) {
-	a, err := saturationPoint(collectives.AlltoallPairwise, 360)
+	pa, err := SaturationSubset([]int{360})
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := saturationPoint(collectives.AlltoallPairwise, 360)
+	pb, err := SaturationSubset([]int{360})
 	if err != nil {
 		t.Fatal(err)
 	}
+	a, b := pa[0], pb[0]
 	if a.Congested != b.Congested || a.Baseline != b.Baseline ||
 		a.TotalWait != b.TotalWait || a.QueuedFlows != b.QueuedFlows {
 		t.Fatalf("rerun diverged: %+v vs %+v", a, b)

@@ -2,6 +2,7 @@ package scenario
 
 import (
 	"fmt"
+	"sync"
 
 	"roadrunner/internal/cml"
 	"roadrunner/internal/collectives"
@@ -50,6 +51,13 @@ const TraceReplayStride = 180
 const TraceReplayPerNode = 4
 
 // traceReplayPlaces builds one named placement over the fabric.
+// TraceReplayPlaces builds one of the standard replay placements —
+// "block", "strided" or "packed" — for a ranks-wide trace; the CLIs'
+// batch replays reuse the scenario's exact mappings.
+func TraceReplayPlaces(name string, fab *fabric.System, ranks int) ([]transport.Endpoint, error) {
+	return traceReplayPlaces(name, fab, ranks)
+}
+
 func traceReplayPlaces(name string, fab *fabric.System, ranks int) ([]transport.Endpoint, error) {
 	var places []collectives.Placement
 	switch name {
@@ -165,50 +173,69 @@ func ReplayUnderPlacements(tr *trace.Trace, captureIteration units.Time) (*Trace
 		}
 		placements[i] = places
 	}
-	// One pooled evaluator per (policy, skip-compute) configuration,
-	// each replaying every placement: the trace validates once and the
-	// engine/transport state is reused across the sweep.
+	// One evaluator pool per (policy, skip-compute) configuration, each
+	// replaying every placement: the trace validates once per pool and
+	// the engine/transport state is reused across the sweep. The pool's
+	// EvaluateMany spreads the placements over ParallelWorkers() warm
+	// evaluators — and the four configurations themselves run
+	// concurrently — with results byte-identical to the serial walk,
+	// which SetParallel(1) (the CLIs' -pdes=off) still takes verbatim.
+	workers := ParallelWorkers()
 	run := func(pol transport.Policy, skipCompute bool, what string) ([]*trace.ReplayResult, error) {
-		ev, err := trace.NewEvaluator(tr, trace.ReplayConfig{
+		pool, err := trace.NewEvaluatorPool(tr, trace.ReplayConfig{
 			Fabric:      fab,
 			Profile:     ib.OpenMPI(),
 			Policy:      pol,
 			SkipCompute: skipCompute,
 			Observe:     trace.ObserveCensus,
-		})
+		}, workers)
 		if err != nil {
 			return nil, fmt.Errorf("scenario trace-replay: %s: %w", what, err)
 		}
-		defer ev.Close()
-		out := make([]*trace.ReplayResult, len(placements))
-		for i, places := range placements {
-			r, err := ev.Evaluate(places)
-			if err != nil {
-				return nil, fmt.Errorf("scenario trace-replay: %s %s: %w",
-					TraceReplayPlacementNames[i], what, err)
-			}
-			out[i] = r
+		defer pool.Close()
+		out, err := pool.EvaluateMany(placements, workers)
+		if err != nil {
+			return nil, fmt.Errorf("scenario trace-replay: %s: %w", what, err)
 		}
 		return out, nil
 	}
-	base, err := run(transport.InfiniteCapacity(), false, "baseline")
-	if err != nil {
-		return nil, err
-	}
-	cong, err := run(transport.Congested(), false, "congested")
-	if err != nil {
-		return nil, err
-	}
 	// SkipCompute strips the compute records: the communication
 	// schedule alone.
-	commBase, err := run(transport.InfiniteCapacity(), true, "comm baseline")
-	if err != nil {
-		return nil, err
+	configs := []struct {
+		pol  transport.Policy
+		skip bool
+		what string
+	}{
+		{transport.InfiniteCapacity(), false, "baseline"},
+		{transport.Congested(), false, "congested"},
+		{transport.InfiniteCapacity(), true, "comm baseline"},
+		{transport.Congested(), true, "comm congested"},
 	}
-	commCong, err := run(transport.Congested(), true, "comm congested")
-	if err != nil {
-		return nil, err
+	results := make([][]*trace.ReplayResult, len(configs))
+	errs := make([]error, len(configs))
+	if workers > 1 {
+		var wg sync.WaitGroup
+		for i, c := range configs {
+			i, c := i, c
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				results[i], errs[i] = run(c.pol, c.skip, c.what)
+			}()
+		}
+		wg.Wait()
+	} else {
+		// Serial escape hatch: the four configurations in order.
+		for i, c := range configs {
+			results[i], errs[i] = run(c.pol, c.skip, c.what)
+		}
 	}
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	base, cong, commBase, commCong := results[0], results[1], results[2], results[3]
 	for i, name := range TraceReplayPlacementNames {
 		p := TraceReplayPoint{
 			Placement:     name,

@@ -1,0 +1,250 @@
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+
+	"roadrunner/internal/units"
+)
+
+// ringModel builds a D-domain synthetic workload on the target: each
+// domain runs a generator proc that logs local work and hands rounds of
+// cross-domain messages to its ring successor, with per-(src,round)
+// unique timestamps so the global timeline has no cross-domain ties.
+// The log records every dispatched model event as one line per domain,
+// which is the byte-identity surface the cluster contract pins.
+type ringTarget interface {
+	schedule(src, dst int, delay units.Time, fn func())
+	domain(i int) *Engine
+}
+
+const ringLookahead = units.Time(1000)
+
+func buildRing(t ringTarget, domains, rounds int, logs []*strings.Builder) {
+	for d := 0; d < domains; d++ {
+		d := d
+		eng := t.domain(d)
+		eng.Spawn(fmt.Sprintf("gen%d", d), func(p *Proc) {
+			for k := 0; k < rounds; k++ {
+				p.Sleep(units.Time(7 + (d*13+k*31)%97))
+				fmt.Fprintf(logs[d], "work d=%d k=%d t=%v\n", d, k, p.Now())
+				dst := (d + 1) % domains
+				k := k
+				// Unique arrival instants per (src, round): delay is the
+				// lookahead plus a src/round-specific offset.
+				delay := ringLookahead + units.Time(d*1009+k*127)
+				t.schedule(d, dst, delay, func() {
+					fmt.Fprintf(logs[dst], "recv d=%d from=%d k=%d t=%v\n",
+						dst, d, k, t.domain(dst).Now())
+				})
+			}
+		})
+	}
+}
+
+// clusterRing adapts a Cluster to ringTarget.
+type clusterRing struct{ c *Cluster }
+
+func (r clusterRing) schedule(src, dst int, delay units.Time, fn func()) {
+	if src == dst {
+		r.c.Domain(src).Schedule(delay, fn)
+		return
+	}
+	r.c.Send(src, dst, delay, fn)
+}
+func (r clusterRing) domain(i int) *Engine { return r.c.Domain(i) }
+
+// serialRing realizes the same model on one plain Engine: every domain's
+// events run on a single calendar, with domain clocks all equal to the
+// engine's. Per-domain logs must come out byte-identical to the
+// cluster's at any worker count.
+type serialRing struct {
+	eng *Engine
+}
+
+func (r serialRing) schedule(src, dst int, delay units.Time, fn func()) {
+	r.eng.Schedule(delay, fn)
+}
+func (r serialRing) domain(i int) *Engine { return r.eng }
+
+func runClusterRing(t *testing.T, domains, rounds, workers int) ([]string, []DomainStats) {
+	t.Helper()
+	c := NewCluster(domains, ringLookahead)
+	defer c.Close()
+	logs := make([]*strings.Builder, domains)
+	for i := range logs {
+		logs[i] = &strings.Builder{}
+	}
+	buildRing(clusterRing{c}, domains, rounds, logs)
+	if err := c.Run(workers); err != nil {
+		t.Fatalf("cluster run (domains=%d workers=%d): %v", domains, workers, err)
+	}
+	out := make([]string, domains)
+	for i, b := range logs {
+		out[i] = b.String()
+	}
+	return out, c.Stats()
+}
+
+// TestClusterPartitionEquivalence is the exhaustive small-machine
+// partition-equivalence pin: for every domain count from 1 to 17 (the
+// machine's CU count), the per-domain event sequence of the windowed
+// parallel run is byte-identical to the serial single-engine realization
+// of the same model, at every worker count.
+func TestClusterPartitionEquivalence(t *testing.T) {
+	const rounds = 16
+	for domains := 1; domains <= 17; domains++ {
+		// Serial reference: one plain engine, same model.
+		eng := NewEngine()
+		logs := make([]*strings.Builder, domains)
+		for i := range logs {
+			logs[i] = &strings.Builder{}
+		}
+		buildRing(serialRing{eng}, domains, rounds, logs)
+		if err := eng.Run(); err != nil {
+			t.Fatalf("serial run (domains=%d): %v", domains, err)
+		}
+		want := make([]string, domains)
+		for i, b := range logs {
+			want[i] = b.String()
+			if want[i] == "" {
+				t.Fatalf("domains=%d: empty serial log %d", domains, i)
+			}
+		}
+		for _, workers := range []int{1, 2, 3, 4, 8} {
+			got, stats := runClusterRing(t, domains, rounds, workers)
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("domains=%d workers=%d: domain %d event sequence diverged from serial\nserial:\n%s\nparallel:\n%s",
+						domains, workers, i, want[i], got[i])
+				}
+			}
+			var sent, recv int64
+			for _, s := range stats {
+				sent += s.Sent
+				recv += s.Received
+			}
+			if domains > 1 {
+				if wantMsgs := int64(domains * rounds); sent != wantMsgs || recv != wantMsgs {
+					t.Fatalf("domains=%d workers=%d: sent %d recv %d, want %d",
+						domains, workers, sent, recv, wantMsgs)
+				}
+			}
+		}
+	}
+}
+
+// TestClusterDeterministicAcrossWorkers pins that the parallel run's
+// per-domain statistics — not just the event logs — are identical for
+// every worker count.
+func TestClusterDeterministicAcrossWorkers(t *testing.T) {
+	ref, refStats := runClusterRing(t, 9, 24, 1)
+	for _, workers := range []int{2, 4, 8} {
+		got, stats := runClusterRing(t, 9, 24, workers)
+		for i := range ref {
+			if got[i] != ref[i] {
+				t.Fatalf("workers=%d: domain %d log differs from workers=1", workers, i)
+			}
+		}
+		for i := range refStats {
+			if stats[i] != refStats[i] {
+				t.Fatalf("workers=%d: domain %d stats %+v, want %+v", workers, i, stats[i], refStats[i])
+			}
+		}
+	}
+}
+
+// TestClusterLookaheadViolation pins that a cross-domain event posted
+// with a delay under the declared lookahead — one that could land
+// inside a window the receiver already executed — fails the run loudly
+// with a typed error instead of silently corrupting the schedule.
+func TestClusterLookaheadViolation(t *testing.T) {
+	c := NewCluster(2, ringLookahead)
+	defer c.Close()
+	c.Domain(0).Spawn("bad", func(p *Proc) {
+		p.Sleep(5)
+		c.Send(0, 1, ringLookahead-1, func() {})
+	})
+	c.Domain(1).Spawn("peer", func(p *Proc) { p.Sleep(1000000) })
+	err := c.Run(2)
+	var v *LookaheadViolation
+	if !errors.As(err, &v) {
+		t.Fatalf("run returned %v, want *LookaheadViolation", err)
+	}
+	if v.Src != 0 || v.Dst != 1 || v.Delay != ringLookahead-1 {
+		t.Fatalf("violation %+v", v)
+	}
+}
+
+// TestClusterIndependentDomains covers the zero-lookahead mode: domains
+// run to completion with no cross-domain traffic permitted, and each
+// domain's engine finishes exactly as a standalone run.
+func TestClusterIndependentDomains(t *testing.T) {
+	const domains = 5
+	c := NewCluster(domains, 0)
+	defer c.Close()
+	done := make([]units.Time, domains)
+	for i := 0; i < domains; i++ {
+		i := i
+		c.Domain(i).Spawn("w", func(p *Proc) {
+			for k := 0; k < 100; k++ {
+				p.Sleep(units.Time(1 + i))
+			}
+			done[i] = p.Now()
+		})
+	}
+	if err := c.Run(4); err != nil {
+		t.Fatal(err)
+	}
+	for i, d := range done {
+		if want := units.Time(100 * (1 + i)); d != want {
+			t.Fatalf("domain %d finished at %v, want %v", i, d, want)
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Send on zero-lookahead cluster did not panic")
+		}
+	}()
+	c.Send(0, 1, 10, func() {})
+}
+
+// TestClusterDeadlock pins that a parked proc with nothing to wake it
+// surfaces as a DeadlockError naming its domain.
+func TestClusterDeadlock(t *testing.T) {
+	c := NewCluster(3, ringLookahead)
+	defer c.Close()
+	c.Domain(1).Spawn("stuck", func(p *Proc) { p.Park("never woken") })
+	err := c.Run(2)
+	var d *DeadlockError
+	if !errors.As(err, &d) {
+		t.Fatalf("run returned %v, want *DeadlockError", err)
+	}
+	if len(d.Procs) != 1 || !strings.Contains(d.Procs[0], "domain 1") {
+		t.Fatalf("deadlock procs %v", d.Procs)
+	}
+}
+
+// BenchmarkParallelDES measures the windowed cluster at 1/2/4/8 workers
+// over a coupled 17-domain ring exchange — the speedup-vs-serial family
+// the CI bench trajectory records.
+func BenchmarkParallelDES(b *testing.B) {
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for n := 0; n < b.N; n++ {
+				c := NewCluster(17, ringLookahead)
+				logs := make([]*strings.Builder, 17)
+				for i := range logs {
+					logs[i] = &strings.Builder{}
+				}
+				buildRing(clusterRing{c}, 17, 64, logs)
+				if err := c.Run(workers); err != nil {
+					b.Fatal(err)
+				}
+				c.Close()
+			}
+		})
+	}
+}

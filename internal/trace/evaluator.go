@@ -78,8 +78,9 @@ type Evaluator struct {
 	ranksDone int
 	err       error
 
-	used   bool // at least one Evaluate ran: reset and wake next time
-	closed bool
+	used     bool // at least one Evaluate ran: reset and wake next time
+	closed   bool
+	borrowed bool // engine supplied by the caller: Close leaves it alone
 }
 
 // The compiled op kinds.
@@ -117,6 +118,19 @@ type replayOp struct {
 // congestion policy, compute scaling, observers) is fixed for the
 // evaluator's lifetime. Close releases the engine when done.
 func NewEvaluator(t *Trace, cfg ReplayConfig) (*Evaluator, error) {
+	return newEvaluator(nil, t, cfg)
+}
+
+// newEvaluatorOn builds an evaluator whose procs and events live on the
+// supplied engine — a sim.Cluster domain, for batch replays that want
+// the cluster's per-domain counters. The caller owns the engine's
+// lifecycle (Close leaves it alone) and drives it between the
+// evaluator's start and finish halves.
+func newEvaluatorOn(eng *sim.Engine, t *Trace, cfg ReplayConfig) (*Evaluator, error) {
+	return newEvaluator(eng, t, cfg)
+}
+
+func newEvaluator(eng *sim.Engine, t *Trace, cfg ReplayConfig) (*Evaluator, error) {
 	if err := t.Validate(); err != nil {
 		return nil, err
 	}
@@ -168,7 +182,11 @@ func NewEvaluator(t *Trace, cfg ReplayConfig) (*Evaluator, error) {
 		}
 	}
 
-	e.eng = sim.NewEngine()
+	if eng != nil {
+		e.eng, e.borrowed = eng, true
+	} else {
+		e.eng = sim.NewEngine()
+	}
 	e.net = transport.New(e.eng, cfg.Fabric, cfg.Profile, cfg.Policy)
 	e.inbox = make([]*sim.Mailbox[replayMsg], ranks)
 	names := make([]string, ranks)
@@ -337,11 +355,26 @@ func (e *Evaluator) Trace() *Trace { return e.tr }
 // always are; per-send timing and the link census only when requested —
 // the optimizer's inner loop pays only for what it reads.
 func (e *Evaluator) Evaluate(places []transport.Endpoint) (*ReplayResult, error) {
+	if err := e.start(places); err != nil {
+		return nil, err
+	}
+	if err := e.eng.Run(); err != nil {
+		e.Close()
+		return nil, fmt.Errorf("trace: replay %s: %w", e.tr.Meta.Name, err)
+	}
+	return e.finish()
+}
+
+// start is the pre-run half of Evaluate: it validates the placement and
+// arms the pooled state so driving the engine — by Evaluate itself, or
+// by the cluster a borrowed-engine evaluator's domain belongs to —
+// performs the replay. finish collects the result afterwards.
+func (e *Evaluator) start(places []transport.Endpoint) error {
 	if e.closed {
-		return nil, fmt.Errorf("trace: replay: evaluator is closed")
+		return fmt.Errorf("trace: replay: evaluator is closed")
 	}
 	if err := validatePlaces(e.tr, e.cfg.Fabric, places); err != nil {
-		return nil, err
+		return err
 	}
 	if e.used {
 		e.eng.Reset()
@@ -367,16 +400,18 @@ func (e *Evaluator) Evaluate(places []transport.Endpoint) (*ReplayResult, error)
 	} else {
 		e.sends = nil
 	}
-	res := &ReplayResult{
+	e.res = &ReplayResult{
 		Name:       e.tr.Meta.Name,
 		Ranks:      e.tr.Meta.Ranks,
 		RankFinish: make([]units.Time, e.tr.Meta.Ranks),
 	}
-	e.res = res
-	if err := e.eng.Run(); err != nil {
-		e.Close()
-		return nil, fmt.Errorf("trace: replay %s: %w", e.tr.Meta.Name, err)
-	}
+	return nil
+}
+
+// finish is the post-run half of Evaluate: it validates completion and
+// packages the armed run's result.
+func (e *Evaluator) finish() (*ReplayResult, error) {
+	res := e.res
 	if e.err != nil {
 		return nil, e.err
 	}
@@ -415,7 +450,9 @@ func (e *Evaluator) Close() {
 		return
 	}
 	e.closed = true
-	e.eng.Close()
+	if !e.borrowed {
+		e.eng.Close()
+	}
 }
 
 // validatePlaces checks a placement against the trace and fabric the

@@ -3,6 +3,9 @@ package trace
 import (
 	"errors"
 	"sync"
+	"sync/atomic"
+
+	"roadrunner/internal/transport"
 )
 
 // ErrPoolClosed is returned by Get after Close: the pool's evaluators
@@ -100,6 +103,73 @@ func (p *EvaluatorPool) Put(e *Evaluator) {
 	}
 	p.free = append(p.free, e)
 	p.mu.Unlock()
+}
+
+// EvaluateMany replays every placement and returns the results in
+// input order. With workers > 1 the placements spread across up to that
+// many checked-out evaluators running concurrently — the pool's
+// opt-in parallel knob; workers <= 1 is the serial default, one warm
+// evaluator walking the placements in order, exactly the pre-pool loop.
+// Because Evaluate on any pooled evaluator is pinned byte-identical to
+// a fresh Replay of the same placement, which evaluator handles which
+// placement is observable only in wall clock: the returned results are
+// identical at every worker count. The first evaluation error aborts
+// the batch.
+func (p *EvaluatorPool) EvaluateMany(placements [][]transport.Endpoint, workers int) ([]*ReplayResult, error) {
+	out := make([]*ReplayResult, len(placements))
+	if workers > len(placements) {
+		workers = len(placements)
+	}
+	if workers <= 1 {
+		ev, err := p.Get()
+		if err != nil {
+			return nil, err
+		}
+		defer p.Put(ev)
+		for i, places := range placements {
+			r, err := ev.Evaluate(places)
+			if err != nil {
+				return nil, err
+			}
+			out[i] = r
+		}
+		return out, nil
+	}
+	var (
+		next    atomic.Int64
+		wg      sync.WaitGroup
+		errOnce sync.Once
+		firstE  error
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			ev, err := p.Get()
+			if err != nil {
+				errOnce.Do(func() { firstE = err })
+				return
+			}
+			defer p.Put(ev)
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(placements) {
+					return
+				}
+				r, err := ev.Evaluate(placements[i])
+				if err != nil {
+					errOnce.Do(func() { firstE = err })
+					return
+				}
+				out[i] = r
+			}
+		}()
+	}
+	wg.Wait()
+	if firstE != nil {
+		return nil, firstE
+	}
+	return out, nil
 }
 
 // Stats reports how many evaluators the pool built and how many

@@ -1,0 +1,73 @@
+package trace
+
+import (
+	"reflect"
+	"testing"
+
+	"roadrunner/internal/fabric"
+	"roadrunner/internal/ib"
+	"roadrunner/internal/transport"
+	"roadrunner/internal/units"
+)
+
+// TestReplayManyMatchesSerialReplays pins the batch contract: ReplayMany
+// over N placements returns, at every worker count, exactly the results
+// a serial loop of fresh Replay calls produces — and its per-domain
+// counters account for every event with no cross-domain traffic.
+func TestReplayManyMatchesSerialReplays(t *testing.T) {
+	fab := fabric.NewScaled(1)
+	tr := meshTrace(t, 16, 96*units.KB)
+	placements := evalPlacements(fab, 16)
+	cfg := ReplayConfig{Fabric: fab, Profile: ib.OpenMPI(),
+		Policy: transport.Congested(), Observe: ObserveAll}
+
+	want := make([]*ReplayResult, len(placements))
+	for i, places := range placements {
+		one := cfg
+		one.Places = places
+		r, err := Replay(tr, one)
+		if err != nil {
+			t.Fatalf("fresh replay %d: %v", i, err)
+		}
+		want[i] = r
+	}
+	for _, workers := range []int{1, 2, 4, 8} {
+		got, dstats, wstats, err := ReplayMany(tr, cfg, placements, workers)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if len(wstats) == 0 {
+			t.Fatalf("workers=%d: no worker stats", workers)
+		}
+		for i := range want {
+			if !reflect.DeepEqual(got[i], want[i]) {
+				t.Errorf("workers=%d placement %d: batch result differs from fresh replay\n  batch: %+v\n  fresh: %+v",
+					workers, i, got[i], want[i])
+			}
+			if dstats[i].Events != got[i].EngineStats.Dispatched {
+				t.Errorf("workers=%d domain %d: %d events counted, engine dispatched %d",
+					workers, i, dstats[i].Events, got[i].EngineStats.Dispatched)
+			}
+			if dstats[i].Sent != 0 || dstats[i].Received != 0 {
+				t.Errorf("workers=%d domain %d: cross-domain traffic %+v on independent replays",
+					workers, i, dstats[i])
+			}
+		}
+	}
+}
+
+// TestReplayManyRejectsBadInput covers the batch error paths: an empty
+// placement set and an invalid placement fail loudly.
+func TestReplayManyRejectsBadInput(t *testing.T) {
+	fab := fabric.NewScaled(1)
+	tr := meshTrace(t, 4, units.KB)
+	cfg := ReplayConfig{Fabric: fab, Profile: ib.OpenMPI()}
+	if _, _, _, err := ReplayMany(tr, cfg, nil, 2); err == nil {
+		t.Error("no placements accepted")
+	}
+	bad := evalPlacements(fab, 4)[0]
+	bad[0].Core = 7
+	if _, _, _, err := ReplayMany(tr, cfg, [][]transport.Endpoint{bad}, 2); err == nil {
+		t.Error("invalid core accepted")
+	}
+}

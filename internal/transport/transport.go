@@ -59,6 +59,16 @@ type Policy struct {
 	Channels int
 }
 
+// CrossDomainLookahead returns the conservative-PDES lookahead the
+// fabric topology guarantees between CU domains: any cross-CU
+// interaction pays at least one MPI/HCA per-side overhead plus the
+// minimum cross-CU route (Table I: three crossbars) of cable latency
+// before it can influence another domain. sim.Cluster windows computed
+// from this floor are safe for any traffic the transport can generate.
+func CrossDomainLookahead(prof ib.Profile) units.Time {
+	return prof.PerSideOverhead + 3*prof.HopLatency
+}
+
 // Congested returns the default congestion policy: every cable a single
 // wormhole channel per direction.
 func Congested() Policy { return Policy{Enabled: true, Channels: 1} }
@@ -83,19 +93,39 @@ type linkState struct {
 	bytes units.Size
 }
 
-// PairPath is the cached routing work for one directed (src, dst) node
-// pair: the hop-latency term and, with congestion enabled, the
-// fabric-interior link states of the route already resolved and sorted
-// into the global acquisition order. Deriving this once per pair instead
-// of once per message removes the route enumeration, the per-link map
-// lookups and the admission-order sort from the transfer hot path —
-// the placement optimizer replays the same pairs tens of thousands of
-// times, so the cache (which survives Reset) amortizes to nothing.
+// xbarPathMaxLinks is the most fabric-interior (admission-controlled)
+// links any route carries: cross-side, different crossbar index — uplink
+// up, four switch-internal segments, uplink down. Node-port cables are
+// excluded from admission (see Pending.admit), and in-CU routes carry at
+// most two spine segments.
+const xbarPathMaxLinks = 6
+
+// xbarPath is the cached routing work shared by every source node of one
+// line crossbar toward one destination node: the hop-latency term, the
+// rendezvous round trip, and — with congestion enabled — the route's
+// fabric-interior link states already resolved and sorted into the
+// global acquisition order. The route interior depends only on the
+// source crossbar and the destination (fabric.NodeID.XbarID), so caching
+// at crossbar granularity keeps the full machine's table at
+// 408 crossbars x 3,060 nodes ≈ 1.2M value-typed entries in dense rows
+// — where the former per-pair map held 9.4M heap entries, whose GC
+// footprint dominated full-machine sweeps.
+type xbarPath struct {
+	fabLat   units.Time // hop count x hop latency
+	rdvExtra units.Time // rendezvous round trip above the eager threshold
+	derived  bool
+	ns       int8 // live prefix of states
+	states   [xbarPathMaxLinks]*linkState
+}
+
+// PairPath is the resolved routing work for one directed (src, dst) node
+// pair: the shared crossbar-granular route entry plus the endpoint
+// adapters. Callers that key transfers by an index of their own (the
+// replay evaluator holds one per rank pair) resolve it once and skip
+// every per-message lookup.
 type PairPath struct {
-	fabLat   units.Time   // hop count x hop latency
-	rdvExtra units.Time   // rendezvous round trip above the eager threshold
-	src, dst *ib.HCA      // endpoint adapters
-	states   []*linkState // admission-ordered interior links (nil with congestion off)
+	xp       *xbarPath
+	src, dst *ib.HCA // endpoint adapters
 }
 
 // Net is the per-engine transport instance: it owns the node HCAs and
@@ -106,10 +136,10 @@ type Net struct {
 	prof ib.Profile
 	pol  Policy
 
-	hcas  map[fabric.NodeID]*ib.HCA
-	links map[uint64]*linkState
-	paths map[uint64]*PairPath
-	xfers *Pending // free list of chained-transfer state machines
+	hcas   []*ib.HCA // by destination global node id, nil until used
+	links  map[uint64]*linkState
+	xpaths [][]xbarPath // by source crossbar XbarID, rows nil until used
+	xfers  *Pending     // free list of chained-transfer state machines
 
 	msgs int64
 	wire units.Size
@@ -121,12 +151,12 @@ func New(eng *sim.Engine, fab *fabric.System, prof ib.Profile, pol Policy) *Net 
 		panic("transport: nil fabric")
 	}
 	n := &Net{
-		eng:   eng,
-		fab:   fab,
-		prof:  prof,
-		pol:   pol,
-		hcas:  make(map[fabric.NodeID]*ib.HCA),
-		paths: make(map[uint64]*PairPath),
+		eng:    eng,
+		fab:    fab,
+		prof:   prof,
+		pol:    pol,
+		hcas:   make([]*ib.HCA, fab.Nodes()),
+		xpaths: make([][]xbarPath, fab.CUs*fabric.LineXbarsPerCU),
 	}
 	if pol.Enabled {
 		n.links = make(map[uint64]*linkState)
@@ -136,8 +166,8 @@ func New(eng *sim.Engine, fab *fabric.System, prof ib.Profile, pol Policy) *Net 
 
 // Reset zeroes every traffic counter — transport totals, per-link
 // occupancy and the endpoint HCA flow accounting — while keeping the
-// HCA map, the link-state map (with their sim.Resource objects) and the
-// route cache intact, so a pooled Net replays a fresh run without
+// HCA table, the link-state map (with their sim.Resource objects) and
+// the route cache intact, so a pooled Net replays a fresh run without
 // rebuilding any per-link state. Call it alongside sim.Engine.Reset;
 // everything must be idle (no flows streaming, no admissions held).
 func (n *Net) Reset() {
@@ -149,7 +179,9 @@ func (n *Net) Reset() {
 		st.res.ResetStats()
 	}
 	for _, h := range n.hcas {
-		h.ResetStats()
+		if h != nil {
+			h.ResetStats()
+		}
 	}
 }
 
@@ -158,10 +190,11 @@ func (n *Net) Policy() Policy { return n.pol }
 
 // HCA returns (creating on first use) the node's adapter.
 func (n *Net) HCA(node fabric.NodeID) *ib.HCA {
-	h, ok := n.hcas[node]
-	if !ok {
+	g := node.GlobalID()
+	h := n.hcas[g]
+	if h == nil {
 		h = ib.NewHCA(n.eng, n.prof)
-		n.hcas[node] = h
+		n.hcas[g] = h
 	}
 	return h
 }
@@ -189,47 +222,50 @@ func (n *Net) state(l fabric.Link) *linkState {
 	return st
 }
 
-// path returns (deriving on first use) the cached routing work for a
-// directed node pair: hop latency, rendezvous cost, endpoint adapters
-// and — with congestion on — the route's fabric-interior link states
-// already sorted into the global acquisition order. The cache survives
-// Reset: link identities and hop counts are properties of the wiring,
-// not of any one run.
-func (n *Net) path(src, dst fabric.NodeID) *PairPath {
-	k := fabric.PairKey(src, dst)
-	pp, ok := n.paths[k]
-	if !ok {
+// xpath returns (deriving on first use) the cached routing work from
+// src's line crossbar to dst: hop latency, rendezvous cost and — with
+// congestion on — the route's fabric-interior link states already
+// sorted into the global acquisition order. Every source node of one
+// crossbar shares the entry: the route interior and hop count depend
+// only on the crossbar and the destination (the node-port cable, the
+// only per-node link, is excluded from admission — see Pending.admit).
+// The cache survives Reset: link identities and hop counts are
+// properties of the wiring, not of any one run. src and dst must be
+// distinct nodes.
+func (n *Net) xpath(src, dst fabric.NodeID) *xbarPath {
+	row := n.xpaths[src.XbarID()]
+	if row == nil {
+		row = make([]xbarPath, n.fab.Nodes())
+		n.xpaths[src.XbarID()] = row
+	}
+	xp := &row[dst.GlobalID()]
+	if !xp.derived {
 		pr := n.prof
 		var lbuf [fabric.RouteMax]fabric.Link
 		route := n.fab.RouteInto(lbuf[:0], src, dst)
 		// len(Route) == Hops+1 for distinct nodes, pinned by the fabric
 		// route tests.
-		fabLat := units.Time(len(route)-1) * pr.HopLatency
-		pp = &PairPath{
-			fabLat:   fabLat,
-			rdvExtra: 2 * (2*pr.PerSideOverhead + fabLat),
-			src:      n.HCA(src),
-			dst:      n.HCA(dst),
-		}
+		xp.fabLat = units.Time(len(route)-1) * pr.HopLatency
+		xp.rdvExtra = 2 * (2*pr.PerSideOverhead + xp.fabLat)
 		if n.pol.Enabled {
-			states := make([]*linkState, 0, len(route))
 			for _, l := range route {
 				if l.Kind == fabric.LinkNodePort {
 					continue
 				}
-				states = append(states, n.state(l))
+				xp.states[xp.ns] = n.state(l)
+				xp.ns++
 			}
-			// Insertion sort by key: routes are at most RouteMax links.
-			for i := 1; i < len(states); i++ {
-				for j := i; j > 0 && states[j].link.Key() < states[j-1].link.Key(); j-- {
-					states[j], states[j-1] = states[j-1], states[j]
+			// Insertion sort by key: at most xbarPathMaxLinks entries.
+			st := xp.states[:xp.ns]
+			for i := 1; i < len(st); i++ {
+				for j := i; j > 0 && st[j].link.Key() < st[j-1].link.Key(); j-- {
+					st[j], st[j-1] = st[j-1], st[j]
 				}
 			}
-			pp.states = states
 		}
-		n.paths[k] = pp
+		xp.derived = true
 	}
-	return pp
+	return xp
 }
 
 // Transfer blocks the calling proc for the sender-visible cost of moving
@@ -247,18 +283,22 @@ func (n *Net) Transfer(p *sim.Proc, src, dst Endpoint, size units.Size, deliver 
 		n.eng.Schedule(pr.PerSideOverhead, deliver)
 		return
 	}
-	n.TransferVia(p, n.path(src.Node, dst.Node), src, dst, size, deliver)
+	n.transferVia(p, n.xpath(src.Node, dst.Node), n.HCA(src.Node), n.HCA(dst.Node),
+		src, dst, size, deliver)
 }
 
-// PairPath returns the cached routing work for a directed inter-node
-// pair, for callers that key transfers by an index of their own (the
-// replay evaluator holds one per rank pair) and skip even the pair-cache
-// map lookup per message. src and dst must be distinct nodes.
+// PairPath resolves the routing work for a directed inter-node pair, for
+// callers that key transfers by an index of their own (the replay
+// evaluator holds one per rank pair) and skip every per-message lookup.
+// The underlying route entry is shared crossbar-granular cache state;
+// the returned handle itself is built per call, so callers should hold
+// it rather than re-resolve per message. src and dst must be distinct
+// nodes.
 func (n *Net) PairPath(src, dst fabric.NodeID) *PairPath {
 	if src == dst {
 		panic("transport: PairPath of an intra-node pair")
 	}
-	return n.path(src, dst)
+	return &PairPath{xp: n.xpath(src, dst), src: n.HCA(src), dst: n.HCA(dst)}
 }
 
 // TransferVia is Transfer for an inter-node pair whose PairPath the
@@ -275,15 +315,22 @@ func (n *Net) PairPath(src, dst fabric.NodeID) *PairPath {
 // bit-identical to the multi-sleep shape while costing one proc
 // park/resume instead of one per interval.
 func (n *Net) TransferVia(p *sim.Proc, pp *PairPath, src, dst Endpoint, size units.Size, deliver func()) {
+	n.transferVia(p, pp.xp, pp.src, pp.dst, src, dst, size, deliver)
+}
+
+// transferVia is TransferVia on the resolved route entry and endpoint
+// adapters — the shape the internal hot path uses so Transfer never
+// materializes a PairPath handle.
+func (n *Net) transferVia(p *sim.Proc, xp *xbarPath, hsrc, hdst *ib.HCA, src, dst Endpoint, size units.Size, deliver func()) {
 	if size <= 0 {
 		n.msgs++
 		n.wire += size
 		pr := n.prof
 		p.Sleep(pr.PerSideOverhead)
-		n.eng.Schedule(pp.fabLat+pr.PerSideOverhead, deliver)
+		n.eng.Schedule(xp.fabLat+pr.PerSideOverhead, deliver)
 		return
 	}
-	x := n.StartTransfer(p, pp, src, dst, size, deliver)
+	x := n.startTransfer(p, xp, hsrc, hdst, src, dst, size, deliver)
 	p.Park("transfer")
 	// The final chunk's completion woke us.
 	n.FinishTransfer(x)
@@ -297,23 +344,32 @@ func (n *Net) TransferVia(p *sim.Proc, pp *PairPath, src, dst Endpoint, size uni
 // the stream completes, after which the caller runs FinishTransfer.
 // size must be positive.
 func (n *Net) StartTransfer(p *sim.Proc, pp *PairPath, src, dst Endpoint, size units.Size, deliver func()) *Pending {
+	return n.startTransfer(p, pp.xp, pp.src, pp.dst, src, dst, size, deliver)
+}
+
+func (n *Net) startTransfer(p *sim.Proc, xp *xbarPath, hsrc, hdst *ib.HCA, src, dst Endpoint, size units.Size, deliver func()) *Pending {
 	n.msgs++
 	pr := n.prof
 	n.wire += size
 	x := n.getXfer()
 	x.p = p
-	x.pp = pp
+	x.xp = xp
+	x.hsrc = hsrc
+	x.hdst = hdst
 	x.deliver = deliver
 	x.pairBW = pr.PairBandwidth(src.Core, dst.Core)
 	x.size = size
 	x.remaining = size
 	x.linkIdx = 0
+	x.stage = xfAdmit
+	// Above the eager threshold the rendezvous round trip precedes
+	// admission; folding it into the initial delay schedules admission at
+	// the same instant with one calendar event fewer per large message.
+	delay := pr.PerSideOverhead
 	if size > pr.EagerThreshold {
-		x.stage = xfRendezvous
-	} else {
-		x.stage = xfAdmit
+		delay += xp.rdvExtra
 	}
-	n.eng.Schedule(pr.PerSideOverhead, x.stepFn)
+	n.eng.Schedule(delay, x.stepFn)
 	return x
 }
 
@@ -322,30 +378,29 @@ func (n *Net) StartTransfer(p *sim.Proc, pp *PairPath, src, dst Endpoint, size u
 // the blocking form runs it after its last sleep. Call it from the
 // woken proc, then the handle is recycled.
 func (n *Net) FinishTransfer(x *Pending) {
-	pp := x.pp
-	ib.EndBetween(pp.src, pp.dst)
-	release(pp.states)
-	n.eng.Schedule(pp.fabLat+n.prof.PerSideOverhead, x.deliver)
+	ib.EndBetween(x.hsrc, x.hdst)
+	release(x.xp.states[:x.xp.ns])
+	n.eng.Schedule(x.xp.fabLat+n.prof.PerSideOverhead, x.deliver)
 	n.putXfer(x)
 }
 
 // xfer stages.
 const (
-	xfRendezvous = iota // overhead slept; schedule the rendezvous trip
-	xfAdmit             // protocol slept; admit onto the route's links
-	xfStream            // admitted; one event per HCA chunk interval
+	xfAdmit  = iota // overhead (and any rendezvous trip) slept; admit onto the route's links
+	xfStream        // admitted; one event per HCA chunk interval
 )
 
 // Pending is one in-flight chained transfer. The step and admission
 // continuations are bound once per object, and objects recycle through
 // the net's free list, so a steady-state transfer allocates nothing.
 type Pending struct {
-	n       *Net
-	p       *sim.Proc
-	pp      *PairPath
-	deliver func()
-	pairBW  units.Bandwidth
-	size    units.Size
+	n          *Net
+	p          *sim.Proc
+	xp         *xbarPath
+	hsrc, hdst *ib.HCA
+	deliver    func()
+	pairBW     units.Bandwidth
+	size       units.Size
 
 	stage     uint8
 	linkIdx   int
@@ -358,14 +413,9 @@ type Pending struct {
 
 // step advances the chain by one scheduled interval.
 func (x *Pending) step() {
-	switch x.stage {
-	case xfRendezvous:
-		// Rendezvous request + clear-to-send at zero payload.
-		x.stage = xfAdmit
-		x.n.eng.Schedule(x.pp.rdvExtra, x.stepFn)
-	case xfAdmit:
+	if x.stage == xfAdmit {
 		x.admit()
-	case xfStream:
+	} else {
 		x.stream()
 	}
 }
@@ -383,7 +433,7 @@ func (x *Pending) step() {
 // Gating it here too would bill the same copper twice; the transport
 // owns the crossbar-to-crossbar tiers the HCA cannot see.
 func (x *Pending) admit() {
-	states := x.pp.states
+	states := x.xp.states[:x.xp.ns]
 	for x.linkIdx < len(states) {
 		st := states[x.linkIdx]
 		if !st.res.AcquireFn(1, x.contFn) {
@@ -394,7 +444,7 @@ func (x *Pending) admit() {
 		x.linkIdx++
 	}
 	x.stage = xfStream
-	ib.BeginBetween(x.pp.src, x.pp.dst, x.size)
+	ib.BeginBetween(x.hsrc, x.hdst, x.size)
 	x.stream()
 }
 
@@ -402,7 +452,7 @@ func (x *Pending) admit() {
 // adapters sustain this instant; the last interval hands control back
 // to the parked proc for the release-and-deliver tail.
 func (x *Pending) stream() {
-	chunk, t := ib.StepBetween(x.pp.src, x.pp.dst, x.remaining, x.pairBW)
+	chunk, t := ib.StepBetween(x.hsrc, x.hdst, x.remaining, x.pairBW)
 	x.remaining -= chunk
 	if x.remaining > 0 {
 		x.n.eng.Schedule(t, x.stepFn)
@@ -419,7 +469,7 @@ func (n *Net) getXfer() *Pending {
 		x = &Pending{n: n}
 		x.stepFn = x.step
 		x.contFn = func() {
-			st := x.pp.states[x.linkIdx]
+			st := x.xp.states[x.linkIdx]
 			st.msgs++
 			st.bytes += x.size
 			x.linkIdx++
@@ -435,7 +485,9 @@ func (n *Net) getXfer() *Pending {
 // putXfer returns a finished transfer to the pool.
 func (n *Net) putXfer(x *Pending) {
 	x.p = nil
-	x.pp = nil
+	x.xp = nil
+	x.hsrc = nil
+	x.hdst = nil
 	x.deliver = nil
 	x.free = n.xfers
 	n.xfers = x
