@@ -25,6 +25,7 @@ import (
 	"io"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"regexp"
 	"runtime"
 	"sort"
@@ -32,6 +33,7 @@ import (
 	"time"
 
 	"roadrunner"
+	"roadrunner/internal/fabric"
 	"roadrunner/internal/scenario"
 )
 
@@ -53,8 +55,14 @@ func run() int {
 	quiet := flag.Bool("quiet", false, "print only the per-experiment summaries")
 	pdes := flag.String("pdes", "auto",
 		"parallel DES inside experiments: off (serial engine), auto (GOMAXPROCS workers) or a worker count; results are identical at any setting")
+	topology := flag.String("topology", "",
+		"fabric topology the scenario sweeps run on (see rrsim -topology); non-default runs are what-if sweeps, so paper-vs-measured checks may fail by design")
 	flag.Parse()
 	if err := scenario.ApplyPDESFlag(*pdes); err != nil {
+		fmt.Fprintf(os.Stderr, "rrexp: %v\n", err)
+		return 2
+	}
+	if err := scenario.ApplyTopologyFlag(*topology); err != nil {
 		fmt.Fprintf(os.Stderr, "rrexp: %v\n", err)
 		return 2
 	}
@@ -121,7 +129,14 @@ func run() int {
 	}
 
 	if *cache {
-		c, err := roadrunner.OpenArtifactCache(*cacheDir)
+		dir := *cacheDir
+		// Artifacts depend on the selected fabric; a per-topology
+		// subdirectory keeps a what-if run from ever serving (or
+		// poisoning) the default tree's cached artifacts.
+		if name := scenario.TopologyName(); name != fabric.DefaultTopology {
+			dir = filepath.Join(dir, "topo-"+name)
+		}
+		c, err := roadrunner.OpenArtifactCache(dir)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			return 2

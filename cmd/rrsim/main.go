@@ -17,6 +17,10 @@
 //	                            # congested run + the most contended links
 //	rrsim -collective alltoall-pairwise -ranks 360 -congestion=off
 //	                            # infinite-capacity fabric (the PR 2 model)
+//	rrsim -topology torus -collective alltoall-pairwise -ranks 360
+//	                            # same collective on an alternative fabric
+//	rrsim -topology fattree-full -census
+//	                            # hop census of the full-bisection tree
 package main
 
 import (
@@ -53,13 +57,23 @@ func main() {
 	toplinks := flag.Int("toplinks", 5, "contended links to print after a congested -collective run (the census keeps the 10 hottest)")
 	pdes := flag.String("pdes", "auto",
 		"parallel DES for batch runs: off (serial engine), auto (GOMAXPROCS workers) or a worker count; results are identical at any setting")
+	topology := flag.String("topology", "",
+		"fabric topology for -hops/-census/-audit/-collective (see fabric.Topologies; default: the paper's tapered fat-tree)")
 	flag.Parse()
 	if err := scenario.ApplyPDESFlag(*pdes); err != nil {
 		fmt.Fprintf(os.Stderr, "rrsim: %v\n", err)
 		os.Exit(2)
 	}
+	if err := scenario.ApplyTopologyFlag(*topology); err != nil {
+		fmt.Fprintf(os.Stderr, "rrsim: %v\n", err)
+		os.Exit(2)
+	}
 
-	fab := fabric.New()
+	fab, err := fabric.NewTopology(scenario.TopologyName())
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "rrsim: %v\n", err)
+		os.Exit(2)
+	}
 	args := flag.Args()
 	if len(args) == 2 {
 		var a, b int
@@ -151,12 +165,12 @@ func main() {
 			fmt.Fprintf(os.Stderr, "bad -congestion %q: want on or off\n", *congestion)
 			os.Exit(2)
 		}
-		run := roadrunner.RunCollectiveCongested
+		run := roadrunner.RunCollectiveCongestedOn
 		if !congested {
-			run = roadrunner.RunCollective
+			run = roadrunner.RunCollectiveOn
 		}
 		start := time.Now()
-		res, err := run(roadrunner.CollectiveOp(*coll), *ranks, units.Size(*msg))
+		res, err := run(scenario.TopologyName(), roadrunner.CollectiveOp(*coll), *ranks, units.Size(*msg))
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(2)
@@ -206,7 +220,10 @@ func desParallelStats(px, py, workers int) error {
 	if err != nil {
 		return err
 	}
-	fab := roadrunner.Fabric()
+	fab, err := fabric.NewTopology(scenario.TopologyName())
+	if err != nil {
+		return err
+	}
 	placements := make([][]transport.Endpoint, len(scenario.TraceReplayPlacementNames))
 	for i, name := range scenario.TraceReplayPlacementNames {
 		p, err := scenario.TraceReplayPlaces(name, fab, tr.Meta.Ranks)

@@ -18,6 +18,7 @@
 //	rrtrace replay -i sweep.jsonl -placement strided -stride 180 -toplinks 8
 //	rrtrace replay -i sweep.jsonl -placement packed -congestion=off
 //	rrtrace replay -i sweep.jsonl -skip-compute -messages 5
+//	rrtrace replay -i sweep.jsonl -topology torus  # same schedule, torus wiring
 //	rrtrace optimize -i sweep.jsonl                # search rank placements
 //	rrtrace optimize -i sweep.jsonl -seed 3 -anneal-rounds 8 -mapping 8
 //
@@ -37,7 +38,6 @@ import (
 	"sort"
 	"time"
 
-	"roadrunner"
 	"roadrunner/internal/cml"
 	"roadrunner/internal/collectives"
 	"roadrunner/internal/fabric"
@@ -82,11 +82,11 @@ func usage() {
   rrtrace inspect -i FILE | inspect -spec
   rrtrace replay -i FILE [-placement block|strided|packed|all] [-stride N]
                  [-per-node N] [-core N] [-congestion on|off] [-pdes off|auto|N]
-                 [-skip-compute] [-toplinks N] [-messages N]
+                 [-skip-compute] [-toplinks N] [-messages N] [-topology NAME]
   rrtrace optimize -i FILE [-seed N] [-workers N] [-congestion on|off]
                  [-full-schedule] [-greedy-rounds N] [-greedy-batch N]
                  [-anneal-rounds N] [-anneal-batch N] [-stride N]
-                 [-per-node N] [-toplinks N] [-mapping N]
+                 [-per-node N] [-toplinks N] [-mapping N] [-topology NAME]
 `)
 }
 
@@ -185,6 +185,7 @@ func optimize(args []string) int {
 	perNode := fs.Int("per-node", 4, "ranks per node of the packed baseline")
 	toplinks := fs.Int("toplinks", 5, "contended links of the winner's census to print")
 	mapping := fs.Int("mapping", 0, "print the first N rank→node assignments of the winner")
+	topology := fs.String("topology", "", "fabric topology to optimize on (see rrsim; default: the tapered fat-tree)")
 	fs.Parse(args)
 	if *in == "" {
 		fmt.Fprintln(os.Stderr, "rrtrace optimize: -i is required")
@@ -195,7 +196,11 @@ func optimize(args []string) int {
 		fmt.Fprintln(os.Stderr, err)
 		return 1
 	}
-	fab := roadrunner.Fabric()
+	fab, err := topoFabric(*topology)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "rrtrace optimize: %v\n", err)
+		return 2
+	}
 	var pol transport.Policy
 	switch *congestion {
 	case "on":
@@ -284,6 +289,15 @@ func optimize(args []string) int {
 	return 0
 }
 
+// topoFabric builds the full-scale fabric for a -topology flag value
+// ("" = the default tapered fat-tree, identical to roadrunner.Fabric()).
+func topoFabric(name string) (*fabric.System, error) {
+	if name == "" {
+		name = fabric.DefaultTopology
+	}
+	return fabric.NewTopology(name)
+}
+
 // toEndpoints converts collective placements to transport endpoints.
 func toEndpoints(places []collectives.Placement) []transport.Endpoint {
 	out := make([]transport.Endpoint, len(places))
@@ -308,6 +322,7 @@ func replay(args []string) int {
 	skipCompute := fs.Bool("skip-compute", false, "strip compute records: replay the bare communication schedule")
 	toplinks := fs.Int("toplinks", 5, "contended links to print after a congested replay")
 	messages := fs.Int("messages", 0, "print per-message timing for the first N sends")
+	topology := fs.String("topology", "", "fabric topology to replay on (see rrsim; default: the tapered fat-tree)")
 	fs.Parse(args)
 	if *in == "" {
 		fmt.Fprintln(os.Stderr, "rrtrace replay: -i is required")
@@ -318,7 +333,11 @@ func replay(args []string) int {
 		fmt.Fprintln(os.Stderr, err)
 		return 1
 	}
-	fab := roadrunner.Fabric()
+	fab, err := topoFabric(*topology)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "rrtrace replay: %v\n", err)
+		return 2
+	}
 	if *placement == "all" {
 		if err := scenario.ApplyPDESFlag(*pdes); err != nil {
 			fmt.Fprintf(os.Stderr, "rrtrace replay: %v\n", err)

@@ -152,6 +152,13 @@ type Config struct {
 // rrsim/facade one-off runs share this setup so a CLI run reproduces a
 // sweep point exactly.
 func DefaultConfig(nodes int) (Config, error) {
+	return DefaultConfigOn(fabric.DefaultTopology, nodes)
+}
+
+// DefaultConfigOn is DefaultConfig over the named fabric topology
+// (fabric.Topologies lists them); "fattree" reproduces DefaultConfig
+// byte for byte.
+func DefaultConfigOn(topology string, nodes int) (Config, error) {
 	if nodes < 1 {
 		return Config{}, fmt.Errorf("collectives: need at least 1 node, got %d", nodes)
 	}
@@ -159,7 +166,10 @@ func DefaultConfig(nodes int) (Config, error) {
 	if cus > params.NumCUs {
 		return Config{}, fmt.Errorf("collectives: %d nodes exceed the %d-CU machine", nodes, params.NumCUs)
 	}
-	fab := fabric.NewScaled(cus)
+	fab, err := fabric.NewTopologyScaled(topology, cus)
+	if err != nil {
+		return Config{}, err
+	}
 	return Config{
 		Fabric:  fab,
 		Profile: ib.OpenMPI(),
@@ -171,7 +181,13 @@ func DefaultConfig(nodes int) (Config, error) {
 // every message is routed over the cable topology and concurrent flows
 // crossing the same link serialize.
 func CongestedConfig(nodes int) (Config, error) {
-	cfg, err := DefaultConfig(nodes)
+	return CongestedConfigOn(fabric.DefaultTopology, nodes)
+}
+
+// CongestedConfigOn is DefaultConfigOn with the wormhole congestion
+// policy.
+func CongestedConfigOn(topology string, nodes int) (Config, error) {
+	cfg, err := DefaultConfigOn(topology, nodes)
 	if err != nil {
 		return Config{}, err
 	}

@@ -1,0 +1,154 @@
+package experiments
+
+import (
+	"fmt"
+
+	"roadrunner/internal/collectives"
+	"roadrunner/internal/scenario"
+	"roadrunner/internal/units"
+)
+
+// The topo-compare experiment is the what-if counterpart of the
+// reproduction suite: the saturation collectives and the captured
+// Sweep3D replay run side by side on every registered fabric — the
+// paper's 2:1-tapered fat-tree, the same tree with ECMP-style hash
+// spreading, a full-bisection (1:1) tree, and a 3D torus. The checks
+// pin the cross-fabric laws: the fat-tree column equals a direct run of
+// the legacy configuration (the topology interface reproduces the
+// default fabric exactly), the tree family shares one uncongested
+// baseline (same hop structure), the full-bisection tree removes
+// alltoall queueing entirely while the tapered trees throttle and the
+// torus throttles hardest, neighbor exchanges ride every fabric
+// untouched, and only the tree family ever charges the uplink tier.
+func init() {
+	register("topo-compare", "Collectives and Sweep3D replay across fabric topologies", "§II.C what-if",
+		"Runs the saturation collectives and the captured Sweep3D replay on the tapered/ECMP/full-bisection fat-trees and the 3D torus, comparing congestion behavior per fabric",
+		runTopoCompare)
+}
+
+func runTopoCompare() *Artifact {
+	a := newArtifact("topo-compare", "Collectives and Sweep3D replay across fabric topologies", "§II.C what-if")
+	rep, err := scenario.TopoCompare()
+	if err != nil {
+		a.Checks.True("sweep runs", false, err.Error())
+		return a
+	}
+
+	t := newTableHelper(fmt.Sprintf("Collectives across fabrics (%d nodes, %v blocks)",
+		scenario.TopoCompareNodes, units.Size(scenario.TopoCompareSize)),
+		"topology", "op", "baseline", "congested", "x", "queued", "total wait", "uplink wait")
+	type key struct {
+		topo string
+		op   collectives.Op
+	}
+	coll := map[key]scenario.TopoCompareCollectivePoint{}
+	for _, p := range rep.Collectives {
+		coll[key{p.Topology, p.Op}] = p
+		t.AddRow(p.Topology, string(p.Op), p.Baseline.String(), p.Congested.String(),
+			fmt.Sprintf("%.3f", p.Slowdown), p.QueuedFlows, p.TotalWait.String(), p.UplinkWait.String())
+	}
+	t.AddNote("every point is an independent simulation; the torus has no uplink tier, so its uplink column is structurally zero")
+	a.Tables = append(a.Tables, t)
+
+	tr := newTableHelper(fmt.Sprintf("Sweep3D replay across fabrics (%d ranks, %d sends)", rep.TraceRanks, rep.TraceSends),
+		"topology", "placement", "hops/msg", "baseline", "congested", "x", "queued", "total wait")
+	type rkey struct{ topo, place string }
+	rply := map[rkey]scenario.TopoCompareReplayPoint{}
+	for _, p := range rep.Replays {
+		rply[rkey{p.Topology, p.Placement}] = p
+		tr.AddRow(p.Topology, p.Placement, fmt.Sprintf("%.2f", p.MeanHops),
+			p.Baseline.String(), p.Congested.String(), fmt.Sprintf("%.4f", p.Slowdown),
+			p.QueuedFlows, p.TotalWait.String())
+	}
+	tr.AddNote("same captured wavefront schedule on every fabric; only the wiring under it changes")
+	a.Tables = append(a.Tables, tr)
+
+	a2a, ring := scenario.TopoCompareOps[0], scenario.TopoCompareOps[1]
+	tap := coll[key{"fattree", a2a}]
+	ecmp := coll[key{"fattree-ecmp", a2a}]
+	full := coll[key{"fattree-full", a2a}]
+	tor := coll[key{"torus", a2a}]
+	a.Checks.True("all fabrics measured", len(rep.Collectives) == 2*len(rep.Topologies) &&
+		len(rep.Replays) == 2*len(rep.Topologies),
+		fmt.Sprintf("%d collective + %d replay points over %v", len(rep.Collectives), len(rep.Replays), rep.Topologies))
+
+	// The fat-tree column must equal a direct run of the legacy (pre
+	// topology interface) configuration — the pin that the interface
+	// reproduces the default fabric event-for-event.
+	legBaseCfg, errB := collectives.DefaultConfig(scenario.TopoCompareNodes)
+	legCongCfg, errC := collectives.CongestedConfig(scenario.TopoCompareNodes)
+	if errB != nil || errC != nil {
+		a.Checks.True("legacy-config reference runs", false, fmt.Sprint(errB, errC))
+		return a
+	}
+	legBase, errB := collectives.Run(legBaseCfg, a2a, scenario.TopoCompareSize)
+	legCong, errC := collectives.Run(legCongCfg, a2a, scenario.TopoCompareSize)
+	if errB != nil || errC != nil {
+		a.Checks.True("legacy-config reference runs", false, fmt.Sprint(errB, errC))
+		return a
+	}
+	a.Checks.True("fat-tree column equals the legacy default-fabric run",
+		tap.Baseline == legBase.Time && tap.Congested == legCong.Time &&
+			tap.QueuedFlows == legCong.Congestion.Queued && tap.TotalWait == legCong.Congestion.TotalWait,
+		fmt.Sprintf("%v / %v, %d queued", tap.Congested, tap.Baseline, tap.QueuedFlows))
+
+	// On the infinite-capacity fabric only hop latencies matter, and all
+	// three tree variants route every pair in the same number of hops.
+	a.Checks.True("tree family shares one uncongested baseline",
+		tap.Baseline == ecmp.Baseline && tap.Baseline == full.Baseline,
+		fmt.Sprintf("alltoall baseline %v on all three trees", tap.Baseline))
+
+	// The 2:1 taper is the whole story of the tapered alltoall: both
+	// hashed variants throttle, the 1:1 tree does not queue a single
+	// flow, and its congested run is indistinguishable from baseline.
+	a.Checks.RatioInBand("tapered fat-tree alltoall throttles at the taper",
+		float64(tap.Congested), float64(tap.Baseline), 1.5, 2.5)
+	a.Checks.True("tapered trees queue on the uplink tier",
+		tap.UplinkQueued > 0 && ecmp.UplinkQueued > 0,
+		fmt.Sprintf("%d and %d uplink-queued flows", tap.UplinkQueued, ecmp.UplinkQueued))
+	a.Checks.True("full-bisection tree removes alltoall queueing entirely",
+		full.QueuedFlows == 0 && full.Congested == full.Baseline,
+		fmt.Sprintf("congested %v == baseline, 0 queued flows", full.Congested))
+
+	// Dimension-ordered torus routing concentrates the dense exchange on
+	// few ring cables: the worst fabric for alltoall, and structurally
+	// without an uplink tier to charge.
+	a.Checks.True("torus throttles alltoall hardest",
+		tor.Slowdown > tap.Slowdown && tor.Slowdown > ecmp.Slowdown,
+		fmt.Sprintf("torus %.2fx vs trees %.2fx / %.2fx", tor.Slowdown, tap.Slowdown, ecmp.Slowdown))
+	a.Checks.True("torus census never touches an uplink tier",
+		tor.QueuedFlows > 0 && tor.UplinkQueued == 0 && tor.UplinkWait == 0,
+		fmt.Sprintf("%d queued flows, all on torus cables", tor.QueuedFlows))
+
+	// Ring allgather only ever talks to a neighbor: it rides every
+	// fabric — including the torus — completely unthrottled.
+	for _, topo := range rep.Topologies {
+		p := coll[key{topo, ring}]
+		a.Checks.True(fmt.Sprintf("allgather rides %s untouched", topo),
+			p.QueuedFlows == 0 && p.Congested == p.Baseline,
+			fmt.Sprintf("congested %v == baseline", p.Congested))
+	}
+
+	// Replay: the wavefront's boundary exchanges are sparse, so the
+	// compute-interleaved iteration moves by at most a fraction of a
+	// percent on any fabric; the torus pays more hops than any tree
+	// under both placements.
+	for _, p := range rep.Replays {
+		a.Checks.RatioInBand(fmt.Sprintf("%s/%s replay rides the fabric", p.Topology, p.Placement),
+			float64(p.Congested), float64(p.Baseline), 0.95, 1.05)
+	}
+	for _, place := range scenario.TopoComparePlacementNames {
+		a.Checks.True(fmt.Sprintf("torus pays the deepest %s routes", place),
+			rply[rkey{"torus", place}].MeanHops > rply[rkey{"fattree", place}].MeanHops,
+			fmt.Sprintf("%.2f vs %.2f hops/msg", rply[rkey{"torus", place}].MeanHops,
+				rply[rkey{"fattree", place}].MeanHops))
+	}
+	// The three tree variants replay the block placement identically:
+	// an 8-rank-per-crossbar block never leaves its CU, and below the
+	// uplink tier the variants are the same wiring.
+	a.Checks.True("tree variants identical below the uplink tier",
+		rply[rkey{"fattree", "block"}].Congested == rply[rkey{"fattree-full", "block"}].Congested &&
+			rply[rkey{"fattree", "block"}].Congested == rply[rkey{"fattree-ecmp", "block"}].Congested,
+		fmt.Sprintf("block replay %v on all three trees", rply[rkey{"fattree", "block"}].Congested))
+	return a
+}

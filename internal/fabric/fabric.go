@@ -62,21 +62,22 @@ func PairKey(a, b NodeID) uint64 {
 	return uint64(a.GlobalID())<<32 | uint64(b.GlobalID())
 }
 
-// System is the full interconnect model.
+// System is the full interconnect model: a Topology implementation
+// (the default fat-tree, a torus, ...) plus the system-wide accessors
+// the paper's metrics derive from. Construct with New, NewScaled or
+// NewTopology; the zero value has no topology and panics on use.
 type System struct {
-	CUs int // number of CUs (17 in Roadrunner; smaller for tests)
+	CUs  int // number of CUs (17 in Roadrunner; smaller for tests)
+	topo Topology
 }
 
-// New returns the full 17-CU Roadrunner fabric.
-func New() *System { return &System{CUs: params.NumCUs} }
+// New returns the full 17-CU Roadrunner fabric (the default fat-tree).
+func New() *System { return NewScaled(params.NumCUs) }
 
-// NewScaled returns a fabric with the given CU count (1..24), for
-// experiments below full scale.
+// NewScaled returns a default-fat-tree fabric with the given CU count
+// (1..24), for experiments below full scale.
 func NewScaled(cus int) *System {
-	if cus < 1 || cus > params.MaxCUs {
-		panic(fmt.Sprintf("fabric: %d CUs outside 1..%d", cus, params.MaxCUs))
-	}
-	return &System{CUs: cus}
+	return &System{CUs: cus, topo: newTree(cus, DefaultTopology, 1, false)}
 }
 
 // Nodes returns the total compute-node count.
@@ -120,43 +121,10 @@ func SwitchLevelXbar(k int) int { return k / 2 }
 // side of the inter-CU switches.
 func firstSide(cu int) bool { return cu < params.FirstSideCUs }
 
-// Hops returns the number of crossbars a minimal route between two
-// compute nodes traverses (the paper's Table I metric).
-func (s *System) Hops(a, b NodeID) int {
-	s.validate(a)
-	s.validate(b)
-	if a == b {
-		return 0
-	}
-	ka, kb := LineXbar(a.Node), LineXbar(b.Node)
-	if a.CU == b.CU {
-		if ka == kb {
-			return 1 // same line crossbar
-		}
-		return 3 // line -> spine -> line inside the CU switch
-	}
-	// Different CU: the route climbs out of a's line crossbar into an
-	// inter-CU switch. If both line crossbars have the same index, their
-	// uplinks meet on the same switch-level crossbar: one middle hop.
-	sameLevelXbar := ka == kb
-	if firstSide(a.CU) == firstSide(b.CU) {
-		if sameLevelXbar {
-			// line -> switch level xbar -> line.
-			return 3
-		}
-		// line -> level xbar -> middle -> level xbar -> line.
-		return 5
-	}
-	// Opposite sides of the inter-CU switch: the route additionally
-	// crosses the middle level.
-	if sameLevelXbar {
-		// line -> first-level -> middle -> last-level -> line.
-		return 5
-	}
-	// line -> first-level -> middle -> middle -> last-level -> line
-	// (two middle-stage crossbars to change level index).
-	return 7
-}
+// Hops returns the number of crossbars (routers) a minimal route
+// between two compute nodes traverses (the paper's Table I metric on
+// the fat-tree; ring distance + 1 on the torus).
+func (s *System) Hops(a, b NodeID) int { return s.topo.Hops(a, b) }
 
 // HopsGlobal returns Hops between two system-wide node indices, for
 // callers that address nodes globally (rrsim's hop query, placement
@@ -165,32 +133,14 @@ func (s *System) HopsGlobal(a, b int) int {
 	return s.Hops(FromGlobal(a), FromGlobal(b))
 }
 
-// PairClass names the Table I destination class of the route from a to
-// b: "self", "same-xbar", "same-cu", "same-side-same-xbar",
-// "same-side-other-xbar", "cross-side-same-xbar" or
-// "cross-side-other-xbar". The class determines the hop count; the audit
-// tests and topology tools use it to label routes.
-func (s *System) PairClass(a, b NodeID) string {
-	s.validate(a)
-	s.validate(b)
-	ka, kb := LineXbar(a.Node), LineXbar(b.Node)
-	switch {
-	case a == b:
-		return "self"
-	case a.CU == b.CU && ka == kb:
-		return "same-xbar"
-	case a.CU == b.CU:
-		return "same-cu"
-	case firstSide(a.CU) == firstSide(b.CU) && ka == kb:
-		return "same-side-same-xbar"
-	case firstSide(a.CU) == firstSide(b.CU):
-		return "same-side-other-xbar"
-	case ka == kb:
-		return "cross-side-same-xbar"
-	default:
-		return "cross-side-other-xbar"
-	}
-}
+// PairClass names the destination class of the route from a to b. On
+// the fat-tree family these are the Table I classes: "self",
+// "same-xbar", "same-cu", "same-side-same-xbar", "same-side-other-xbar",
+// "cross-side-same-xbar" or "cross-side-other-xbar"; the class
+// determines the hop count, and the audit tests cross-check against
+// ClassHops. Other topologies name classes their own way (the torus by
+// ring distance).
+func (s *System) PairClass(a, b NodeID) string { return s.topo.PairClass(a, b) }
 
 // ClassHops maps each PairClass name to its crossbar hop count (the
 // Table I metric). The audit tests cross-check Hops against this table
@@ -203,12 +153,6 @@ var ClassHops = map[string]int{
 	"same-side-other-xbar":  5,
 	"cross-side-same-xbar":  5,
 	"cross-side-other-xbar": 7,
-}
-
-func (s *System) validate(n NodeID) {
-	if n.CU < 0 || n.CU >= s.CUs || n.Node < 0 || n.Node >= params.NodesPerCU {
-		panic(fmt.Sprintf("fabric: node %v outside %d-CU system", n, s.CUs))
-	}
 }
 
 // HopLatency returns the switching latency of a route: 220 ns per
@@ -234,9 +178,12 @@ type HopCensus struct {
 }
 
 // Census computes the hop census from a source node over all compute
-// nodes (including the source itself).
+// nodes (including the source itself). The Table I class fields are
+// fat-tree terms; on other topologies they stay zero (except Self) and
+// the hop-count tally carries the census.
 func (s *System) Census(src NodeID) HopCensus {
 	c := HopCensus{HopCounts: map[int]int{}}
+	_, isTree := s.topo.(*tree)
 	for cu := 0; cu < s.CUs; cu++ {
 		for n := 0; n < params.NodesPerCU; n++ {
 			dst := NodeID{cu, n}
@@ -247,6 +194,8 @@ func (s *System) Census(src NodeID) HopCensus {
 			switch {
 			case dst == src:
 				c.Self++
+			case !isTree:
+				// Non-fat-tree: no crossbar/side classes to tally.
 			case cu == src.CU && LineXbar(n) == LineXbar(src.Node):
 				c.SameXbar++
 			case cu == src.CU:
@@ -284,23 +233,32 @@ type Audit struct {
 	MaxCUsSupported    int
 }
 
-// Audit returns the structural audit of the system.
+// Audit returns the structural audit of the system. The quantities are
+// fat-tree terms; on the full-bisection variant the uplink counts
+// double and the taper falls below 1 (more uplink than node bandwidth),
+// and on the torus the audit reports the tapered-tree reference plant
+// (use Topology/TopologyName to tell fabrics apart).
 func (s *System) Audit() Audit {
+	planes := 1
+	if tr, ok := s.topo.(*tree); ok {
+		planes = tr.planes
+	}
 	down := s.CUs * (params.NodesPerCU + params.IONodesPerCU)
-	up := s.CUs * params.UplinksPerCUSwitch * params.InterCUSwitches
-	return Audit{
+	up := planes * s.CUs * params.UplinksPerCUSwitch * params.InterCUSwitches
+	a := Audit{
 		CUs:                s.CUs,
 		NodesPerCU:         params.NodesPerCU,
 		IONodesPerCU:       params.IONodesPerCU,
 		LineXbarsPerCU:     params.SwitchLowerXbars,
 		SpineXbarsPerCU:    params.SwitchUpperXbars,
 		ExternalPortsPerCU: params.NodesPerCU + params.IONodesPerCU,
-		UplinksPerCU:       params.UplinksPerCUSwitch * params.InterCUSwitches,
+		UplinksPerCU:       planes * params.UplinksPerCUSwitch * params.InterCUSwitches,
 		InterCUSwitches:    params.InterCUSwitches,
-		UplinksPerCUPerSw:  params.UplinksPerCUSwitch,
+		UplinksPerCUPerSw:  planes * params.UplinksPerCUSwitch,
 		DownLinksTotal:     down,
 		UpLinksTotal:       up,
-		TaperRatio:         float64(params.NodesPerCU) / float64(params.UplinksPerCUSwitch*params.InterCUSwitches),
+		TaperRatio:         float64(params.NodesPerCU) / float64(planes*params.UplinksPerCUSwitch*params.InterCUSwitches),
 		MaxCUsSupported:    params.MaxCUs,
 	}
+	return a
 }

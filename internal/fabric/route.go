@@ -56,6 +56,11 @@ const (
 	// LinkSwitchInternal is a segment between crossbar stages inside an
 	// inter-CU switch.
 	LinkSwitchInternal
+	// LinkTorus is a neighbor cable of the 3D-torus topology: Sw is the
+	// dimension (0 x, 1 y, 2 z), A the lower-coordinate router along it
+	// (the wrap cable is size-1), B the flattened perpendicular row,
+	// and Up the + direction channel.
+	LinkTorus
 )
 
 // String names the kind.
@@ -69,6 +74,8 @@ func (k LinkKind) String() string {
 		return "uplink"
 	case LinkSwitchInternal:
 		return "switch-internal"
+	case LinkTorus:
+		return "torus"
 	}
 	return fmt.Sprintf("kind(%d)", uint8(k))
 }
@@ -103,8 +110,16 @@ type Link struct {
 }
 
 // Key packs the link into an order-preserving uint64 for map keys and the
-// global acquisition order.
+// global acquisition order: Kind, Up, CU+1 (9 bits), Sw+1 (8 bits) and
+// 12 bits each for A and B. A topology whose endpoint indices overflow
+// a lane would silently collide keys — merging distinct links' channel
+// state and corrupting the global acquisition order — so Key panics on
+// overflow instead; the exhaustive per-topology key-uniqueness test
+// keeps registered topologies inside the lanes.
 func (l Link) Key() uint64 {
+	if uint(l.A) > 0xfff || uint(l.B) > 0xfff || uint(l.CU+1) > 0x1ff || uint(l.Sw+1) > 0xff {
+		panic(fmt.Sprintf("fabric: link %+v overflows its Key bit lanes", l))
+	}
 	return uint64(l.Kind)<<42 | boolBit(l.Up)<<41 |
 		uint64(l.CU+1)<<32 | uint64(l.Sw+1)<<24 | uint64(l.A)<<12 | uint64(l.B)
 }
@@ -130,12 +145,22 @@ func (l Link) String() string {
 		}
 		return fmt.Sprintf("CU%d/spine%d->xbar%d", l.CU+1, l.B, l.A)
 	case LinkUplink:
-		if l.Up {
-			return fmt.Sprintf("uplink CU%d/slot%d->sw%d", l.CU+1, l.A, l.Sw)
+		plane := ""
+		if l.B > 0 { // second cable plane of the full-bisection tree
+			plane = ".b"
 		}
-		return fmt.Sprintf("uplink sw%d->CU%d/slot%d", l.Sw, l.CU+1, l.A)
+		if l.Up {
+			return fmt.Sprintf("uplink CU%d/slot%d%s->sw%d", l.CU+1, l.A, plane, l.Sw)
+		}
+		return fmt.Sprintf("uplink sw%d->CU%d/slot%d%s", l.Sw, l.CU+1, l.A, plane)
 	case LinkSwitchInternal:
 		return fmt.Sprintf("sw%d/%s->%s", l.Sw, stageName(l.A), stageName(l.B))
+	case LinkTorus:
+		dir := byte('+')
+		if !l.Up {
+			dir = '-'
+		}
+		return fmt.Sprintf("torus %c%c/cable%d/row%d", "xyz"[l.Sw], dir, l.A, l.B)
 	}
 	return fmt.Sprintf("link%+v", struct {
 		K    LinkKind
@@ -146,21 +171,29 @@ func (l Link) String() string {
 	}{l.Kind, l.Up, l.CU, l.Sw, l.A, l.B})
 }
 
-// stageName renders a switch-internal stage code.
+// stageName renders a switch-internal stage code (plane-1 codes of the
+// full-bisection tree carry a "b:" prefix).
 func stageName(code int) string {
+	prefix := ""
+	if code >= planeStageOffset {
+		prefix = "b:"
+		code -= planeStageOffset
+	}
 	idx := code % params.InterCULevelsXbars
 	switch code / params.InterCULevelsXbars {
 	case stageFirst:
-		return fmt.Sprintf("first%d", idx)
+		return prefix + fmt.Sprintf("first%d", idx)
 	case stageMiddle:
-		return fmt.Sprintf("mid%d", idx)
+		return prefix + fmt.Sprintf("mid%d", idx)
 	default:
-		return fmt.Sprintf("last%d", idx)
+		return prefix + fmt.Sprintf("last%d", idx)
 	}
 }
 
-// RouteMax is the longest route length (cross-side, different crossbar
-// index: node + uplink + 4 internal + downlink + node).
+// RouteMax is the longest fat-tree route length (cross-side, different
+// crossbar index: node + uplink + 4 internal + downlink + node). Other
+// topologies bound their routes with Topology.MaxRouteLen; size route
+// buffers with System.MaxRouteLen when the topology is not fixed.
 const RouteMax = 8
 
 // Route returns the directed link sequence of the minimal route from a to
@@ -171,76 +204,13 @@ func (s *System) Route(a, b NodeID) []Link {
 	return s.RouteInto(nil, a, b)
 }
 
-// RouteInto appends the route to buf (use a [RouteMax]Link-backed slice
-// to route without allocating) and returns the extended slice.
+// RouteInto appends the route to buf (use a MaxRouteLen-backed slice to
+// route without allocating) and returns the extended slice.
 func (s *System) RouteInto(buf []Link, a, b NodeID) []Link {
-	s.validate(a)
-	s.validate(b)
-	if a == b {
-		return buf
-	}
-	ka, kb := LineXbar(a.Node), LineXbar(b.Node)
-	buf = append(buf, Link{Kind: LinkNodePort, Up: true, CU: a.CU, Sw: -1, A: a.Node, B: ka})
-	dst := b.GlobalID()
-	switch {
-	case a.CU == b.CU && ka == kb:
-		// One crossbar: straight through the shared line crossbar.
-	case a.CU == b.CU:
-		// Line -> spine -> line inside the CU switch, spine chosen by
-		// destination hash.
-		sp := dst % params.SwitchUpperXbars
-		buf = append(buf,
-			Link{Kind: LinkSpine, Up: true, CU: a.CU, Sw: -1, A: ka, B: sp},
-			Link{Kind: LinkSpine, Up: false, CU: a.CU, Sw: -1, A: kb, B: sp})
-	default:
-		// Out of the CU: one of the source line crossbar's four uplink
-		// switches, chosen by destination hash.
-		sw := UplinkSwitches(ka)[dst%4]
-		sa, sb := SwitchLevelXbar(ka), SwitchLevelXbar(kb)
-		buf = append(buf, Link{Kind: LinkUplink, Up: true, CU: a.CU, Sw: sw, A: sa})
-		buf = appendSwitchInternal(buf, sw, a.CU, b.CU, ka, kb, dst)
-		buf = append(buf, Link{Kind: LinkUplink, Up: false, CU: b.CU, Sw: sw, A: sb})
-	}
-	return append(buf, Link{Kind: LinkNodePort, Up: false, CU: b.CU, Sw: -1, A: b.Node, B: kb})
+	return s.topo.RouteInto(buf, a, b)
 }
 
-// appendSwitchInternal emits the segments between the CU-facing crossbar
-// the uplink lands on and the one the downlink leaves from, mirroring the
-// crossbar counts Hops charges inside the inter-CU switch.
-func appendSwitchInternal(buf []Link, sw, cuA, cuB, ka, kb, dst int) []Link {
-	sa, sb := SwitchLevelXbar(ka), SwitchLevelXbar(kb)
-	from := sideStage(cuA)*params.InterCULevelsXbars + sa
-	to := sideStage(cuB)*params.InterCULevelsXbars + sb
-	internal := func(f, t int) Link {
-		return Link{Kind: LinkSwitchInternal, CU: -1, Sw: sw, A: f, B: t}
-	}
-	mid := func(i int) int { return stageMiddle*params.InterCULevelsXbars + i }
-	sameSide := firstSide(cuA) == firstSide(cuB)
-	switch {
-	case sameSide && ka == kb:
-		// Both uplinks land on the same CU-facing crossbar: no internal
-		// segment (Table I's 3-hop shortcut).
-		return buf
-	case sameSide || ka == kb:
-		// One middle crossbar: level -> middle -> level (5 hops total).
-		m := mid(midHash(dst))
-		return append(buf, internal(from, m), internal(m, to))
-	default:
-		// Opposite sides and different crossbar index: the route crosses
-		// the middle stage three times to change both level index and
-		// side, matching Table I's 7-hop count.
-		m1, m3 := sa, sb
-		m2 := midHash(dst)
-		for m2 == m1 || m2 == m3 {
-			m2 = (m2 + 1) % params.InterCULevelsXbars
-		}
-		return append(buf,
-			internal(from, mid(m1)), internal(mid(m1), mid(m2)),
-			internal(mid(m2), mid(m3)), internal(mid(m3), to))
-	}
-}
-
-// midHash picks the middle-stage crossbar for a destination. Mixing the
+// midHash picks the middle-stage crossbar for a routing hash. Mixing the
 // high bits in (rather than dst mod 12 alone) spreads destinations that
 // are whole CU-multiples apart over different middle crossbars, the way
 // a balanced linear forwarding table would — a bare modulus sends e.g.

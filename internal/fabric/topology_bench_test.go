@@ -1,0 +1,36 @@
+package fabric
+
+import "testing"
+
+// The route benches track each topology's routing cost over the same
+// deterministic pair set — the inner loop the transport's cache misses
+// pay. CI's bench-artifact step archives them per commit next to the
+// collective and saturation benches.
+
+func benchTopologyRoute(b *testing.B, name string) {
+	b.Helper()
+	sys, err := NewTopology(name)
+	if err != nil {
+		b.Fatal(err)
+	}
+	nodes := sys.CUs * 180
+	buf := make([]Link, 0, sys.MaxRouteLen())
+	b.ResetTimer()
+	var links int
+	for i := 0; i < b.N; i++ {
+		// A fixed stride walk: sources sweep the machine, destinations
+		// land in other CUs, so every class of route appears.
+		src := FromGlobal((i * 7919) % nodes)
+		dst := FromGlobal((i*104729 + 1021) % nodes)
+		buf = sys.RouteInto(buf[:0], src, dst)
+		links += len(buf)
+	}
+	if links == 0 {
+		b.Fatal("no links routed")
+	}
+}
+
+func BenchmarkTopologyRouteFattree(b *testing.B)     { benchTopologyRoute(b, "fattree") }
+func BenchmarkTopologyRouteFattreeECMP(b *testing.B) { benchTopologyRoute(b, "fattree-ecmp") }
+func BenchmarkTopologyRouteFattreeFull(b *testing.B) { benchTopologyRoute(b, "fattree-full") }
+func BenchmarkTopologyRouteTorus(b *testing.B)       { benchTopologyRoute(b, "torus") }

@@ -5,7 +5,6 @@ import (
 	"reflect"
 
 	"roadrunner/internal/cml"
-	"roadrunner/internal/fabric"
 	"roadrunner/internal/facility"
 	"roadrunner/internal/ib"
 	"roadrunner/internal/params"
@@ -140,7 +139,7 @@ func FacilityRun(policy, alloc string, w facility.Workload) (*facility.Result, e
 			return nil, err
 		}
 		rt, err = facility.NewTraceRuntime(tr, trace.ReplayConfig{
-			Fabric:  fabric.New(),
+			Fabric:  newFabric(),
 			Profile: ib.OpenMPI(),
 			Policy:  transport.Congested(),
 		})
@@ -180,7 +179,7 @@ func facilityStreamOnce() (*FacilityStreamReport, error) {
 		return nil, err
 	}
 	rt, err := facility.NewTraceRuntime(tr, trace.ReplayConfig{
-		Fabric:  fabric.New(),
+		Fabric:  newFabric(),
 		Profile: ib.OpenMPI(),
 		Policy:  transport.Congested(),
 	})

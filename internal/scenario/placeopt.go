@@ -4,7 +4,6 @@ import (
 	"fmt"
 	"reflect"
 
-	"roadrunner/internal/fabric"
 	"roadrunner/internal/ib"
 	"roadrunner/internal/placement"
 	"roadrunner/internal/trace"
@@ -82,7 +81,7 @@ func PlaceOptimize() (*PlaceOptimizeReport, error) {
 // PlaceOptimizeTrace runs the placement search over an already captured
 // (or loaded) trace.
 func PlaceOptimizeTrace(tr *trace.Trace) (*PlaceOptimizeReport, error) {
-	fab := fabric.New()
+	fab := newFabric()
 	starts := make([]placement.Start, 0, len(TraceReplayPlacementNames))
 	for _, name := range TraceReplayPlacementNames {
 		places, err := traceReplayPlaces(name, fab, tr.Meta.Ranks)

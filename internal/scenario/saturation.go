@@ -119,11 +119,11 @@ func saturationSweep(nodeCounts []int) ([]SaturationPoint, error) {
 	var reqs []collectives.Request
 	for _, op := range SaturationOps {
 		for _, n := range nodeCounts {
-			baseCfg, err := collectives.DefaultConfig(n)
+			baseCfg, err := collectives.DefaultConfigOn(TopologyName(), n)
 			if err != nil {
 				return nil, fmt.Errorf("scenario coll-saturation: %w", err)
 			}
-			congCfg, err := collectives.CongestedConfig(n)
+			congCfg, err := collectives.CongestedConfigOn(TopologyName(), n)
 			if err != nil {
 				return nil, fmt.Errorf("scenario coll-saturation: %w", err)
 			}

@@ -12,7 +12,6 @@ import (
 	"fmt"
 
 	"roadrunner/internal/collectives"
-	"roadrunner/internal/fabric"
 	"roadrunner/internal/ib"
 	"roadrunner/internal/linpack"
 	"roadrunner/internal/machine"
@@ -43,7 +42,7 @@ func (p Point) String() string {
 // the rank count (collectives.DefaultConfig: one rank per node on a
 // near core, smallest fabric that holds them).
 func runPoint(name string, op collectives.Op, ranks int, size units.Size) (Point, error) {
-	cfg, err := collectives.DefaultConfig(ranks)
+	cfg, err := collectives.DefaultConfigOn(TopologyName(), ranks)
 	if err != nil {
 		return Point{}, fmt.Errorf("scenario %s: %w", name, err)
 	}
@@ -203,7 +202,7 @@ type PanelBroadcastResult struct {
 // broadcasts instead of using the latency-optimal tree.
 func PanelBroadcast() (*PanelBroadcastResult, error) {
 	spec := linpack.RoadrunnerPanelBroadcast()
-	fab := fabric.New()
+	fab := newFabric()
 	prof := ib.OpenMPI()
 	cfg := collectives.Config{
 		Fabric:  fab,

@@ -164,7 +164,7 @@ func ReplayUnderPlacements(tr *trace.Trace, captureIteration units.Time) (*Trace
 		TraceBytes:       s.Bytes,
 		CaptureIteration: captureIteration,
 	}
-	fab := fabric.New()
+	fab := newFabric()
 	placements := make([][]transport.Endpoint, len(TraceReplayPlacementNames))
 	for i, name := range TraceReplayPlacementNames {
 		places, err := traceReplayPlaces(name, fab, tr.Meta.Ranks)

@@ -1,0 +1,210 @@
+package transport
+
+import (
+	"testing"
+
+	"roadrunner/internal/fabric"
+	"roadrunner/internal/ib"
+	"roadrunner/internal/params"
+	"roadrunner/internal/sim"
+	"roadrunner/internal/units"
+)
+
+// topoSystem builds the named topology at the given scale or fails.
+func topoSystem(t *testing.T, name string, cus int) *fabric.System {
+	t.Helper()
+	s, err := fabric.NewTopologyScaled(name, cus)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// TestCrossDomainLookaheadDerivedPerTopology pins the satellite fix:
+// the conservative window floor comes from the topology's minimum
+// cross-CU route, not a hard-coded fat-tree constant. The fat-tree
+// family keeps the legacy 3-crossbar floor; the torus — whose CU-major
+// numbering puts neighboring routers in different CUs — gets a smaller
+// (2-router) floor, which the old constant would have overstated,
+// silently corrupting windowed runs.
+func TestCrossDomainLookaheadDerivedPerTopology(t *testing.T) {
+	prof := ib.OpenMPI()
+	legacy := prof.PerSideOverhead + 3*prof.HopLatency
+	for _, name := range fabric.Topologies() {
+		fab := topoSystem(t, name, 2)
+		got := CrossDomainLookahead(fab, prof)
+		want := prof.PerSideOverhead + units.Time(fab.MinCrossDomainRoute())*prof.HopLatency
+		if got != want {
+			t.Errorf("%s: lookahead %v, want %v", name, got, want)
+		}
+		switch name {
+		case "torus":
+			if got >= legacy {
+				t.Errorf("torus: lookahead %v not below the fat-tree constant %v", got, legacy)
+			}
+		default:
+			if got != legacy {
+				t.Errorf("%s: lookahead %v differs from the fat-tree floor %v", name, got, legacy)
+			}
+		}
+	}
+}
+
+// minCrossCUPair returns the cross-CU pair with the fewest hops on a
+// 2-CU system (exhaustive scan), the worst case for the lookahead.
+func minCrossCUPair(fab *fabric.System) (a, b fabric.NodeID, hops int) {
+	hops = -1
+	for i := 0; i < params.NodesPerCU; i++ {
+		for j := 0; j < params.NodesPerCU; j++ {
+			na, nb := fabric.NodeID{CU: 0, Node: i}, fabric.NodeID{CU: 1, Node: j}
+			if h := fab.Hops(na, nb); hops < 0 || h < hops {
+				a, b, hops = na, nb, h
+			}
+		}
+	}
+	return a, b, hops
+}
+
+// TestLookaheadSafePerTopology is the per-topology lookahead-violation
+// test: (1) the fastest cross-CU transfer the transport can generate
+// delivers no earlier than the derived lookahead, so windows computed
+// from it are safe; (2) a windowed sim.Cluster accepts a send at
+// exactly the derived lookahead and panics with *LookaheadViolation
+// one tick below it — the floor is tight, not slack.
+func TestLookaheadSafePerTopology(t *testing.T) {
+	prof := ib.OpenMPI()
+	for _, name := range fabric.Topologies() {
+		fab := topoSystem(t, name, 2)
+		la := CrossDomainLookahead(fab, prof)
+		src, dst, hops := minCrossCUPair(fab)
+
+		// The fastest cross-domain influence: a zero-byte transfer on
+		// the minimum route. Its delivery fires after send-side
+		// overhead + fabric latency + receive-side overhead, which must
+		// not undercut the lookahead.
+		eng := sim.NewEngine()
+		var delivered units.Time
+		net := New(eng, fab, prof, Policy{})
+		eng.Spawn("probe", func(p *sim.Proc) {
+			net.Transfer(p, Endpoint{Node: src, Core: 1}, Endpoint{Node: dst, Core: 1}, 0,
+				func() { delivered = eng.Now() })
+		})
+		if err := eng.Run(); err != nil {
+			t.Fatal(err)
+		}
+		eng.Close()
+		if delivered < la {
+			t.Errorf("%s: %d-hop transfer delivered at %v, under lookahead %v — unsafe window",
+				name, hops, delivered, la)
+		}
+
+		// The cluster enforces the same floor: at the lookahead the send
+		// is accepted, below it the violation panics.
+		c := sim.NewCluster(2, la)
+		c.Send(0, 1, la, func() {})
+		func() {
+			defer func() {
+				if _, ok := recover().(*sim.LookaheadViolation); !ok {
+					t.Errorf("%s: no LookaheadViolation for delay below the %v floor", name, la)
+				}
+			}()
+			c.Send(0, 1, la-1, func() {})
+		}()
+	}
+}
+
+// TestRouteCacheSizedByTopology pins the satellite fix for the dense
+// route cache: rows and keys come from the topology interface. The
+// torus keys per node (its routers are per-node), so a source whose
+// global id exceeds the fat-tree's crossbar-count sizing must resolve
+// without indexing out of the table — exactly what the old
+// CUs*LineXbarsPerCU sizing would have crashed (or silently aliased)
+// on.
+func TestRouteCacheSizedByTopology(t *testing.T) {
+	fab := topoSystem(t, "torus", params.NumCUs)
+	if fab.CacheRows() <= fab.CUs*fabric.LineXbarsPerCU {
+		t.Fatalf("torus cache rows %d not beyond fat-tree sizing %d — test is vacuous",
+			fab.CacheRows(), fab.CUs*fabric.LineXbarsPerCU)
+	}
+	eng := sim.NewEngine()
+	defer eng.Close()
+	net := New(eng, fab, ib.OpenMPI(), Congested())
+	// The last node of the machine: CacheKey 3059 on the torus, far past
+	// the 408 crossbar rows of the fat-tree geometry.
+	src := fabric.NodeID{CU: params.NumCUs - 1, Node: params.NodesPerCU - 1}
+	dst := fabric.NodeID{CU: 0, Node: 0}
+	xp := net.xpath(src, dst)
+	want := units.Time(fab.Hops(src, dst)) * ib.OpenMPI().HopLatency
+	if xp.fabLat != want {
+		t.Errorf("torus xpath fabric latency %v, want %v", xp.fabLat, want)
+	}
+	if len(xp.states) != fab.Hops(src, dst)-1 {
+		t.Errorf("torus xpath carries %d interior links, want %d (one per router-to-router cable)",
+			len(xp.states), fab.Hops(src, dst)-1)
+	}
+}
+
+// TestCacheHitNeverCrossesTopologies is the regression the satellite
+// asks for: one topology's cache entry can never serve another's path.
+// Each Net derives from its own fabric, so the same (src, dst) pair
+// must yield each topology's own hop latency and link interior — pinned
+// by comparing against the owning fabric, on a pair whose routes differ
+// across every tree/torus split.
+func TestCacheHitNeverCrossesTopologies(t *testing.T) {
+	prof := ib.OpenMPI()
+	src := fabric.NodeID{CU: 0, Node: 9}
+	dst := fabric.NodeID{CU: 1, Node: 100}
+	seen := map[string]units.Time{}
+	for _, name := range fabric.Topologies() {
+		fab := topoSystem(t, name, 2)
+		eng := sim.NewEngine()
+		net := New(eng, fab, prof, Congested())
+		xp := net.xpath(src, dst)
+		if want := units.Time(fab.Hops(src, dst)) * prof.HopLatency; xp.fabLat != want {
+			t.Errorf("%s: cached fabric latency %v, want the owning fabric's %v", name, xp.fabLat, want)
+		}
+		// Every cached interior link must be a link of this topology's
+		// own route — not a path leaked from another fabric's geometry.
+		route := map[uint64]bool{}
+		for _, l := range fab.Route(src, dst) {
+			route[l.Key()] = true
+		}
+		for _, st := range xp.states {
+			if !route[st.link.Key()] {
+				t.Errorf("%s: cache holds link %v that is not on this topology's route", name, st.link)
+			}
+		}
+		seen[name] = xp.fabLat
+		eng.Close()
+	}
+	if seen["fattree"] == seen["torus"] {
+		t.Errorf("fat-tree and torus agree on fabric latency %v for %v->%v — pair cannot distinguish topologies",
+			seen["fattree"], src, dst)
+	}
+}
+
+// TestSharedCacheRowsPerTopologyGranularity pins the cache-key
+// granularity: fat-tree sources on one line crossbar share the cached
+// entry (same *xbarPath), while torus sources — each with its own
+// router — never do.
+func TestSharedCacheRowsPerTopologyGranularity(t *testing.T) {
+	prof := ib.OpenMPI()
+	dst := fabric.NodeID{CU: 1, Node: 42}
+	a, b := fabric.NodeID{CU: 0, Node: 0}, fabric.NodeID{CU: 0, Node: 1} // same crossbar
+	{
+		eng := sim.NewEngine()
+		net := New(eng, topoSystem(t, "fattree", 2), prof, Congested())
+		if net.xpath(a, dst) != net.xpath(b, dst) {
+			t.Error("fattree: same-crossbar sources do not share the cache entry")
+		}
+		eng.Close()
+	}
+	{
+		eng := sim.NewEngine()
+		net := New(eng, topoSystem(t, "torus", 2), prof, Congested())
+		if net.xpath(a, dst) == net.xpath(b, dst) {
+			t.Error("torus: distinct routers share a cache entry")
+		}
+		eng.Close()
+	}
+}

@@ -62,11 +62,15 @@ type Policy struct {
 // CrossDomainLookahead returns the conservative-PDES lookahead the
 // fabric topology guarantees between CU domains: any cross-CU
 // interaction pays at least one MPI/HCA per-side overhead plus the
-// minimum cross-CU route (Table I: three crossbars) of cable latency
-// before it can influence another domain. sim.Cluster windows computed
-// from this floor are safe for any traffic the transport can generate.
-func CrossDomainLookahead(prof ib.Profile) units.Time {
-	return prof.PerSideOverhead + 3*prof.HopLatency
+// topology's minimum cross-CU route of cable latency before it can
+// influence another domain (fabric.System.MinCrossDomainRoute — three
+// crossbars on the fat-tree family per Table I, two routers on the
+// torus). sim.Cluster windows computed from this floor are safe for
+// any traffic the transport can generate on that fabric; an earlier
+// version hard-coded the fat-tree's 3 crossbars, which would have
+// over-promised the window on any shorter-diameter topology.
+func CrossDomainLookahead(fab *fabric.System, prof ib.Profile) units.Time {
+	return prof.PerSideOverhead + units.Time(fab.MinCrossDomainRoute())*prof.HopLatency
 }
 
 // Congested returns the default congestion policy: every cable a single
@@ -93,29 +97,34 @@ type linkState struct {
 	bytes units.Size
 }
 
-// xbarPathMaxLinks is the most fabric-interior (admission-controlled)
-// links any route carries: cross-side, different crossbar index — uplink
-// up, four switch-internal segments, uplink down. Node-port cables are
-// excluded from admission (see Pending.admit), and in-CU routes carry at
-// most two spine segments.
-const xbarPathMaxLinks = 6
+// xbarPathInlineLinks is the most fabric-interior (admission-controlled)
+// links a fat-tree route carries: cross-side, different crossbar index —
+// uplink up, four switch-internal segments, uplink down. Node-port
+// cables are excluded from admission (see Pending.admit), and in-CU
+// routes carry at most two spine segments. Longer-diameter topologies
+// (the torus) spill past the inline array into a heap slice, paid once
+// per cache entry at derive time.
+const xbarPathInlineLinks = 6
 
 // xbarPath is the cached routing work shared by every source node of one
-// line crossbar toward one destination node: the hop-latency term, the
+// cache row toward one destination node: the hop-latency term, the
 // rendezvous round trip, and — with congestion enabled — the route's
 // fabric-interior link states already resolved and sorted into the
-// global acquisition order. The route interior depends only on the
-// source crossbar and the destination (fabric.NodeID.XbarID), so caching
-// at crossbar granularity keeps the full machine's table at
-// 408 crossbars x 3,060 nodes ≈ 1.2M value-typed entries in dense rows
-// — where the former per-pair map held 9.4M heap entries, whose GC
-// footprint dominated full-machine sweeps.
+// global acquisition order. Rows are keyed by the topology's CacheKey,
+// whose contract (two sources with one key share every route interior)
+// is exactly what makes the shared entry exact: the fat-tree keys by
+// line crossbar — 408 crossbars x 3,060 nodes ≈ 1.2M value-typed
+// entries in dense rows, where the former per-pair map held 9.4M heap
+// entries whose GC footprint dominated full-machine sweeps — while the
+// per-node-router torus keys by node.
 type xbarPath struct {
 	fabLat   units.Time // hop count x hop latency
 	rdvExtra units.Time // rendezvous round trip above the eager threshold
 	derived  bool
-	ns       int8 // live prefix of states
-	states   [xbarPathMaxLinks]*linkState
+	// states is the route's admission-controlled links in acquisition
+	// order, backed by inline until a route outgrows it.
+	states []*linkState
+	inline [xbarPathInlineLinks]*linkState
 }
 
 // PairPath is the resolved routing work for one directed (src, dst) node
@@ -138,8 +147,9 @@ type Net struct {
 
 	hcas   []*ib.HCA // by destination global node id, nil until used
 	links  map[uint64]*linkState
-	xpaths [][]xbarPath // by source crossbar XbarID, rows nil until used
-	xfers  *Pending     // free list of chained-transfer state machines
+	xpaths [][]xbarPath  // by source cache key (fabric CacheKey), rows nil until used
+	rbuf   []fabric.Link // route scratch, sized to the topology's MaxRouteLen
+	xfers  *Pending      // free list of chained-transfer state machines
 
 	msgs int64
 	wire units.Size
@@ -156,7 +166,8 @@ func New(eng *sim.Engine, fab *fabric.System, prof ib.Profile, pol Policy) *Net 
 		prof:   prof,
 		pol:    pol,
 		hcas:   make([]*ib.HCA, fab.Nodes()),
-		xpaths: make([][]xbarPath, fab.CUs*fabric.LineXbarsPerCU),
+		xpaths: make([][]xbarPath, fab.CacheRows()),
+		rbuf:   make([]fabric.Link, 0, fab.MaxRouteLen()),
 	}
 	if pol.Enabled {
 		n.links = make(map[uint64]*linkState)
@@ -223,40 +234,41 @@ func (n *Net) state(l fabric.Link) *linkState {
 }
 
 // xpath returns (deriving on first use) the cached routing work from
-// src's line crossbar to dst: hop latency, rendezvous cost and — with
+// src's cache row to dst: hop latency, rendezvous cost and — with
 // congestion on — the route's fabric-interior link states already
 // sorted into the global acquisition order. Every source node of one
-// crossbar shares the entry: the route interior and hop count depend
-// only on the crossbar and the destination (the node-port cable, the
-// only per-node link, is excluded from admission — see Pending.admit).
-// The cache survives Reset: link identities and hop counts are
-// properties of the wiring, not of any one run. src and dst must be
-// distinct nodes.
+// cache key shares the entry, which the topology's CacheKey contract
+// makes exact (the node-port cable, the only per-node link, is
+// excluded from admission — see Pending.admit). The cache survives
+// Reset: link identities and hop counts are properties of the wiring,
+// not of any one run. src and dst must be distinct nodes.
 func (n *Net) xpath(src, dst fabric.NodeID) *xbarPath {
-	row := n.xpaths[src.XbarID()]
+	key := n.fab.CacheKey(src)
+	row := n.xpaths[key]
 	if row == nil {
 		row = make([]xbarPath, n.fab.Nodes())
-		n.xpaths[src.XbarID()] = row
+		n.xpaths[key] = row
 	}
 	xp := &row[dst.GlobalID()]
 	if !xp.derived {
 		pr := n.prof
-		var lbuf [fabric.RouteMax]fabric.Link
-		route := n.fab.RouteInto(lbuf[:0], src, dst)
+		route := n.fab.RouteInto(n.rbuf[:0], src, dst)
 		// len(Route) == Hops+1 for distinct nodes, pinned by the fabric
 		// route tests.
 		xp.fabLat = units.Time(len(route)-1) * pr.HopLatency
 		xp.rdvExtra = 2 * (2*pr.PerSideOverhead + xp.fabLat)
 		if n.pol.Enabled {
+			// Fat-tree interiors fit inline; longer routes (torus) let
+			// append spill to the heap, once per entry.
+			xp.states = xp.inline[:0]
 			for _, l := range route {
 				if l.Kind == fabric.LinkNodePort {
 					continue
 				}
-				xp.states[xp.ns] = n.state(l)
-				xp.ns++
+				xp.states = append(xp.states, n.state(l))
 			}
-			// Insertion sort by key: at most xbarPathMaxLinks entries.
-			st := xp.states[:xp.ns]
+			// Insertion sort by key: short, and routes arrive near-sorted.
+			st := xp.states
 			for i := 1; i < len(st); i++ {
 				for j := i; j > 0 && st[j].link.Key() < st[j-1].link.Key(); j-- {
 					st[j], st[j-1] = st[j-1], st[j]
@@ -379,7 +391,7 @@ func (n *Net) startTransfer(p *sim.Proc, xp *xbarPath, hsrc, hdst *ib.HCA, src, 
 // woken proc, then the handle is recycled.
 func (n *Net) FinishTransfer(x *Pending) {
 	ib.EndBetween(x.hsrc, x.hdst)
-	release(x.xp.states[:x.xp.ns])
+	release(x.xp.states)
 	n.eng.Schedule(x.xp.fabLat+n.prof.PerSideOverhead, x.deliver)
 	n.putXfer(x)
 }
@@ -433,7 +445,7 @@ func (x *Pending) step() {
 // Gating it here too would bill the same copper twice; the transport
 // owns the crossbar-to-crossbar tiers the HCA cannot see.
 func (x *Pending) admit() {
-	states := x.xp.states[:x.xp.ns]
+	states := x.xp.states
 	for x.linkIdx < len(states) {
 		st := states[x.linkIdx]
 		if !st.res.AcquireFn(1, x.contFn) {
