@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build lint test bench bench-full bench-artifact bench-baseline pdes-smoke trace-smoke topo-smoke serve-smoke sched-smoke docs docs-check suite clean
+.PHONY: all build lint test bench bench-full bench-artifact bench-baseline bench-compare pdes-smoke trace-smoke topo-smoke serve-smoke sched-smoke surrogate-smoke docs docs-check suite clean
 
 all: lint build test
 
@@ -23,7 +23,7 @@ bench:
 	$(GO) test -bench=. -benchtime=1x -run '^$$' ./...
 
 bench-full:
-	$(GO) test -bench=. -benchmem -run '^$$' ./internal/sim/ ./internal/collectives/ ./internal/scenario/ ./internal/trace/ ./internal/placement/ ./internal/facility/ .
+	$(GO) test -bench=. -benchmem -run '^$$' ./internal/sim/ ./internal/collectives/ ./internal/scenario/ ./internal/trace/ ./internal/placement/ ./internal/surrogate/ ./internal/facility/ .
 
 # Collective + congested-transport + trace-replay + placement-search +
 # sim hot-path benches as bench/BENCH_<short-sha>.json, the per-commit
@@ -34,9 +34,11 @@ bench-full:
 # one-shot replay; the EvaluatorReplay benches the pooled batch
 # evaluation path side by side with it (the ~5x/7,500x pooling win);
 # PlacementOptimize the optimizer end to end; ParallelDES the windowed
-# cluster at 1/2/4/8 workers against the serial engine.
-BENCH_RE = Collective|Saturation|TraceReplay|EvaluatorReplay|PlacementOptimize|EventLoop|ProcParkUnpark|MailboxPingPong|Facility|ParallelDES|TopoCompare|TopologyRoute
-BENCH_PKGS = ./internal/collectives ./internal/scenario ./internal/trace ./internal/placement ./internal/sim ./internal/facility ./internal/fabric
+# cluster at 1/2/4/8 workers against the serial engine; the Surrogate
+# benches the analytic pricing model the two-tier search screens with
+# (price one mapping, cold-route pricing, and model compilation).
+BENCH_RE = Collective|Saturation|TraceReplay|EvaluatorReplay|PlacementOptimize|EventLoop|ProcParkUnpark|MailboxPingPong|Facility|ParallelDES|TopoCompare|TopologyRoute|Surrogate
+BENCH_PKGS = ./internal/collectives ./internal/scenario ./internal/trace ./internal/placement ./internal/surrogate ./internal/sim ./internal/facility ./internal/fabric
 
 bench-artifact:
 	$(GO) test -json -run '^$$' -bench '$(BENCH_RE)' \
@@ -47,6 +49,29 @@ bench-artifact:
 bench-baseline:
 	$(GO) test -json -run '^$$' -bench '$(BENCH_RE)' -benchtime=1x \
 		-benchmem $(BENCH_PKGS) > bench/BENCH_baseline.json
+
+# Run the bench set once and print each bench's ns/op next to the
+# committed baseline's, with the head/baseline ratio. Informational:
+# wall clock varies across machines, so the anchor tracks trajectory
+# rather than gating CI; eyeball the ratios (or point benchstat at the
+# two JSON files) when a PR intentionally moves a hot path.
+bench-compare:
+	$(GO) test -json -run '^$$' -bench '$(BENCH_RE)' -benchtime=1x \
+		-benchmem $(BENCH_PKGS) > /tmp/bench-head.json
+	@# A bench result line is flushed as several JSON output events (the
+	@# name before the timing), so reassemble each package's output
+	@# stream before grepping for the "name ... ns/op" result lines.
+	@jq -rs '[.[] | select(.Action=="output")] | group_by(.Package) | .[] | map(.Output) | add' \
+		bench/BENCH_baseline.json \
+		| awk '/^Benchmark/ && / ns\/op/ {print $$1, $$3}' | sort > /tmp/bench-base.txt
+	@jq -rs '[.[] | select(.Action=="output")] | group_by(.Package) | .[] | map(.Output) | add' \
+		/tmp/bench-head.json \
+		| awk '/^Benchmark/ && / ns\/op/ {print $$1, $$3}' | sort > /tmp/bench-head.txt
+	@printf '%-52s %14s %14s %9s\n' benchmark 'base ns/op' 'head ns/op' ratio
+	@join /tmp/bench-base.txt /tmp/bench-head.txt \
+		| awk '{r=($$2>0)?$$3/$$2:0; printf "%-52s %14.0f %14.0f %8.2fx\n", $$1, $$2, $$3, r}'
+	@join -v1 /tmp/bench-base.txt /tmp/bench-head.txt | awk '{print "baseline only: " $$1}'
+	@join -v2 /tmp/bench-base.txt /tmp/bench-head.txt | awk '{print "head only:     " $$1}'
 
 # The parallel-DES byte-identity smoke CI runs (mirrored here): the
 # coll-saturation and trace-replay experiments at GOMAXPROCS 1, 2 and
@@ -105,6 +130,20 @@ topo-smoke:
 # byte identity, cache round-trip, and the thousands-deep load harness.
 serve-smoke:
 	$(GO) test -race -count=1 -run 'TestServe' ./internal/serve
+
+# The analytic-surrogate smoke CI runs (mirrored here): the surrogate
+# and two-tier placement unit tests under the race detector, the
+# cross-validation contract (holdout Spearman, top-3 agreement,
+# two-tier parity, serial ≡ parallel), and an rrtrace optimize
+# -surrogate CLI run end to end.
+surrogate-smoke:
+	$(GO) test -race -count=1 ./internal/surrogate
+	$(GO) test -race -count=1 -run 'TestSurrogate|TestOptimize|TestDedupe' \
+		./internal/scenario ./internal/placement
+	$(GO) run ./cmd/rrtrace capture -px 4 -py 4 -k 20 -o /tmp/surrogate.trace.jsonl
+	$(GO) run ./cmd/rrtrace optimize -i /tmp/surrogate.trace.jsonl -seed 1 \
+		-surrogate -screen-factor 4 -anchors 12 \
+		-greedy-rounds 2 -greedy-batch 6 -anneal-rounds 2 -anneal-batch 6 -mapping 4
 
 # The rrsched facility-simulator smoke CI runs (mirrored here): a
 # model-only mix, the trace-pricing path, and the full sweep.

@@ -21,12 +21,17 @@
 //	rrtrace replay -i sweep.jsonl -topology torus  # same schedule, torus wiring
 //	rrtrace optimize -i sweep.jsonl                # search rank placements
 //	rrtrace optimize -i sweep.jsonl -seed 3 -anneal-rounds 8 -mapping 8
+//	rrtrace optimize -i sweep.jsonl -surrogate     # two-tier: surrogate screens
 //
 // An optimize run searches rank→node mappings against the replayed
 // trace (the pooled batch evaluator is the objective), seeded from the
 // block/strided/packed baselines: greedy pairwise-swap refinement, then
 // batched simulated annealing. Deterministic for a given seed; -workers
-// only changes wall clock.
+// only changes wall clock. With -surrogate the analytic queueing
+// surrogate — calibrated against -anchors DES replays — prices a
+// -screen-factor wider candidate pool each round and only the cheapest
+// shortlist reaches the DES; every reported time stays a DES-replayed
+// makespan.
 //
 // Exit status: 0 success, 1 run error, 2 usage error.
 package main
@@ -87,6 +92,7 @@ func usage() {
                  [-full-schedule] [-greedy-rounds N] [-greedy-batch N]
                  [-anneal-rounds N] [-anneal-batch N] [-stride N]
                  [-per-node N] [-toplinks N] [-mapping N] [-topology NAME]
+                 [-surrogate] [-screen-factor N] [-anchors N]
 `)
 }
 
@@ -186,6 +192,10 @@ func optimize(args []string) int {
 	toplinks := fs.Int("toplinks", 5, "contended links of the winner's census to print")
 	mapping := fs.Int("mapping", 0, "print the first N rank→node assignments of the winner")
 	topology := fs.String("topology", "", "fabric topology to optimize on (see rrsim; default: the tapered fat-tree)")
+	useSurrogate := fs.Bool("surrogate", false,
+		"two-tier search: the analytic surrogate screens a wider candidate pool, the DES replays only the shortlist")
+	screenFactor := fs.Int("screen-factor", 4, "surrogate screening ratio: candidates generated per DES replay (with -surrogate)")
+	anchors := fs.Int("anchors", 12, "DES-replayed calibration anchors for the surrogate (with -surrogate)")
 	fs.Parse(args)
 	if *in == "" {
 		fmt.Fprintln(os.Stderr, "rrtrace optimize: -i is required")
@@ -231,6 +241,9 @@ func optimize(args []string) int {
 		GreedyBatch:  *greedyBatch,
 		AnnealRounds: *annealRounds,
 		AnnealBatch:  *annealBatch,
+		Surrogate:    *useSurrogate,
+		ScreenFactor: *screenFactor,
+		Anchors:      *anchors,
 	}
 	start := time.Now()
 	res, err := placement.Optimize(cfg)
@@ -245,6 +258,13 @@ func optimize(args []string) int {
 	}
 	fmt.Printf("optimized %d-rank placement over the %s schedule (congestion %s): %d evaluations, %v wall clock\n",
 		res.Ranks, objective, *congestion, res.Evaluations, wall.Round(time.Millisecond))
+	if tj := res.Trajectory; tj.SurrogateEvals > 0 {
+		fmt.Printf("  trajectory: %d DES replays (%.0f/s) + %d surrogate prices (%.0f/s), %.1fx per-eval speedup, %d duplicates deduped\n",
+			tj.DESEvals, tj.DESRate(), tj.SurrogateEvals, tj.SurrogateRate(), tj.Speedup(), tj.DedupHits)
+	} else if tj.DedupHits > 0 {
+		fmt.Printf("  trajectory: %d DES replays (%.0f/s), %d duplicates deduped\n",
+			tj.DESEvals, tj.DESRate(), tj.DedupHits)
+	}
 	fmt.Println("  baselines:")
 	for _, b := range res.Baselines {
 		fmt.Printf("    %-8s %v\n", b.Name, b.Time)

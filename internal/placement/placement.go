@@ -23,17 +23,30 @@
 // Workers: N — pinned by TestOptimizeSerialMatchesParallel and by the
 // place-optimize experiment inside the orchestrator's own
 // serial-vs-parallel contract.
+//
+// Config.Surrogate arms a second tier: the analytic queueing surrogate
+// (internal/surrogate), calibrated against a handful of DES-replayed
+// anchors, prices a ScreenFactor-wider candidate pool each round and
+// only the cheapest batch-sized shortlist reaches the DES. The round's
+// DES budget — and so its wall-clock — matches the pure-DES search
+// while the proposal pool widens; every number a Result reports is
+// still a DES-replayed makespan. Duplicate mappings inside any batch
+// are fingerprinted and priced once, in both tiers.
 package placement
 
 import (
+	"encoding/binary"
 	"fmt"
 	"math"
 	"math/rand"
 	"runtime"
+	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"roadrunner/internal/fabric"
+	"roadrunner/internal/surrogate"
 	"roadrunner/internal/trace"
 	"roadrunner/internal/transport"
 	"roadrunner/internal/units"
@@ -102,6 +115,25 @@ type Config struct {
 	// was actually granted — a mapping must never drift onto nodes the
 	// batch scheduler gave to someone else.
 	Pool []fabric.NodeID
+
+	// Surrogate turns on the two-tier search: each round generates
+	// ScreenFactor times its batch of candidates, prices them all with
+	// the analytic queueing surrogate (calibrated up front against
+	// DES-replayed anchor mappings), and sends only the cheapest
+	// batch-sized shortlist to the DES. The DES replays per round —
+	// and with them the round wall-clock — match the pure-DES search;
+	// the surrogate's microseconds buy a ScreenFactor-wider proposal
+	// pool. Every reported time (baselines, round stats, BestTime)
+	// stays a DES-replayed makespan: surrogate prices only choose who
+	// gets replayed, never enter a Result.
+	Surrogate bool
+	// ScreenFactor is the surrogate tier's candidate overgeneration
+	// ratio (default 4); Anchors the calibration budget — the starts
+	// plus seeded perturbations of them, DES-replayed once before the
+	// search (default 12, raised to the surrogate's feature count when
+	// set lower). Both are ignored unless Surrogate is set.
+	ScreenFactor int
+	Anchors      int
 }
 
 // BaselinePoint is one start mapping's objective value.
@@ -121,6 +153,62 @@ type RoundStat struct {
 	Evaluations int        // cumulative replay evaluations
 }
 
+// Trajectory splits a search's objective work by tier. The counters
+// are deterministic (equal configs give equal counts, serial or
+// parallel); the wall-clock totals are the only nondeterministic state
+// in a Result, and WallFree strips them wherever results are compared
+// or archived.
+type Trajectory struct {
+	// DESEvals counts unique candidate mappings replayed by the pooled
+	// DES evaluator; SurrogateEvals counts unique mappings priced by
+	// the analytic surrogate. Duplicates inside a batch are collapsed
+	// before either tier runs — DedupHits counts the objective calls
+	// that dedup skipped.
+	DESEvals       int
+	SurrogateEvals int
+	DedupHits      int
+	// DESWall and SurrogateWall accumulate the wall-clock each tier's
+	// batch calls spent (all workers' throughput combined, so the
+	// per-eval rates below are comparable across Workers settings only
+	// in serial runs).
+	DESWall       time.Duration
+	SurrogateWall time.Duration
+}
+
+// DESRate and SurrogateRate return each tier's observed evaluations
+// per second (0 before any timed call).
+func (t Trajectory) DESRate() float64 {
+	if t.DESWall <= 0 {
+		return 0
+	}
+	return float64(t.DESEvals) / t.DESWall.Seconds()
+}
+
+func (t Trajectory) SurrogateRate() float64 {
+	if t.SurrogateWall <= 0 {
+		return 0
+	}
+	return float64(t.SurrogateEvals) / t.SurrogateWall.Seconds()
+}
+
+// Speedup is the surrogate's per-eval rate over the DES's (0 when
+// either tier has no timed work).
+func (t Trajectory) Speedup() float64 {
+	d := t.DESRate()
+	if d <= 0 {
+		return 0
+	}
+	return t.SurrogateRate() / d
+}
+
+// WallFree returns a copy with the wall-clock fields zeroed: the
+// deterministic view that serial≡parallel comparisons and archived
+// artifacts use.
+func (t Trajectory) WallFree() Trajectory {
+	t.DESWall, t.SurrogateWall = 0, 0
+	return t
+}
+
 // Result is one optimization run's outcome.
 type Result struct {
 	// Ranks and Baselines record the problem; Start names the seed
@@ -134,10 +222,18 @@ type Result struct {
 	Best        []transport.Endpoint
 	BestTime    units.Time
 	Improvement float64
-	// Evaluations counts objective replays; Rounds traces the search.
+	// Evaluations counts unique DES objective replays (batch
+	// duplicates are priced once); Rounds traces the search;
+	// Trajectory splits the objective work by tier.
 	Evaluations int
 	Rounds      []RoundStat
+	Trajectory  Trajectory
 }
+
+// anchorSeedSalt derives the calibration generator's seed from the
+// search seed, so anchor perturbations are reproducible but distinct
+// from the proposal stream.
+const anchorSeedSalt = 0x5ca1ab1e
 
 // defaults fills zero config fields.
 func (c *Config) defaults(ranks, fabricNodes int) Config {
@@ -175,6 +271,12 @@ func (c *Config) defaults(ranks, fabricNodes int) Config {
 	if d.PoolNodes > fabricNodes {
 		d.PoolNodes = fabricNodes
 	}
+	if d.ScreenFactor == 0 {
+		d.ScreenFactor = 4
+	}
+	if d.Anchors < surrogate.NumFeatures {
+		d.Anchors = 12 // zero or too few to fit the model: the default
+	}
 	return d
 }
 
@@ -194,7 +296,8 @@ func Optimize(cfg Config) (*Result, error) {
 	}
 	if cfg.GreedyRounds < 0 || cfg.GreedyBatch < 0 || cfg.GreedyPatience < 0 ||
 		cfg.AnnealRounds < 0 || cfg.AnnealBatch < 0 || cfg.PoolNodes < 0 ||
-		cfg.InitTempFrac < 0 || cfg.CoolRate < 0 {
+		cfg.InitTempFrac < 0 || cfg.CoolRate < 0 ||
+		cfg.ScreenFactor < 0 || cfg.Anchors < 0 {
 		return nil, fmt.Errorf("placement: negative search parameter in %+v", cfg)
 	}
 	ranks := cfg.Trace.Meta.Ranks
@@ -221,6 +324,8 @@ func Optimize(cfg Config) (*Result, error) {
 		return nil, err
 	}
 	defer pool.Close()
+	ev := &tiered{pool: pool}
+	defer ev.Close()
 
 	res := &Result{Ranks: ranks}
 
@@ -230,7 +335,7 @@ func Optimize(cfg Config) (*Result, error) {
 	for i, s := range c.Starts {
 		starts[i] = s.Places
 	}
-	times, err := pool.evalAll(starts)
+	times, err := ev.evalDES(starts)
 	if err != nil {
 		return nil, err
 	}
@@ -241,9 +346,48 @@ func Optimize(cfg Config) (*Result, error) {
 			best = i
 		}
 	}
-	res.Evaluations = len(starts)
 	res.Start = c.Starts[best].Name
 	res.StartTime = times[best]
+
+	if c.Surrogate {
+		// Calibration: anchor mappings are the starts plus
+		// capacity-preserving perturbations of them, drawn from a
+		// dedicated generator so the calibration budget never shifts
+		// the search's random stream. The starts' replays above are
+		// reused; only the perturbations cost extra DES time.
+		model, err := surrogate.NewReplay(c.Trace, rcfg)
+		if err != nil {
+			return nil, err
+		}
+		arng := rand.New(rand.NewSource(c.Seed ^ anchorSeedSalt))
+		anchors := append([][]transport.Endpoint(nil), starts...)
+		for len(anchors) < c.Anchors {
+			m := append([]transport.Endpoint(nil), starts[len(anchors)%len(starts)]...)
+			for s := 0; s < 3; s++ {
+				swapMove(arng, m)
+			}
+			anchors = append(anchors, m)
+		}
+		atimes := append([]units.Time(nil), times...)
+		if len(anchors) > len(starts) {
+			ptimes, err := ev.evalDES(anchors[len(starts):])
+			if err != nil {
+				model.Close()
+				return nil, err
+			}
+			atimes = append(atimes, ptimes...)
+		}
+		if err := model.Calibrate(anchors, atimes); err != nil {
+			model.Close()
+			return nil, err
+		}
+		// Clones share the calibrated weights and the trace precompute;
+		// each worker prices on its own buffers.
+		ev.sur = append(ev.sur, model)
+		for w := 1; w < c.Workers; w++ {
+			ev.sur = append(ev.sur, model.Clone())
+		}
+	}
 
 	cur := append([]transport.Endpoint(nil), c.Starts[best].Places...)
 	curTime := times[best]
@@ -256,17 +400,17 @@ func Optimize(cfg Config) (*Result, error) {
 	// parallel and keeps the best if it improves.
 	dry := 0
 	for round := 0; round < c.GreedyRounds && dry < c.GreedyPatience; round++ {
-		cands := make([][]transport.Endpoint, c.GreedyBatch)
+		cands := make([][]transport.Endpoint, c.GreedyBatch*ev.factor(c.ScreenFactor))
 		for i := range cands {
 			m := append([]transport.Endpoint(nil), cur...)
 			swapMove(rng, m)
 			cands[i] = m
 		}
-		times, err := pool.evalAll(cands)
+		cands = ev.screen(cands, c.GreedyBatch)
+		times, err := ev.evalDES(cands)
 		if err != nil {
 			return nil, err
 		}
-		res.Evaluations += len(cands)
 		win := 0
 		for i := 1; i < len(times); i++ {
 			if times[i] < times[win] {
@@ -287,7 +431,7 @@ func Optimize(cfg Config) (*Result, error) {
 		}
 		res.Rounds = append(res.Rounds, RoundStat{
 			Phase: "greedy", Round: round, Accepted: accepted,
-			Current: curTime, Best: bestTime, Evaluations: res.Evaluations,
+			Current: curTime, Best: bestTime, Evaluations: ev.traj.DESEvals,
 		})
 	}
 
@@ -300,7 +444,7 @@ func Optimize(cfg Config) (*Result, error) {
 	// minimum.
 	temp := units.Time(float64(res.StartTime) * c.InitTempFrac)
 	for round := 0; round < c.AnnealRounds && temp > 0; round++ {
-		cands := make([][]transport.Endpoint, c.AnnealBatch)
+		cands := make([][]transport.Endpoint, c.AnnealBatch*ev.factor(c.ScreenFactor))
 		for i := range cands {
 			m := append([]transport.Endpoint(nil), cur...)
 			if rng.Intn(2) == 0 {
@@ -310,11 +454,11 @@ func Optimize(cfg Config) (*Result, error) {
 			}
 			cands[i] = m
 		}
-		times, err := pool.evalAll(cands)
+		cands = ev.screen(cands, c.AnnealBatch)
+		times, err := ev.evalDES(cands)
 		if err != nil {
 			return nil, err
 		}
-		res.Evaluations += len(cands)
 		accepted := 0
 		for i, t := range times {
 			d := float64(t - curTime)
@@ -329,7 +473,7 @@ func Optimize(cfg Config) (*Result, error) {
 		}
 		res.Rounds = append(res.Rounds, RoundStat{
 			Phase: "anneal", Round: round, Temp: temp, Accepted: accepted,
-			Current: curTime, Best: bestTime, Evaluations: res.Evaluations,
+			Current: curTime, Best: bestTime, Evaluations: ev.traj.DESEvals,
 		})
 		temp = units.Time(float64(temp) * c.CoolRate)
 	}
@@ -337,6 +481,8 @@ func Optimize(cfg Config) (*Result, error) {
 	res.Best = bestPlaces
 	res.BestTime = bestTime
 	res.Improvement = float64(res.StartTime) / float64(res.BestTime)
+	res.Evaluations = ev.traj.DESEvals
+	res.Trajectory = ev.traj
 	return res, nil
 }
 
@@ -457,4 +603,147 @@ func (p *evalPool) Close() {
 	for _, ev := range p.evs {
 		ev.Close()
 	}
+}
+
+// tiered fronts the DES pool — and, in two-tier runs, the surrogate
+// worker clones — behind batch calls that collapse duplicate mappings
+// and account the trajectory. All ordering decisions happen on the
+// coordinator, so worker scheduling cannot leak into results.
+type tiered struct {
+	pool *evalPool
+	sur  []*surrogate.Model // nil when the surrogate tier is off
+	traj Trajectory
+}
+
+// factor is the candidate overgeneration ratio: screenFactor with the
+// surrogate tier armed, 1 without (pure-DES rounds generate exactly
+// their batch).
+func (e *tiered) factor(screenFactor int) int {
+	if len(e.sur) == 0 {
+		return 1
+	}
+	return screenFactor
+}
+
+// evalDES replays every candidate on the DES pool, deduping identical
+// mappings first; times are index-aligned with cands.
+func (e *tiered) evalDES(cands [][]transport.Endpoint) ([]units.Time, error) {
+	uniq, ref, dups := dedupe(cands)
+	begin := time.Now()
+	ut, err := e.pool.evalAll(uniq)
+	e.traj.DESWall += time.Since(begin)
+	if err != nil {
+		return nil, err
+	}
+	e.traj.DESEvals += len(uniq)
+	e.traj.DedupHits += dups
+	times := make([]units.Time, len(cands))
+	for i, u := range ref {
+		times[i] = ut[u]
+	}
+	return times, nil
+}
+
+// screen prices every candidate on the surrogate tier and keeps the
+// `keep` cheapest by (price, generation order) — a total order, so the
+// shortlist is deterministic — returned in generation order to
+// preserve Metropolis semantics downstream. A no-op when the tier is
+// off or the batch already fits.
+func (e *tiered) screen(cands [][]transport.Endpoint, keep int) [][]transport.Endpoint {
+	if len(e.sur) == 0 || keep >= len(cands) {
+		return cands
+	}
+	uniq, ref, dups := dedupe(cands)
+	begin := time.Now()
+	up := e.priceAll(uniq)
+	e.traj.SurrogateWall += time.Since(begin)
+	e.traj.SurrogateEvals += len(uniq)
+	e.traj.DedupHits += dups
+	idx := make([]int, len(cands))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool {
+		pa, pb := up[ref[idx[a]]], up[ref[idx[b]]]
+		if pa != pb {
+			return pa < pb
+		}
+		return idx[a] < idx[b]
+	})
+	kept := append([]int(nil), idx[:keep]...)
+	sort.Ints(kept)
+	out := make([][]transport.Endpoint, keep)
+	for i, j := range kept {
+		out[i] = cands[j]
+	}
+	return out
+}
+
+// priceAll prices candidates across the surrogate clones with the same
+// work-stealing loop as evalAll. Prices are pure functions of the
+// mapping, so distribution cannot affect them.
+func (e *tiered) priceAll(cands [][]transport.Endpoint) []units.Time {
+	prices := make([]units.Time, len(cands))
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	workers := len(e.sur)
+	if workers > len(cands) {
+		workers = len(cands)
+	}
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(m *surrogate.Model) {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(cands) {
+					return
+				}
+				prices[i] = m.Price(cands[i])
+			}
+		}(e.sur[w])
+	}
+	wg.Wait()
+	return prices
+}
+
+// Close releases the surrogate clones (the DES pool closes itself).
+func (e *tiered) Close() {
+	for _, m := range e.sur {
+		m.Close()
+	}
+}
+
+// fingerprint packs a mapping into a comparable key — global node id
+// and core per rank — for batch-level dedup.
+func fingerprint(m []transport.Endpoint) string {
+	buf := make([]byte, 5*len(m))
+	for i, ep := range m {
+		binary.LittleEndian.PutUint32(buf[5*i:], uint32(ep.Node.GlobalID()))
+		buf[5*i+4] = byte(ep.Core)
+	}
+	return string(buf)
+}
+
+// dedupe collapses identical mappings: uniq keeps the first occurrence
+// of each distinct mapping in input order, ref maps every input index
+// to its uniq index, dups counts the collapsed copies. Random swaps of
+// a small incumbent collide often — two proposals that undo each other
+// or hit the same pair replay identically, and replaying one of them
+// twice is milliseconds of pure waste.
+func dedupe(cands [][]transport.Endpoint) (uniq [][]transport.Endpoint, ref []int, dups int) {
+	seen := make(map[string]int, len(cands))
+	ref = make([]int, len(cands))
+	for i, c := range cands {
+		k := fingerprint(c)
+		if j, ok := seen[k]; ok {
+			ref[i] = j
+			dups++
+			continue
+		}
+		seen[k] = len(uniq)
+		ref[i] = len(uniq)
+		uniq = append(uniq, c)
+	}
+	return uniq, ref, dups
 }

@@ -64,26 +64,34 @@ func testConfig(t *testing.T, tr *trace.Trace, starts []Start) Config {
 
 // TestOptimizeSerialMatchesParallel pins the determinism contract: the
 // worker count changes wall clock only — a serial run and a saturated
-// parallel run return byte-identical results.
+// parallel run return byte-identical results once the trajectory's
+// wall-clock fields (the one legitimately nondeterministic part of a
+// Result) are stripped with WallFree.
 func TestOptimizeSerialMatchesParallel(t *testing.T) {
 	tr := pipelineTrace(t, 8, 3, 256*units.KB)
 	starts := []Start{
 		{Name: "block", Places: spread(8, 1)},
 		{Name: "strided", Places: spread(8, 180)},
 	}
-	cfg := testConfig(t, tr, starts)
-	cfg.Workers = 1
-	serial, err := Optimize(cfg)
-	if err != nil {
-		t.Fatal(err)
-	}
-	cfg.Workers = 8
-	parallel, err := Optimize(cfg)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if !reflect.DeepEqual(serial, parallel) {
-		t.Errorf("serial and parallel optimizer runs diverged:\n serial   %+v\n parallel %+v", serial, parallel)
+	for _, surrogate := range []bool{false, true} {
+		cfg := testConfig(t, tr, starts)
+		cfg.Surrogate = surrogate
+		cfg.Workers = 1
+		serial, err := Optimize(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg.Workers = 8
+		parallel, err := Optimize(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		serial.Trajectory = serial.Trajectory.WallFree()
+		parallel.Trajectory = parallel.Trajectory.WallFree()
+		if !reflect.DeepEqual(serial, parallel) {
+			t.Errorf("surrogate=%v: serial and parallel optimizer runs diverged:\n serial   %+v\n parallel %+v",
+				surrogate, serial, parallel)
+		}
 	}
 }
 
@@ -197,6 +205,110 @@ func TestOptimizeRespectsNodeCapacity(t *testing.T) {
 		if len(cores) > 4 {
 			t.Errorf("node %v hosts %d ranks", ep.Node, len(cores))
 		}
+	}
+}
+
+// TestDedupeCollapsesIdenticalMappings pins the batch fingerprint:
+// identical mappings share one unique slot, distinct ones (even
+// differing only in a core) do not, and the backrefs realign results.
+func TestDedupeCollapsesIdenticalMappings(t *testing.T) {
+	a := spread(4, 1)
+	b := spread(4, 2)
+	aCopy := append([]transport.Endpoint(nil), a...)
+	aCore := append([]transport.Endpoint(nil), a...)
+	aCore[2].Core = 3
+	uniq, ref, dups := dedupe([][]transport.Endpoint{a, b, aCopy, aCore, b})
+	if len(uniq) != 3 || dups != 2 {
+		t.Fatalf("got %d unique, %d dups; want 3, 2", len(uniq), dups)
+	}
+	if want := []int{0, 1, 0, 2, 1}; !reflect.DeepEqual(ref, want) {
+		t.Errorf("backrefs %v, want %v", ref, want)
+	}
+}
+
+// TestOptimizeCountsUniqueEvaluations is the dedup regression test: on
+// a two-rank trace every greedy swap proposes the same single mapping,
+// so a greedy round costs one DES replay no matter the batch size —
+// Evaluations counts unique replays, not proposals.
+func TestOptimizeCountsUniqueEvaluations(t *testing.T) {
+	tr := pipelineTrace(t, 2, 2, 64*units.KB)
+	cfg := testConfig(t, tr, []Start{{Name: "block", Places: spread(2, 1)}})
+	cfg.GreedyRounds = 3
+	cfg.GreedyBatch = 8
+	cfg.GreedyPatience = 3
+	cfg.AnnealRounds = 3
+	cfg.AnnealBatch = 8
+	res, err := Optimize(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	proposals := 1 + 3*8 + 3*8 // start + greedy + anneal, without dedup
+	if res.Evaluations >= proposals {
+		t.Errorf("evaluations %d did not collapse duplicate proposals (%d proposed)",
+			res.Evaluations, proposals)
+	}
+	if res.Trajectory.DedupHits == 0 {
+		t.Error("no dedup hits on a two-rank search whose swaps all collide")
+	}
+	if res.Trajectory.DESEvals != res.Evaluations {
+		t.Errorf("trajectory DES evals %d != result evaluations %d",
+			res.Trajectory.DESEvals, res.Evaluations)
+	}
+	// Greedy rounds propose only the one possible swap of two ranks:
+	// one unique replay per round at most.
+	for _, r := range res.Rounds {
+		if r.Phase == "greedy" && r.Round == 0 && r.Evaluations > 1+1 {
+			t.Errorf("first greedy round spent %d evaluations on 1 unique swap", r.Evaluations-1)
+		}
+	}
+}
+
+// TestOptimizeSurrogateScreening exercises the two-tier path: the
+// surrogate prices a ScreenFactor-wider pool, the DES replays only the
+// shortlist, every reported number stays DES-confirmed, and the
+// trajectory accounts both tiers.
+func TestOptimizeSurrogateScreening(t *testing.T) {
+	tr := pipelineTrace(t, 8, 3, 256*units.KB)
+	starts := []Start{
+		{Name: "block", Places: spread(8, 1)},
+		{Name: "strided", Places: spread(8, 180)},
+	}
+	cfg := testConfig(t, tr, starts)
+	cfg.Surrogate = true
+	cfg.ScreenFactor = 4
+	res, err := Optimize(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.BestTime > res.StartTime {
+		t.Errorf("two-tier best %v worse than start %v", res.BestTime, res.StartTime)
+	}
+	if res.Trajectory.SurrogateEvals == 0 {
+		t.Fatal("surrogate tier armed but never priced a candidate")
+	}
+	if res.Trajectory.SurrogateEvals <= res.Trajectory.DESEvals {
+		t.Errorf("surrogate priced %d candidates, DES replayed %d — screening should price the wider pool",
+			res.Trajectory.SurrogateEvals, res.Trajectory.DESEvals)
+	}
+	if res.Trajectory.SurrogateWall <= 0 || res.Trajectory.DESWall <= 0 {
+		t.Errorf("trajectory wall clocks not recorded: %+v", res.Trajectory)
+	}
+	if free := res.Trajectory.WallFree(); free.DESWall != 0 || free.SurrogateWall != 0 ||
+		free.DESEvals != res.Trajectory.DESEvals {
+		t.Errorf("WallFree mangled the trajectory: %+v", free)
+	}
+	// DES-confirmed: the winner re-evaluates to BestTime exactly.
+	ev, err := trace.NewEvaluator(tr, cfg.Replay)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ev.Close()
+	r, err := ev.Evaluate(res.Best)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Time != res.BestTime {
+		t.Errorf("winner re-evaluates to %v, result says %v", r.Time, res.BestTime)
 	}
 }
 

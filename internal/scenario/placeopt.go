@@ -113,6 +113,10 @@ func PlaceOptimizeTrace(tr *trace.Trace) (*PlaceOptimizeReport, error) {
 	if err != nil {
 		return nil, fmt.Errorf("scenario place-optimize: serial run: %w", err)
 	}
+	// Wall-clock is the one legitimately nondeterministic part of a
+	// result; strip it before the byte-identity comparison.
+	res.Trajectory = res.Trajectory.WallFree()
+	serial.Trajectory = serial.Trajectory.WallFree()
 
 	s := tr.Stats()
 	rep := &PlaceOptimizeReport{

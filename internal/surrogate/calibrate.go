@@ -1,0 +1,177 @@
+package surrogate
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"roadrunner/internal/transport"
+	"roadrunner/internal/units"
+)
+
+// calibrateShrink is the ridge strength toward the physical prior,
+// relative to the (feature-normalized) per-anchor signal. The walk's
+// schedule term is a near-complete model on its own — it already plays
+// out HCA sharing and link admission — so the correction terms are
+// allowed to bend the fit only where the anchors carry evidence as
+// strong as the prior, not to chase residual noise from a dozen
+// near-tie measurements.
+const calibrateShrink = 1.0
+
+// Calibrate fits the model's term weights by ridge least squares
+// against DES-evaluated anchor placements: anchors[i] was replayed to
+// times[i] by the trace evaluator. At least NumFeatures anchors are
+// required; a dozen diverse ones (the baseline mappings plus seeded
+// perturbations of them) are plenty — the model has four physical
+// terms and a constant, not a network to train. The fit is
+// deterministic: fixed accumulation order, fixed elimination order.
+//
+// The regression is solved in feature-normalized space (each column
+// scaled by its root-mean-square over the anchors) with the ridge
+// shrinking toward the physical prior "price = schedule walk", so
+// weakly-identified correction terms stay near zero instead of fitting
+// anchor noise, and features a policy zeroes out (the wait terms with
+// congestion off) get weight zero instead of making the system
+// singular.
+func (m *Model) Calibrate(anchors [][]transport.Endpoint, times []units.Time) error {
+	if len(anchors) != len(times) {
+		return fmt.Errorf("surrogate: %d anchors but %d times", len(anchors), len(times))
+	}
+	if len(anchors) < NumFeatures {
+		return fmt.Errorf("surrogate: %d anchors, need at least %d", len(anchors), NumFeatures)
+	}
+	n := len(anchors)
+	x := make([][NumFeatures]float64, n)
+	var rms [NumFeatures]float64
+	for i, pl := range anchors {
+		f := m.features(pl)
+		x[i] = *f
+		for j := 0; j < NumFeatures; j++ {
+			rms[j] += f[j] * f[j]
+		}
+	}
+	for j := 0; j < NumFeatures; j++ {
+		rms[j] = math.Sqrt(rms[j] / float64(n))
+		if rms[j] == 0 {
+			rms[j] = 1 // dead feature: shrinks to its prior weight (0)
+		}
+	}
+	// Normal equations in normalized space; ridge toward the prior.
+	// Normalized columns have unit RMS, so the Gram diagonal is ~n and
+	// lam = shrink*n is a scale-free strength.
+	prior := [NumFeatures]float64{0, rms[1], 0, 0, 0} // w=1 on sched, normalized
+	var a [NumFeatures][NumFeatures]float64
+	var b [NumFeatures]float64
+	for i := range x {
+		y := float64(times[i])
+		for r := 0; r < NumFeatures; r++ {
+			fr := x[i][r] / rms[r]
+			for c := 0; c < NumFeatures; c++ {
+				a[r][c] += fr * x[i][c] / rms[c]
+			}
+			b[r] += fr * y
+		}
+	}
+	lam := calibrateShrink * float64(n)
+	for r := 0; r < NumFeatures; r++ {
+		a[r][r] += lam
+		b[r] += lam * prior[r]
+	}
+	w, err := solve(&a, &b)
+	if err != nil {
+		return err
+	}
+	out := make([]float64, NumFeatures)
+	for j := 0; j < NumFeatures; j++ {
+		out[j] = w[j] / rms[j]
+	}
+	m.weights = out
+	return nil
+}
+
+// solve runs Gaussian elimination with partial pivoting on the ridge
+// normal equations.
+func solve(a *[NumFeatures][NumFeatures]float64, b *[NumFeatures]float64) (*[NumFeatures]float64, error) {
+	n := NumFeatures
+	for col := 0; col < n; col++ {
+		piv := col
+		for r := col + 1; r < n; r++ {
+			if math.Abs(a[r][col]) > math.Abs(a[piv][col]) {
+				piv = r
+			}
+		}
+		if math.Abs(a[piv][col]) == 0 {
+			return nil, fmt.Errorf("surrogate: singular normal equations at column %d", col)
+		}
+		a[col], a[piv] = a[piv], a[col]
+		b[col], b[piv] = b[piv], b[col]
+		for r := col + 1; r < n; r++ {
+			f := a[r][col] / a[col][col]
+			if f == 0 {
+				continue
+			}
+			for c := col; c < n; c++ {
+				a[r][c] -= f * a[col][c]
+			}
+			b[r] -= f * b[col]
+		}
+	}
+	var w [NumFeatures]float64
+	for r := n - 1; r >= 0; r-- {
+		v := b[r]
+		for c := r + 1; c < n; c++ {
+			v -= a[r][c] * w[c]
+		}
+		w[r] = v / a[r][r]
+	}
+	return &w, nil
+}
+
+// Spearman returns the Spearman rank-correlation coefficient between
+// the two cost lists (ties get average ranks). It is the surrogate's
+// figure of merit: a screening tier only needs the ordering right, not
+// the absolute times. len(a) == len(b) >= 2 is required; a constant
+// list has no ordering and returns NaN.
+func Spearman(a, b []units.Time) float64 {
+	if len(a) != len(b) || len(a) < 2 {
+		return math.NaN()
+	}
+	ra, rb := ranks(a), ranks(b)
+	var ma, mb float64
+	for i := range ra {
+		ma += ra[i]
+		mb += rb[i]
+	}
+	ma /= float64(len(ra))
+	mb /= float64(len(rb))
+	var cov, va, vb float64
+	for i := range ra {
+		da, db := ra[i]-ma, rb[i]-mb
+		cov += da * db
+		va += da * da
+		vb += db * db
+	}
+	return cov / math.Sqrt(va*vb)
+}
+
+// ranks assigns 1-based ranks with ties averaged.
+func ranks(xs []units.Time) []float64 {
+	idx := make([]int, len(xs))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(i, j int) bool { return xs[idx[i]] < xs[idx[j]] })
+	out := make([]float64, len(xs))
+	for i := 0; i < len(idx); {
+		j := i
+		for j+1 < len(idx) && xs[idx[j+1]] == xs[idx[i]] {
+			j++
+		}
+		r := float64(i+j)/2 + 1
+		for k := i; k <= j; k++ {
+			out[idx[k]] = r
+		}
+		i = j + 1
+	}
+	return out
+}

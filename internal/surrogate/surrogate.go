@@ -1,0 +1,782 @@
+// Package surrogate prices a rank→node placement analytically, in
+// microseconds of host time instead of the milliseconds a discrete-event
+// replay costs — the grey-box queueing fast path the placement search
+// uses to screen large candidate batches before spending DES
+// evaluations on a shortlist.
+//
+// The model is built once per trace: the placement-independent traffic
+// matrix (trace.Traffic) plus a compiled form of the trace's dependency
+// DAG (per-rank programs and the send→recv matching). Pricing a
+// candidate mapping then combines analytic terms:
+//
+//   - a schedule walk of the compiled DAG — a deterministic list
+//     scheduler replaying the transport arithmetic in closed form:
+//     software overheads, rendezvous round trips, per-hop latency, and
+//     payload flows whose rate is sampled per chunk from the HCA
+//     sharing laws (multi-flow and duplex caps at both endpoint
+//     adapters, exactly ib's flowRate), with each admission-controlled
+//     link a busy-until server when the congestion policy queues
+//     (PR 4's headline: HCA sharing, not hop count, dominates
+//     placement cost);
+//   - the HCA-sharing bound: the hottest adapter's total streaming time
+//     under the multi-flow and duplex caps — the load-balance term the
+//     walk's completion-time view underweights;
+//   - an M/M/1-style waiting-time term per contended link — the traffic
+//     matrix folded through the topology's routes, resolved from the
+//     same transport route cache the DES uses in transport.PairPath
+//     admission order — split into the 2:1-tapered uplink tier and
+//     everything else, with utilization measured against the walk
+//     horizon.
+//
+// The terms are combined linearly with weights fitted by ridge least
+// squares against a small set of DES-evaluated anchor placements
+// (Calibrate) — the grey-box step: physics decides the features,
+// calibration absorbs the constants the closed forms cannot know.
+// Everything is deterministic: the walk's event heap breaks ties by
+// (time, kind, rank) and float accumulation follows the canonical pair
+// order, so equal inputs price equally on every run and every clone,
+// which the placement search's serial ≡ parallel contract relies on.
+package surrogate
+
+import (
+	"fmt"
+	"math"
+
+	"roadrunner/internal/fabric"
+	"roadrunner/internal/ib"
+	"roadrunner/internal/sim"
+	"roadrunner/internal/trace"
+	"roadrunner/internal/transport"
+	"roadrunner/internal/units"
+)
+
+// NumFeatures is the length of a feature vector.
+const NumFeatures = 5
+
+// FeatureNames labels the feature vector entries, in order.
+var FeatureNames = [NumFeatures]string{"const", "sched", "hca", "wait-uplink", "wait-other"}
+
+// maxRho clamps per-link utilization below saturation so the M/M/1
+// waiting term stays finite on overloaded candidates (the ranking still
+// orders them last: service time keeps growing with load).
+const maxRho = 0.97
+
+// walkChunk is the rate re-sampling granularity of the schedule walk's
+// flows, mirroring the DES HCA's contention re-evaluation chunk.
+const walkChunk = 64 * 1024
+
+// Op kinds in the compiled DAG (compute records are folded into the
+// next communication op's pre-duration, so only these two remain).
+const (
+	opSend = iota
+	opRecv
+)
+
+// Walk event kinds, packed into the event key's low bit: flow chunk
+// completions order before flow starts at the same instant, as the DES
+// releases an adapter before the next admission at one timestamp.
+const (
+	evEnd = iota
+	evStart
+)
+
+// routeEntry is one compiled directed node-pair route: the latency
+// decomposition plus the admission-controlled links as dense indices
+// into the model's link table, in transport acquisition order.
+type routeEntry struct {
+	fabLat   units.Time
+	rdvExtra units.Time
+	links    []int32
+	derived  bool
+}
+
+// compiled is the trace's dependency DAG flattened for the walk, built
+// once and shared read-only across clones. Only communication records
+// survive as ops (canonical rank-major order, so off slices each
+// rank's program); each op carries the compute time preceding it in
+// its rank's program as pre, and compute trailing a rank's last comm
+// op lands in tail. The rendezvous flag is fixed at the profile's
+// eager threshold, and sendOf wires each recv to its matching send.
+type compiled struct {
+	off  []int32  // rank r's ops are [off[r], off[r+1])
+	ops  []walkOp // the comm ops, rank-major
+	tail []int64  // per rank, compute after its last comm op
+}
+
+// walkOp is one compiled communication op, packed so the walk streams
+// a single array.
+type walkOp struct {
+	pre    int64 // compute folded in front of this op
+	size   int64
+	pair   int32 // dense index into the traffic matrix's Pairs
+	sendOf int32 // per recv, the matching send's op index
+	kind   uint8
+	rdv    bool
+}
+
+// Model is the analytic pricer for one trace on one fabric. It is not
+// safe for concurrent use; parallel searches give each worker a Clone
+// (caches and buffers are per-instance, the compiled trace and
+// calibrated weights are shared read-only).
+type Model struct {
+	mat      *trace.TrafficMatrix
+	dag      *compiled
+	fab      *fabric.System
+	prof     ib.Profile
+	pol      transport.Policy
+	queueing bool // link admission can actually queue under the policy
+
+	mfPs  float64 // ps/byte at the multi-flow shared rate
+	dupPs float64 // ps/byte at the duplex-aggregate rate
+
+	eng *sim.Engine    // never run; owns the route-resolving net's state
+	net *transport.Net // route resolution only
+
+	linkIdx map[uint64]int32  // link Key → dense index
+	lkind   []fabric.LinkKind // by dense index
+	routes  [][]routeEntry    // by fabric cache row, rows lazily sized
+	lbuf    []fabric.Link     // AdmissionLinks scratch
+
+	// Per-candidate pair table (traffic-matrix Pairs order).
+	pairs []pairInfo
+
+	// Per-candidate walk and load buffers.
+	clk         []int64   // per rank
+	pc          []int32   // per rank: next record index
+	fRem        []int64   // per rank: in-flight payload remaining
+	deliv       []int64   // per record: send's delivery time (0 = not yet)
+	waiter      []int32   // per record: rank blocked on this send, -1 none
+	nOutC, nInC []int32   // per global node: active flow counts by direction
+	linkBusy    []int64   // per dense link: busy-until (queueing policies)
+	heap        []walkEv  // pending flow events, packed keys
+	work        []int32   // runnable-rank stack
+	lbytes      []float64 // per dense link
+	lmsgs       []float64 // per dense link
+	ltouch      []int32
+	nin, nout   []float64 // per global node
+	ntouch      []int32
+
+	feat    [NumFeatures]float64
+	weights []float64 // shared across clones after Calibrate
+}
+
+// New builds the model for a validated trace on the given fabric,
+// profile and congestion policy. The traffic matrix and the compiled
+// DAG are computed here (once per trace); an invalid trace is an error.
+func New(tr *trace.Trace, fab *fabric.System, prof ib.Profile, pol transport.Policy) (*Model, error) {
+	return NewReplay(tr, trace.ReplayConfig{Fabric: fab, Profile: prof, Policy: pol})
+}
+
+// NewReplay builds the model matching a replay configuration: fabric,
+// profile, policy, ComputeScale and SkipCompute are honored, so the
+// surrogate prices exactly the objective the DES replays under that
+// configuration (Places and Observe have no meaning here). The
+// placement search uses this constructor — its objective may be the
+// comm-only schedule — and scaled what-if replays get a matching
+// surrogate for free.
+func NewReplay(tr *trace.Trace, cfg trace.ReplayConfig) (*Model, error) {
+	if cfg.Fabric == nil {
+		return nil, fmt.Errorf("surrogate: nil fabric")
+	}
+	scale := cfg.ComputeScale
+	if scale == 0 {
+		scale = 1
+	}
+	if math.IsNaN(scale) || math.IsInf(scale, 0) || scale < 0 {
+		return nil, fmt.Errorf("surrogate: bad compute scale %g", scale)
+	}
+	if cfg.SkipCompute {
+		scale = 0
+	}
+	mat, err := tr.Traffic(cfg.Profile.EagerThreshold)
+	if err != nil {
+		return nil, err
+	}
+	dag := compile(tr, mat, cfg.Profile.EagerThreshold, scale)
+	m := newModel(mat, dag, cfg.Fabric, cfg.Profile, cfg.Policy)
+	// The physically-motivated prior: the walk's schedule IS the
+	// uncalibrated price — it already plays out HCA sharing and link
+	// admission, so the aggregate correction terms start at zero and
+	// only enter where Calibrate finds anchor evidence for them.
+	m.weights = []float64{0, 1, 0, 0, 0}
+	return m, nil
+}
+
+// compile flattens the validated trace into the walk's arrays,
+// folding each compute record into the pre-duration of its rank's next
+// communication op (or the rank's tail) so the walk touches comm ops
+// only. Compute durations are scaled exactly as the evaluator scales
+// them (scale 0 strips them: the comm-only schedule).
+func compile(tr *trace.Trace, mat *trace.TrafficMatrix, eager units.Size, scale float64) *compiled {
+	c := &compiled{
+		off:  make([]int32, mat.Ranks+1),
+		tail: make([]int64, mat.Ranks),
+	}
+	pairIdx := make(map[int64]int32, len(mat.Pairs))
+	for i, p := range mat.Pairs {
+		pairIdx[int64(p.Src)*int64(mat.Ranks)+int64(p.Dst)] = int32(i)
+	}
+	// One pass in canonical (rank-major) order: comm records append
+	// ops, compute accumulates into the pending pre-duration. The op
+	// index of each record's send is kept for the matching pass.
+	opOf := make([]int32, len(tr.Records))
+	var pre int64
+	for i, r := range tr.Records {
+		switch r.Kind {
+		case trace.KindCompute:
+			pre += int64(units.Time(float64(r.Duration) * scale))
+		case trace.KindSend:
+			opOf[i] = int32(len(c.ops))
+			c.ops = append(c.ops, walkOp{
+				pre:    pre,
+				size:   int64(r.Size),
+				pair:   pairIdx[int64(r.Rank)*int64(mat.Ranks)+int64(r.Peer)],
+				sendOf: -1,
+				kind:   opSend,
+				rdv:    r.Size > eager,
+			})
+			c.off[r.Rank+1]++
+			pre = 0
+		case trace.KindRecv:
+			opOf[i] = int32(len(c.ops))
+			c.ops = append(c.ops, walkOp{pre: pre, pair: -1, sendOf: -1, kind: opRecv})
+			c.off[r.Rank+1]++
+			pre = 0
+		}
+		if i+1 == len(tr.Records) || tr.Records[i+1].Rank != r.Rank {
+			c.tail[r.Rank] = pre
+			pre = 0
+		}
+	}
+	// FIFO send/recv matching per channel, as the trace validator pairs
+	// them (the trace is already validated; matching cannot fail).
+	type chanKey struct{ src, dst, tag int }
+	sends := make(map[chanKey][]int32)
+	for i, r := range tr.Records {
+		if r.Kind == trace.KindSend {
+			k := chanKey{src: r.Rank, dst: r.Peer, tag: r.Tag}
+			sends[k] = append(sends[k], opOf[i])
+		}
+	}
+	for i, r := range tr.Records {
+		if r.Kind != trace.KindRecv {
+			continue
+		}
+		k := chanKey{src: r.Peer, dst: r.Rank, tag: r.Tag}
+		c.ops[opOf[i]].sendOf = sends[k][0]
+		sends[k] = sends[k][1:]
+	}
+	for r := 0; r < mat.Ranks; r++ {
+		c.off[r+1] += c.off[r]
+	}
+	return c
+}
+
+// newModel builds one pricing instance over the shared compiled trace.
+func newModel(mat *trace.TrafficMatrix, dag *compiled, fab *fabric.System, prof ib.Profile, pol transport.Policy) *Model {
+	eng := sim.NewEngine()
+	waiter := make([]int32, len(dag.ops))
+	for i := range waiter {
+		waiter[i] = -1
+	}
+	return &Model{
+		mat:      mat,
+		dag:      dag,
+		fab:      fab,
+		prof:     prof,
+		pol:      pol,
+		queueing: pol.Enabled && pol.Channels > 0,
+		mfPs:     psPerByte(prof.MultiFlowBandwidth),
+		dupPs:    psPerByte(prof.DuplexAggregate),
+		eng:      eng,
+		net:      transport.New(eng, fab, prof, pol),
+		linkIdx:  make(map[uint64]int32),
+		routes:   make([][]routeEntry, fab.CacheRows()),
+		lbuf:     make([]fabric.Link, 0, fab.MaxRouteLen()),
+		pairs:    make([]pairInfo, len(mat.Pairs)),
+		clk:      make([]int64, mat.Ranks),
+		pc:       make([]int32, mat.Ranks),
+		fRem:     make([]int64, mat.Ranks),
+		deliv:    make([]int64, len(dag.ops)),
+		waiter:   waiter,
+		nOutC:    make([]int32, fab.Nodes()),
+		nInC:     make([]int32, fab.Nodes()),
+		heap:     make([]walkEv, 0, 2*mat.Ranks),
+		work:     make([]int32, 0, mat.Ranks),
+		nin:      make([]float64, fab.Nodes()),
+		nout:     make([]float64, fab.Nodes()),
+	}
+}
+
+// Clone returns an instance sharing the compiled trace, the traffic
+// matrix and the calibrated weights but owning its route-resolving
+// net, route cache and buffers (all mutated during pricing), for one
+// worker of a parallel search. Calibrate before cloning; clones price
+// identically to the original — the walk's event order and float
+// summation follow canonical orders, never cache history.
+func (m *Model) Clone() *Model {
+	c := newModel(m.mat, m.dag, m.fab, m.prof, m.pol)
+	c.weights = m.weights
+	return c
+}
+
+// Close releases the engine backing the route-resolving net.
+func (m *Model) Close() { m.eng.Close() }
+
+// Matrix returns the trace's traffic matrix the model prices.
+func (m *Model) Matrix() *trace.TrafficMatrix { return m.mat }
+
+// Weights returns the current term weights (FeatureNames order).
+func (m *Model) Weights() []float64 { return append([]float64(nil), m.weights...) }
+
+// max64 is the two-operand int64 maximum the walk leans on.
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// pairInfo is one directed rank pair's placement-dependent transport
+// arithmetic under the current candidate, sized to a cache line so a
+// flow's whole cost model is one load.
+type pairInfo struct {
+	fix    int64   // sender fixed cost: per-side overhead
+	rdvT   int64   // rendezvous round trip (0 intra-node)
+	deliv  int64   // stream end → recv completion: fabric + overhead
+	stream float64 // picoseconds per payload byte at the pair rate
+	srcN   int32   // sender's global node, -1 intra-node
+	dstN   int32   // receiver's global node, -1 intra-node
+	links  []int32 // admission links, transport acquisition order
+}
+
+// walkEv is one pending flow event, its ordering key packed into two
+// int64 words so heap moves are two stores: k1 = time<<1 | kind (chunk
+// ends sort before starts at the same instant) and k2 = arrival<<20 |
+// rank. The arrival key is a start event's first admission attempt:
+// flows re-queued behind a busy link compete again when it frees, and
+// the earliest original arrival wins, as the DES's FIFO channel queues
+// grant. Packing is lossless for any walk the model prices: times stay
+// far below 2^62 ps (weeks of simulated time) and ranks below 2^20.
+// The order is strict — a rank has at most one pending event — so the
+// pop sequence is fully determined by the event multiset and never by
+// insertion history.
+type walkEv struct{ k1, k2 int64 }
+
+// evPush adds a walk event, sifting a hole up instead of swapping.
+func (m *Model) evPush(t, arr int64, kind uint8, r int32) {
+	k1 := t<<1 | int64(kind)
+	k2 := arr<<20 | int64(r)
+	h := append(m.heap, walkEv{})
+	i := len(h) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if h[p].k1 < k1 || (h[p].k1 == k1 && h[p].k2 < k2) {
+			break
+		}
+		h[i] = h[p]
+		i = p
+	}
+	h[i] = walkEv{k1, k2}
+	m.heap = h
+}
+
+// evPop removes and returns the earliest walk event's packed keys.
+func (m *Model) evPop() (int64, int64) {
+	h := m.heap
+	top := h[0]
+	n := len(h) - 1
+	last := h[n]
+	h = h[:n]
+	m.heap = h
+	i := 0
+	for {
+		s := 2*i + 1
+		if s >= n {
+			break
+		}
+		if r := s + 1; r < n && (h[r].k1 < h[s].k1 || (h[r].k1 == h[s].k1 && h[r].k2 < h[s].k2)) {
+			s = r
+		}
+		if last.k1 < h[s].k1 || (last.k1 == h[s].k1 && last.k2 < h[s].k2) {
+			break
+		}
+		h[i] = h[s]
+		i = s
+	}
+	if n > 0 {
+		h[i] = last
+	}
+	return top.k1, top.k2
+}
+
+// psPerByte converts a bandwidth to picoseconds per byte.
+func psPerByte(bw units.Bandwidth) float64 {
+	if bw <= 0 {
+		return 0
+	}
+	return float64(units.Second) / float64(bw)
+}
+
+// ratePs returns the effective picoseconds per byte of the pair's flow
+// given the current sharing state at both endpoint adapters — the
+// walk's closed form of ib's flowRate at each end, min'd across the
+// endpoints (max in ps/byte terms). Counts include the flow itself.
+func ratePs(stream, mfPs, dupPs float64, sOut, sIn, dOut, dIn int32) float64 {
+	ps := stream
+	if sOut > 1 {
+		if v := mfPs * float64(sOut); v > ps {
+			ps = v
+		}
+	}
+	if sOut > 0 && sIn > 0 {
+		if v := dupPs * float64(sOut+sIn); v > ps {
+			ps = v
+		}
+	}
+	if dIn > 1 {
+		if v := mfPs * float64(dIn); v > ps {
+			ps = v
+		}
+	}
+	if dOut > 0 && dIn > 0 {
+		if v := dupPs * float64(dOut+dIn); v > ps {
+			ps = v
+		}
+	}
+	return ps
+}
+
+// route returns (compiling on first use) the directed node-pair route.
+func (m *Model) route(src, dst fabric.NodeID) *routeEntry {
+	row := m.routes[m.fab.CacheKey(src)]
+	if row == nil {
+		row = make([]routeEntry, m.fab.Nodes())
+		m.routes[m.fab.CacheKey(src)] = row
+	}
+	re := &row[dst.GlobalID()]
+	if !re.derived {
+		pp := m.net.PairPath(src, dst)
+		re.fabLat = pp.FabricLatency()
+		re.rdvExtra = pp.RendezvousExtra()
+		m.lbuf = pp.AdmissionLinks(m.lbuf[:0])
+		if len(m.lbuf) > 0 {
+			re.links = make([]int32, len(m.lbuf))
+			for i, l := range m.lbuf {
+				re.links[i] = m.linkDense(l)
+			}
+		}
+		re.derived = true
+	}
+	return re
+}
+
+// linkDense returns the link's dense index, growing the table on first
+// sight. Indices depend on derivation history, but they are identity
+// keys only: accumulation and summation order follow the canonical
+// pair order, so prices do not.
+func (m *Model) linkDense(l fabric.Link) int32 {
+	k := l.Key()
+	if li, ok := m.linkIdx[k]; ok {
+		return li
+	}
+	li := int32(len(m.lkind))
+	m.linkIdx[k] = li
+	m.lkind = append(m.lkind, l.Kind)
+	m.lbytes = append(m.lbytes, 0)
+	m.lmsgs = append(m.lmsgs, 0)
+	m.linkBusy = append(m.linkBusy, 0)
+	return li
+}
+
+// Features computes the candidate's feature vector (FeatureNames
+// order, all terms in picoseconds except the leading constant).
+// places must be a valid placement for the trace's ranks on the
+// model's fabric, one endpoint per rank.
+func (m *Model) Features(places []transport.Endpoint) []float64 {
+	f := m.features(places)
+	return append([]float64(nil), f[:]...)
+}
+
+// features fills and returns the model's reusable feature array.
+func (m *Model) features(places []transport.Endpoint) *[NumFeatures]float64 {
+	if len(places) != m.mat.Ranks {
+		panic(fmt.Sprintf("surrogate: %d placements for %d ranks", len(places), m.mat.Ranks))
+	}
+	// Reset only what the previous candidate touched.
+	for _, li := range m.ltouch {
+		m.lbytes[li], m.lmsgs[li], m.linkBusy[li] = 0, 0, 0
+	}
+	m.ltouch = m.ltouch[:0]
+	for _, g := range m.ntouch {
+		m.nin[g], m.nout[g] = 0, 0
+		m.nOutC[g], m.nInC[g] = 0, 0
+	}
+	m.ntouch = m.ntouch[:0]
+	clear(m.clk)
+
+	// Pass 1 — per-pair tables under this mapping, plus per-link and
+	// per-node offered load, in canonical pair order.
+	o1 := int64(m.prof.PerSideOverhead)
+	for pi := range m.mat.Pairs {
+		p := &m.mat.Pairs[pi]
+		src, dst := places[p.Src], places[p.Dst]
+		pe := &m.pairs[pi]
+		pe.fix = o1
+		if src.Node == dst.Node {
+			// Shared memory: software overhead on each side, nothing
+			// offered to the fabric or the adapters.
+			pe.rdvT = 0
+			pe.deliv = o1
+			pe.stream = 0
+			pe.srcN, pe.dstN = -1, -1
+			pe.links = nil
+			continue
+		}
+		re := m.route(src.Node, dst.Node)
+		pe.rdvT = int64(re.rdvExtra)
+		pe.deliv = int64(re.fabLat) + o1
+		pe.stream = psPerByte(m.prof.PairBandwidth(src.Core, dst.Core))
+		pe.links = re.links
+		b, msgs := float64(p.Bytes), float64(p.Msgs)
+		for _, li := range re.links {
+			if m.lmsgs[li] == 0 {
+				m.ltouch = append(m.ltouch, li)
+			}
+			m.lmsgs[li] += msgs
+			m.lbytes[li] += b
+		}
+		sg, dg := src.Node.GlobalID(), dst.Node.GlobalID()
+		pe.srcN, pe.dstN = int32(sg), int32(dg)
+		if m.nin[sg] == 0 && m.nout[sg] == 0 {
+			m.ntouch = append(m.ntouch, int32(sg))
+		}
+		m.nout[sg] += b
+		if m.nin[dg] == 0 && m.nout[dg] == 0 {
+			m.ntouch = append(m.ntouch, int32(dg))
+		}
+		m.nin[dg] += b
+	}
+
+	// Pass 2 — the schedule walk: a deterministic event-driven list
+	// scheduler over the trace's DAG. Every rank runs its program until
+	// it blocks on a recv or starts an inter-node payload flow;
+	// shared-memory and zero-size sends cost only their overheads and
+	// resolve inline. A flow samples its rate from the adapters' current
+	// sharing state (ib's flowRate at both ends) one walkChunk at a
+	// time, re-sampling at chunk boundaries, so overlapping flows slow
+	// one another exactly as the DES HCAs do; when the congestion policy
+	// queues, the route's admission links are busy-until servers a flow
+	// must wait out before starting, held until its stream completes
+	// (the DES's channel admission, minus hold-and-wait coupling).
+	// Events pop in (time, kind, arrival, rank) order — fully
+	// deterministic. The hot arrays live in locals so the loop stays in
+	// registers.
+	d := m.dag
+	ops, pairs := d.ops, m.pairs
+	deliv, waiter := m.deliv, m.waiter
+	nOutC, nInC, linkBusy, fRem := m.nOutC, m.nInC, m.linkBusy, m.fRem
+	mfPs, dupPs, queueing := m.mfPs, m.dupPs, m.queueing
+	pc, clk := m.pc, m.clk
+	clear(deliv)
+	m.heap = m.heap[:0]
+	work := m.work[:0]
+	for r := m.mat.Ranks - 1; r >= 0; r-- {
+		pc[r] = d.off[r]
+		work = append(work, int32(r))
+	}
+	for {
+		// Drain runnable ranks: each runs to its next flow-bearing
+		// send, its next unsatisfied recv, or the end of its program.
+		// An op's pre-compute is committed only with the op itself, so
+		// re-draining a rank blocked at a recv re-derives the same
+		// completion time — resumption is stateless.
+		for len(work) > 0 {
+			r := work[len(work)-1]
+			work = work[:len(work)-1]
+			i, c := pc[r], clk[r]
+			end := d.off[r+1]
+		run:
+			for i < end {
+				op := &ops[i]
+				cp := c + op.pre
+				if op.kind == opRecv {
+					dv := deliv[op.sendOf]
+					if dv == 0 {
+						waiter[op.sendOf] = r
+						break run
+					}
+					if dv > cp {
+						cp = dv
+					}
+					c = cp
+					i++
+					continue
+				}
+				pe := &pairs[op.pair]
+				if pe.srcN < 0 || op.size <= 0 {
+					// Shared memory or zero-size: overheads only,
+					// no shared resources; resolve inline.
+					c = cp + pe.fix
+					deliv[i] = c + pe.deliv
+					if w := waiter[i]; w >= 0 {
+						waiter[i] = -1
+						work = append(work, w)
+					}
+					i++
+					continue
+				}
+				start := cp + pe.fix
+				if op.rdv {
+					start += pe.rdvT
+				}
+				m.evPush(start, start, evStart, r)
+				break run
+			}
+			if i == end {
+				c += d.tail[r]
+			}
+			pc[r], clk[r] = i, c
+		}
+		if len(m.heap) == 0 {
+			break
+		}
+		k1, k2 := m.evPop()
+		t, r := k1>>1, int32(k2&(1<<20-1))
+		i := pc[r]
+		op := &ops[i]
+		pe := &pairs[op.pair]
+		sg, dg := pe.srcN, pe.dstN
+		if k1&1 == evStart {
+			if queueing {
+				// Channel admission: wait out the route's busy links.
+				ready := t
+				for _, li := range pe.links {
+					if linkBusy[li] > ready {
+						ready = linkBusy[li]
+					}
+				}
+				if ready > t {
+					m.evPush(ready, k2>>20, evStart, r)
+					continue
+				}
+			}
+			nOutC[sg]++
+			nInC[dg]++
+			rem := op.size
+			fRem[r] = rem
+			ps := ratePs(pe.stream, mfPs, dupPs, nOutC[sg], nInC[sg], nOutC[dg], nInC[dg])
+			chunk := min64(rem, walkChunk)
+			m.evPush(t+int64(float64(chunk)*ps+0.5), 0, evEnd, r)
+			if queueing {
+				proj := t + int64(float64(rem)*ps+0.5)
+				for _, li := range pe.links {
+					linkBusy[li] = proj
+				}
+			}
+			continue
+		}
+		// evEnd: one chunk done.
+		rem := fRem[r] - min64(fRem[r], walkChunk)
+		if rem > 0 {
+			fRem[r] = rem
+			ps := ratePs(pe.stream, mfPs, dupPs, nOutC[sg], nInC[sg], nOutC[dg], nInC[dg])
+			chunk := min64(rem, walkChunk)
+			m.evPush(t+int64(float64(chunk)*ps+0.5), 0, evEnd, r)
+			if queueing {
+				proj := t + int64(float64(rem)*ps+0.5)
+				for _, li := range pe.links {
+					linkBusy[li] = proj
+				}
+			}
+			continue
+		}
+		// Flow complete: release the adapters, deliver, resume the
+		// sender and any blocked receiver. The held links need no
+		// release write — capacity-1 admission means no other flow
+		// could touch them while held, and the final chunk's projection
+		// already wrote exactly this completion time.
+		nOutC[sg]--
+		nInC[dg]--
+		clk[r] = t
+		deliv[i] = t + pe.deliv
+		pc[r] = i + 1
+		work = append(work, r)
+		if w := waiter[i]; w >= 0 {
+			waiter[i] = -1
+			work = append(work, w)
+		}
+	}
+	m.work = work[:0]
+	sched := int64(0)
+	for _, c := range m.clk {
+		if c > sched {
+			sched = c
+		}
+	}
+
+	// The hottest adapter's streaming time under the HCA sharing caps.
+	hca := 0.0
+	for _, g := range m.ntouch {
+		in, out := m.nin[g], m.nout[g]
+		t := math.Max(in, out) * m.mfPs
+		if d := (in + out) * m.dupPs; d > t {
+			t = d
+		}
+		if t > hca {
+			hca = t
+		}
+	}
+
+	// M/M/1 waiting per contended link against the schedule horizon.
+	waitUp, waitOther := 0.0, 0.0
+	if m.queueing {
+		t0 := float64(sched)
+		if t0 < 1 {
+			t0 = 1
+		}
+		for _, li := range m.ltouch {
+			busy := m.lbytes[li] * m.mfPs // total streaming time offered to the cable
+			if busy == 0 {
+				continue
+			}
+			rho := busy / t0
+			if rho > maxRho {
+				rho = maxRho
+			}
+			w := busy * rho / (1 - rho) // n * S * rho/(1-rho), S = busy/n
+			if m.lkind[li] == fabric.LinkUplink {
+				waitUp += w
+			} else {
+				waitOther += w
+			}
+		}
+	}
+
+	m.feat = [NumFeatures]float64{1, float64(sched), hca, waitUp, waitOther}
+	return &m.feat
+}
+
+// min64 is the two-operand int64 minimum.
+func min64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// Price returns the model's cost estimate for the candidate placement,
+// in simulated time units — comparable across candidates of one trace,
+// approximating (after Calibrate) the DES replay makespan. Same input,
+// same output, on every clone and run.
+func (m *Model) Price(places []transport.Endpoint) units.Time {
+	f := m.features(places)
+	v := 0.0
+	for i, w := range m.weights {
+		v += w * f[i]
+	}
+	if v < 0 {
+		v = 0
+	}
+	return units.Time(math.Round(v))
+}

@@ -1,0 +1,155 @@
+package trace
+
+import (
+	"testing"
+
+	"roadrunner/internal/units"
+)
+
+// trafficOf computes the matrix or fails the test.
+func trafficOf(t *testing.T, tr *Trace, eager units.Size) *TrafficMatrix {
+	t.Helper()
+	m, err := tr.Traffic(eager)
+	if err != nil {
+		t.Fatalf("traffic: %v", err)
+	}
+	return m
+}
+
+// pairOf finds the directed pair in the matrix or fails.
+func pairOf(t *testing.T, m *TrafficMatrix, src, dst int) PairTraffic {
+	t.Helper()
+	for _, p := range m.Pairs {
+		if p.Src == src && p.Dst == dst {
+			return p
+		}
+	}
+	t.Fatalf("pair %d->%d not in matrix", src, dst)
+	return PairTraffic{}
+}
+
+// TestTrafficChainTotalsAndCriticalPath pins the matrix on the serial
+// two-rank chain: every message is on the critical chain, and the chain
+// compute is the sender's busy time plus nothing on the receiver.
+func TestTrafficChainTotalsAndCriticalPath(t *testing.T) {
+	sizes := []units.Size{8, 4 * units.KB, 64 * units.KB, 1 * units.MB}
+	compute := 3 * units.Microsecond
+	tr := chainTrace(t, sizes, compute)
+	eager := units.Size(12 * units.KB)
+	m := trafficOf(t, tr, eager)
+
+	if m.Ranks != 2 || len(m.Pairs) != 1 {
+		t.Fatalf("matrix shape: ranks %d pairs %d", m.Ranks, len(m.Pairs))
+	}
+	p := pairOf(t, m, 0, 1)
+	var bytes units.Size
+	var rdv int64
+	for _, s := range sizes {
+		bytes += s
+		if s > eager {
+			rdv++
+		}
+	}
+	if p.Msgs != int64(len(sizes)) || p.Bytes != bytes || p.Rendezvous != rdv {
+		t.Errorf("pair totals: %+v, want msgs %d bytes %v rdv %d", p, len(sizes), bytes, rdv)
+	}
+	if m.Msgs != p.Msgs || m.Bytes != p.Bytes || m.Rendezvous != p.Rendezvous {
+		t.Errorf("matrix totals diverge from the only pair: %+v vs %+v", m, p)
+	}
+	// The receiver only receives, so every path into it crosses exactly
+	// one message edge — the chain runs through the sender's whole
+	// stream and enters on the edge with the most bytes (the DP's
+	// tie-break), which is also above the eager threshold.
+	if p.CritMsgs != 1 || p.CritBytes != 1*units.MB || p.CritRdv != 1 {
+		t.Errorf("serial chain: crit %d/%v/%d, want 1/1MB/1",
+			p.CritMsgs, p.CritBytes, p.CritRdv)
+	}
+	wantComp := units.Time(len(sizes)) * compute
+	if m.CritCompute != wantComp {
+		t.Errorf("crit compute %v, want %v", m.CritCompute, wantComp)
+	}
+	if m.MaxRankCompute != wantComp {
+		t.Errorf("max rank compute %v, want %v", m.MaxRankCompute, wantComp)
+	}
+}
+
+// TestTrafficRelayDepth pins the chain metric on a 4-rank relay with a
+// fat side message: the relay is 3 message edges deep, so it beats the
+// single bigger side transfer — message-edge count dominates bytes.
+func TestTrafficRelayDepth(t *testing.T) {
+	rec := NewRecorder("relay", "test", 5)
+	// Relay 0 -> 1 -> 2 -> 3, small payloads.
+	for i := 0; i < 3; i++ {
+		rec.Send(i, i+1, 0, 1*units.KB, 0)
+		rec.Recv(i+1, i, 0, 1*units.KB, 0)
+	}
+	// One much larger independent transfer 0 -> 4.
+	rec.Send(0, 4, 1, 8*units.MB, 0)
+	rec.Recv(4, 0, 1, 8*units.MB, 0)
+	tr, err := rec.Trace()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := trafficOf(t, tr, 12*units.KB)
+	if m.CritMsgs != 3 || m.CritBytes != 3*units.KB {
+		t.Fatalf("relay chain: %d msgs %v bytes, want 3 msgs 3KB", m.CritMsgs, m.CritBytes)
+	}
+	for i := 0; i < 3; i++ {
+		if p := pairOf(t, m, i, i+1); p.CritMsgs != 1 {
+			t.Errorf("relay hop %d->%d: crit msgs %d, want 1", i, i+1, p.CritMsgs)
+		}
+	}
+	if p := pairOf(t, m, 0, 4); p.CritMsgs != 0 || p.Msgs != 1 {
+		t.Errorf("side transfer 0->4: crit %d of %d msgs, want 0 of 1", p.CritMsgs, p.Msgs)
+	}
+}
+
+// TestTrafficPairsCanonicalOrder pins the Pairs ordering contract
+// (Src-major, Dst-minor) on an all-to-all mesh — the surrogate's
+// summation order, and therefore its float determinism, rides on it.
+func TestTrafficPairsCanonicalOrder(t *testing.T) {
+	const ranks = 5
+	rec := NewRecorder("mesh", "test", ranks)
+	// Phase by phase so matching stays FIFO per channel.
+	for s := 0; s < ranks; s++ {
+		for d := 0; d < ranks; d++ {
+			if s == d {
+				continue
+			}
+			rec.Send(s, d, s*ranks+d, 2*units.KB, 0)
+		}
+	}
+	for d := 0; d < ranks; d++ {
+		for s := 0; s < ranks; s++ {
+			if s == d {
+				continue
+			}
+			rec.Recv(d, s, s*ranks+d, 2*units.KB, 0)
+		}
+	}
+	tr, err := rec.Trace()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := trafficOf(t, tr, 12*units.KB)
+	if want := ranks * (ranks - 1); len(m.Pairs) != want {
+		t.Fatalf("%d pairs, want %d", len(m.Pairs), want)
+	}
+	for i := 1; i < len(m.Pairs); i++ {
+		a, b := m.Pairs[i-1], m.Pairs[i]
+		if a.Src > b.Src || (a.Src == b.Src && a.Dst >= b.Dst) {
+			t.Fatalf("pairs out of canonical order at %d: %+v then %+v", i, a, b)
+		}
+	}
+}
+
+// TestTrafficInvalidTraceErrors: the matrix of an invalid trace is an
+// error, not a panic.
+func TestTrafficInvalidTraceErrors(t *testing.T) {
+	tr := &Trace{Meta: Meta{Name: "bad", Ranks: 2}, Records: []Record{
+		{Rank: 0, Seq: 0, Kind: KindSend, Peer: 1, Size: 8, Dep: NoDep},
+	}}
+	if _, err := tr.Traffic(12 * units.KB); err == nil {
+		t.Fatal("unmatched send produced a matrix")
+	}
+}

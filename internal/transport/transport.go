@@ -120,6 +120,7 @@ const xbarPathInlineLinks = 6
 type xbarPath struct {
 	fabLat   units.Time // hop count x hop latency
 	rdvExtra units.Time // rendezvous round trip above the eager threshold
+	hops     int        // crossbar traversals on the route (len(route)-1)
 	derived  bool
 	// states is the route's admission-controlled links in acquisition
 	// order, backed by inline until a route outgrows it.
@@ -255,7 +256,8 @@ func (n *Net) xpath(src, dst fabric.NodeID) *xbarPath {
 		route := n.fab.RouteInto(n.rbuf[:0], src, dst)
 		// len(Route) == Hops+1 for distinct nodes, pinned by the fabric
 		// route tests.
-		xp.fabLat = units.Time(len(route)-1) * pr.HopLatency
+		xp.hops = len(route) - 1
+		xp.fabLat = units.Time(xp.hops) * pr.HopLatency
 		xp.rdvExtra = 2 * (2*pr.PerSideOverhead + xp.fabLat)
 		if n.pol.Enabled {
 			// Fat-tree interiors fit inline; longer routes (torus) let
@@ -311,6 +313,32 @@ func (n *Net) PairPath(src, dst fabric.NodeID) *PairPath {
 		panic("transport: PairPath of an intra-node pair")
 	}
 	return &PairPath{xp: n.xpath(src, dst), src: n.HCA(src), dst: n.HCA(dst)}
+}
+
+// Hops returns the route's crossbar traversal count (fabric.Route hops).
+func (pp *PairPath) Hops() int { return pp.xp.hops }
+
+// FabricLatency returns the route's pure hop-latency term (hops x the
+// profile's per-hop latency).
+func (pp *PairPath) FabricLatency() units.Time { return pp.xp.fabLat }
+
+// RendezvousExtra returns the rendezvous round-trip cost a message above
+// the eager threshold pays before admission: two software-overhead-plus-
+// fabric traversals each way.
+func (pp *PairPath) RendezvousExtra() units.Time { return pp.xp.rdvExtra }
+
+// AdmissionLinks appends the route's admission-controlled links — the
+// fabric-interior cables, node ports excluded — to buf in the exact
+// global acquisition order Pending.admit takes them (ascending Link.Key),
+// and returns the extended slice. On a congestion-off net the admission
+// set is empty: no link state exists to acquire. Analytic models that
+// fold offered load over the route (internal/surrogate) depend on this
+// order and membership; the per-topology PairPath tests pin both.
+func (pp *PairPath) AdmissionLinks(buf []fabric.Link) []fabric.Link {
+	for _, st := range pp.xp.states {
+		buf = append(buf, st.link)
+	}
+	return buf
 }
 
 // TransferVia is Transfer for an inter-node pair whose PairPath the
